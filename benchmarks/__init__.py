@@ -1,0 +1,5 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  See ``conftest.py``
+for the scale knobs and DESIGN.md §4 for the figure-to-benchmark map.
+"""

@@ -1,0 +1,59 @@
+"""Figure 4 — instantaneous server load (mean and fairness), RR vs SR4.
+
+Paper: "Instantaneous server load for a run of 20000 queries of the
+Poisson workload (mean and fairness over the 12 servers): RR vs SR4
+policy, ρ = 0.88", smoothed with an EWMA filter of parameter
+α = 1 − exp(−δt).  SR4 keeps the fairness index closer to 1 and the
+servers individually less loaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import scale_queries, run_once, write_output
+from repro.experiments import figures
+from repro.experiments.config import (
+    HIGH_LOAD_FACTOR,
+    TestbedConfig,
+    rr_policy,
+    sr_policy,
+)
+from repro.experiments.poisson_experiment import run_poisson_once
+
+
+def bench_figure4_load_and_fairness(benchmark):
+    config = TestbedConfig()
+    queries = scale_queries()
+
+    def run_both():
+        return {
+            spec.name: run_poisson_once(
+                config,
+                spec,
+                load_factor=HIGH_LOAD_FACTOR,
+                num_queries=queries,
+                sample_load=True,
+                load_sample_interval=0.5,
+            )
+            for spec in (rr_policy(), sr_policy(4))
+        }
+
+    runs = run_once(benchmark, run_both)
+
+    table = figures.render_figure4(runs, num_rows=24)
+    series = figures.figure4_series(runs)
+    rr_fairness = np.nanmean([value for _, value in series["RR"].fairness])
+    sr4_fairness = np.nanmean([value for _, value in series["SR4"].fairness])
+    rr_load = np.nanmean([value for _, value in series["RR"].mean_load])
+    sr4_load = np.nanmean([value for _, value in series["SR4"].mean_load])
+    summary = (
+        f"time-averaged fairness index: RR={rr_fairness:.3f}, SR4={sr4_fairness:.3f}\n"
+        f"time-averaged mean busy threads: RR={rr_load:.2f}, SR4={sr4_load:.2f}"
+    )
+    write_output("figure4_load_fairness", table + "\n\n" + summary)
+
+    # Shape checks: SR4 spreads the load better (higher fairness) and
+    # keeps servers less backed up (lower mean busy-thread count).
+    assert sr4_fairness > rr_fairness
+    assert sr4_load < rr_load

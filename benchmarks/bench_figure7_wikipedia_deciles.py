@@ -1,0 +1,40 @@
+"""Figure 7 — Wikipedia replay: deciles 1–9 of wiki-page load time per bin.
+
+Paper: "Wikipedia replay: decile 1..9 of load time for wiki pages over
+24 hours (10 mins bins).  RR vs SR4 policy."  SR4 shows less variability
+(a tighter decile band) under the higher-load parts of the day.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once, write_output
+from benchmarks.wikipedia_shared import replay_result
+from repro.experiments import figures
+
+
+def _band_width(decile_row):
+    """Width of the decile band (d9 - d1) for one bin."""
+    d1, d9 = decile_row[0], decile_row[8]
+    if math.isnan(d1) or math.isnan(d9):
+        return float("nan")
+    return d9 - d1
+
+
+def bench_figure7_wikipedia_deciles(benchmark):
+    result = run_once(benchmark, replay_result)
+
+    rr_table = figures.render_figure7(result, "RR")
+    sr4_table = figures.render_figure7(result, "SR4")
+    write_output("figure7_wikipedia_deciles", rr_table + "\n\n" + sr4_table)
+
+    series = figures.figure7_series(result)
+    rr_widths = [_band_width(deciles) for _, deciles in series["RR"]]
+    sr4_widths = [_band_width(deciles) for _, deciles in series["SR4"]]
+    rr_widths = [width for width in rr_widths if not math.isnan(width)]
+    sr4_widths = [width for width in sr4_widths if not math.isnan(width)]
+
+    # Shape check: averaged over the day, SR4's decile band is tighter
+    # than RR's (less response-time variability under load).
+    assert sum(sr4_widths) / len(sr4_widths) < sum(rr_widths) / len(rr_widths)

@@ -1,0 +1,40 @@
+"""SRLB reproduction: the power of choices in load balancing with Segment Routing.
+
+This library is a full, from-scratch reproduction of *"SRLB: The Power of
+Choices in Load Balancing with Segment Routing"* (Desmouceaux et al.,
+ICDCS 2017): the Service Hunting mechanism built on IPv6 Segment Routing,
+the SRc / SRdyn connection-acceptance policies, the supporting data-center
+substrate (IPv6/SR network, TCP handshake with backlog overflow, Apache-like
+application servers on processor-shared cores), the paper's two workloads
+(Poisson and a synthetic Wikipedia replay), and the experiment harness that
+regenerates every figure of the evaluation.
+
+Quick start
+-----------
+>>> from repro.experiments import (
+...     TestbedConfig, rr_policy, sr_policy, run_poisson_once)
+>>> result = run_poisson_once(
+...     TestbedConfig(), sr_policy(4), load_factor=0.7, num_queries=500)
+>>> result.mean_response_time > 0
+True
+
+See ``examples/`` for complete, commented scenarios and ``benchmarks/``
+for the per-figure reproduction harnesses.
+"""
+
+from repro._version import __version__
+from repro import analysis, core, experiments, metrics, net, server, sim, workload
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "sim",
+    "net",
+    "server",
+    "core",
+    "workload",
+    "metrics",
+    "experiments",
+    "analysis",
+]

@@ -1,0 +1,39 @@
+"""Analytic models used for calibration, validation and ablations.
+
+Contains the Mitzenmacher power-of-d-choices (supermarket) model that
+motivates SRLB's two-candidate SR lists, and classic M/M/c / M/M/c/K
+queueing formulas used to estimate the testbed's saturation rate and to
+cross-check the simulator.
+"""
+
+from repro.analysis.power_of_choices import (
+    ChoicesComparison,
+    compare_choices,
+    improvement_over_random,
+    marginal_benefit,
+    mean_queue_length,
+    mean_time_in_system,
+    tail_probabilities,
+)
+from repro.analysis.queueing import (
+    MMcMetrics,
+    erlang_c,
+    mmc_metrics,
+    mmck_blocking_probability,
+    saturation_rate,
+)
+
+__all__ = [
+    "tail_probabilities",
+    "mean_queue_length",
+    "mean_time_in_system",
+    "improvement_over_random",
+    "compare_choices",
+    "marginal_benefit",
+    "ChoicesComparison",
+    "erlang_c",
+    "mmc_metrics",
+    "MMcMetrics",
+    "mmck_blocking_probability",
+    "saturation_rate",
+]

@@ -1,0 +1,314 @@
+"""Command-line interface for the SRLB reproduction.
+
+Installed as the ``srlb-repro`` console script (also runnable as
+``python -m repro.cli``).  Four sub-commands cover the common workflows:
+
+``calibrate``
+    Print the testbed's analytic saturation rate λ₀ and, optionally, run
+    the empirical bracketing search the paper describes.
+
+``poisson``
+    Run the Poisson workload (paper §V) for one or more policies at one
+    or more load factors and print the response-time comparison.
+
+``wikipedia``
+    Run the (optionally time-compressed) synthetic Wikipedia replay
+    (paper §VI) under RR and SR4 and print the Figure 6 table plus the
+    whole-day quartiles.
+
+``figure``
+    Regenerate a single figure of the paper (2–8) at a chosen scale and
+    print the same series the paper plots.
+
+Every command accepts ``--servers`` / ``--workers`` / ``--cores`` to
+resize the simulated testbed; defaults match the paper's platform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.experiments.calibration import (
+    analytic_saturation_rate,
+    find_empirical_saturation_rate,
+)
+from repro.experiments.config import (
+    HIGH_LOAD_FACTOR,
+    LIGHT_LOAD_FACTOR,
+    PoissonSweepConfig,
+    PolicySpec,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    paper_policy_suite,
+    rr_policy,
+    sr_policy,
+    srdyn_policy,
+)
+from repro.experiments import figures
+from repro.experiments.poisson_experiment import PoissonSweep, run_poisson_once
+from repro.experiments.wikipedia_experiment import WikipediaReplay, make_wikipedia_trace
+from repro.metrics.reporting import format_table
+
+
+# ----------------------------------------------------------------------
+# argument helpers
+# ----------------------------------------------------------------------
+def _policy_spec_from_name(name: str) -> PolicySpec:
+    """Translate a CLI policy name into a :class:`PolicySpec`."""
+    if name == "RR":
+        return rr_policy()
+    if name == "SRdyn":
+        return srdyn_policy()
+    if name.startswith("SR") and name[2:].isdigit():
+        return sr_policy(int(name[2:]))
+    raise ReproError(
+        f"unknown policy {name!r}: expected RR, SRdyn or SR<threshold> (e.g. SR4)"
+    )
+
+
+def _testbed_from_args(args: argparse.Namespace) -> TestbedConfig:
+    return TestbedConfig(
+        num_servers=args.servers,
+        workers_per_server=args.workers,
+        cores_per_server=args.cores,
+        seed=args.seed,
+    )
+
+
+def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=12, help="number of servers (paper: 12)")
+    parser.add_argument("--workers", type=int, default=32, help="workers per server (paper: 32)")
+    parser.add_argument("--cores", type=int, default=2, help="cores per server (paper: 2)")
+    parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
+
+
+# ----------------------------------------------------------------------
+# sub-commands
+# ----------------------------------------------------------------------
+def _command_calibrate(args: argparse.Namespace) -> int:
+    testbed = _testbed_from_args(args)
+    analytic = analytic_saturation_rate(testbed, args.service_mean)
+    print(
+        f"analytic saturation rate λ₀ = {analytic:.1f} queries/s "
+        f"({testbed.total_cores} cores / {args.service_mean:.3f} s mean demand)"
+    )
+    if args.empirical:
+        result = find_empirical_saturation_rate(
+            testbed,
+            service_mean=args.service_mean,
+            num_queries=args.queries,
+            num_iterations=args.iterations,
+        )
+        print(
+            f"empirical saturation rate ≈ {result.saturation_rate:.1f} queries/s "
+            f"({result.ratio_to_analytic:.2f}x the analytic estimate, "
+            f"{len(result.probes)} probe runs)"
+        )
+    return 0
+
+
+def _command_poisson(args: argparse.Namespace) -> int:
+    testbed = _testbed_from_args(args)
+    policy_names = args.policy or ["RR", "SR4", "SRdyn"]
+    specs = [_policy_spec_from_name(name) for name in policy_names]
+    load_factors = args.rho or [HIGH_LOAD_FACTOR]
+
+    rows: List[List[object]] = []
+    for load_factor in load_factors:
+        for spec in specs:
+            result = run_poisson_once(
+                testbed,
+                spec,
+                load_factor=load_factor,
+                num_queries=args.queries,
+                service_mean=args.service_mean,
+            )
+            summary = result.summary
+            rows.append(
+                [
+                    load_factor,
+                    spec.name,
+                    summary.mean,
+                    summary.median,
+                    summary.p90,
+                    result.connections_reset,
+                ]
+            )
+    print(
+        format_table(
+            ["rho", "policy", "mean (s)", "median (s)", "p90 (s)", "resets"],
+            rows,
+            title=(
+                f"Poisson workload, {args.queries} queries per run, "
+                f"{testbed.num_servers} servers"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_wikipedia(args: argparse.Namespace) -> int:
+    testbed = _testbed_from_args(args)
+    config = dataclasses.replace(
+        WikipediaReplayConfig(),
+        testbed=testbed,
+        replay_fraction=args.replay_fraction,
+        static_per_wiki=args.static_per_wiki,
+    ).compressed(duration=args.duration)
+    trace = make_wikipedia_trace(config)
+    print(
+        f"generated synthetic trace: {len(trace)} requests over "
+        f"{trace.duration:.0f} s (replay fraction {args.replay_fraction:g})"
+    )
+    result = WikipediaReplay(config).run(trace=trace)
+    print()
+    print(figures.render_figure6(result))
+    print()
+    for name in result.policies():
+        q1, median, q3 = result.run(name).wiki_quartiles()
+        print(f"{name}: whole-day median={median:.3f} s, third quartile={q3:.3f} s")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    testbed = _testbed_from_args(args)
+    number = args.number
+    if number == 2:
+        load_factors = tuple(
+            round(float(value), 3) for value in np.linspace(0.3, 0.88, args.points)
+        )
+        config = PoissonSweepConfig(
+            testbed=testbed,
+            load_factors=load_factors,
+            num_queries=args.queries,
+            policies=tuple(paper_policy_suite()),
+        )
+        print(figures.render_figure2(PoissonSweep(config).run()))
+        return 0
+    if number in (3, 4, 5):
+        load_factor = LIGHT_LOAD_FACTOR if number == 5 else HIGH_LOAD_FACTOR
+        sample_load = number == 4
+        specs = (
+            (rr_policy(), sr_policy(4))
+            if number == 4
+            else tuple(paper_policy_suite())
+        )
+        runs = {
+            spec.name: run_poisson_once(
+                testbed,
+                spec,
+                load_factor=load_factor,
+                num_queries=args.queries,
+                sample_load=sample_load,
+            )
+            for spec in specs
+        }
+        if number == 4:
+            print(figures.render_figure4(runs))
+        else:
+            print(
+                figures.render_figure_cdf(
+                    runs, title=f"Figure {number}: CDF of page load time, rho={load_factor}"
+                )
+            )
+        return 0
+    if number in (6, 7, 8):
+        config = dataclasses.replace(
+            WikipediaReplayConfig(), testbed=testbed, static_per_wiki=0.5
+        ).compressed(duration=args.duration)
+        result = WikipediaReplay(config).run()
+        if number == 6:
+            print(figures.render_figure6(result))
+        elif number == 7:
+            for name in result.policies():
+                print(figures.render_figure7(result, name))
+                print()
+        else:
+            print(figures.render_figure8(result))
+        return 0
+    raise ReproError(f"unknown figure number {number!r}: the paper has figures 2-8")
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="srlb-repro",
+        description="Reproduction of 'SRLB: The Power of Choices in Load Balancing "
+        "with Segment Routing' (ICDCS 2017).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="estimate the testbed saturation rate λ₀"
+    )
+    _add_testbed_arguments(calibrate)
+    calibrate.add_argument("--service-mean", type=float, default=0.1)
+    calibrate.add_argument(
+        "--empirical", action="store_true", help="also run the empirical search"
+    )
+    calibrate.add_argument("--queries", type=int, default=3_000)
+    calibrate.add_argument("--iterations", type=int, default=4)
+    calibrate.set_defaults(handler=_command_calibrate)
+
+    poisson = subparsers.add_parser("poisson", help="run the Poisson workload (paper §V)")
+    _add_testbed_arguments(poisson)
+    poisson.add_argument(
+        "--policy",
+        action="append",
+        help="policy to run (RR, SR<k>, SRdyn); repeatable; default RR, SR4, SRdyn",
+    )
+    poisson.add_argument(
+        "--rho", action="append", type=float, help="load factor; repeatable; default 0.88"
+    )
+    poisson.add_argument("--queries", type=int, default=3_000)
+    poisson.add_argument("--service-mean", type=float, default=0.1)
+    poisson.set_defaults(handler=_command_poisson)
+
+    wikipedia = subparsers.add_parser(
+        "wikipedia", help="run the synthetic Wikipedia replay (paper §VI)"
+    )
+    _add_testbed_arguments(wikipedia)
+    wikipedia.add_argument(
+        "--duration", type=float, default=480.0, help="compressed day length in seconds"
+    )
+    wikipedia.add_argument("--replay-fraction", type=float, default=0.5)
+    wikipedia.add_argument("--static-per-wiki", type=float, default=0.5)
+    wikipedia.set_defaults(handler=_command_wikipedia)
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure of the paper (2-8)")
+    _add_testbed_arguments(figure)
+    figure.add_argument("number", type=int, help="figure number, 2-8")
+    figure.add_argument("--queries", type=int, default=2_000)
+    figure.add_argument("--points", type=int, default=4, help="load factors for figure 2")
+    figure.add_argument(
+        "--duration", type=float, default=480.0, help="compressed day for figures 6-8"
+    )
+    figure.set_defaults(handler=_command_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``srlb-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Load-balancer flow table (flow steering state).
+
+Once a server has accepted a connection, "the role of the load balancer
+... simply becomes to monitor TCP flows, to ensure that data packets
+belonging to the same flow are delivered to the same application
+instance as the one which accepted the first packet of the flow"
+(paper §I-A).  The flow table is that per-flow steering state: it maps a
+flow key to the accepting server, is populated when the SYN-ACK's SR
+header announces the accepting server, and is consulted for every
+subsequent packet of the flow.
+
+Entries are garbage-collected by an idle timeout (real deployments do
+the same since the return path may bypass the load balancer, so it never
+reliably sees connection teardown), and the table can optionally enforce
+a capacity with oldest-idle eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FlowTableError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import FlowKey
+
+
+@dataclass
+class FlowEntry:
+    """Steering state for one flow."""
+
+    flow_key: FlowKey
+    server: IPv6Address
+    created_at: float
+    last_seen: float
+    packets_steered: int = 0
+
+
+@dataclass
+class FlowTableStats:
+    """Aggregate flow-table counters."""
+
+    entries_created: int = 0
+    entries_expired: int = 0
+    entries_evicted: int = 0
+    lookup_hits: int = 0
+    lookup_misses: int = 0
+
+
+class FlowTable:
+    """Per-flow steering table with idle-timeout expiry.
+
+    Parameters
+    ----------
+    idle_timeout:
+        Seconds of inactivity after which an entry may be reclaimed.
+    capacity:
+        Optional maximum number of entries; when full, the least
+        recently used entry is evicted to make room.
+    """
+
+    def __init__(
+        self,
+        idle_timeout: float = 60.0,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise FlowTableError(f"idle timeout must be positive, got {idle_timeout!r}")
+        if capacity is not None and capacity <= 0:
+            raise FlowTableError(f"capacity must be positive, got {capacity!r}")
+        self.idle_timeout = idle_timeout
+        self.capacity = capacity
+        self._entries: Dict[FlowKey, FlowEntry] = {}
+        self.stats = FlowTableStats()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def learn(self, flow_key: FlowKey, server: IPv6Address, now: float) -> FlowEntry:
+        """Record that ``server`` accepted ``flow_key``.
+
+        Re-learning an existing flow updates the server (the latest
+        acceptance wins, which covers SYN retransmissions that may land
+        on a different server).
+        """
+        entry = self._entries.get(flow_key)
+        if entry is None:
+            if self.capacity is not None and len(self._entries) >= self.capacity:
+                self._evict_lru()
+            entry = FlowEntry(
+                flow_key=flow_key, server=server, created_at=now, last_seen=now
+            )
+            self._entries[flow_key] = entry
+            self.stats.entries_created += 1
+        else:
+            entry.server = server
+            entry.last_seen = now
+        return entry
+
+    def remove(self, flow_key: FlowKey) -> bool:
+        """Forget a flow; returns whether an entry existed."""
+        return self._entries.pop(flow_key, None) is not None
+
+    def _evict_lru(self) -> None:
+        lru_key = min(self._entries, key=lambda key: self._entries[key].last_seen)
+        del self._entries[lru_key]
+        self.stats.entries_evicted += 1
+
+    def expire_idle(self, now: float) -> int:
+        """Drop entries idle for longer than the timeout; returns the count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.last_seen > self.idle_timeout
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.entries_expired += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def steer(self, flow_key: FlowKey, now: float) -> Optional[IPv6Address]:
+        """The server this flow is pinned to, refreshing its idle timer."""
+        entry = self._entries.get(flow_key)
+        if entry is None:
+            self.stats.lookup_misses += 1
+            return None
+        entry.last_seen = now
+        entry.packets_steered += 1
+        self.stats.lookup_hits += 1
+        return entry.server
+
+    def peek(self, flow_key: FlowKey) -> Optional[FlowEntry]:
+        """The entry for ``flow_key`` without refreshing the idle timer."""
+        return self._entries.get(flow_key)
+
+    def entries(self) -> Tuple[FlowEntry, ...]:
+        """All current entries (copy of references)."""
+        return tuple(self._entries.values())
+
+    def server_distribution(self) -> Dict[IPv6Address, int]:
+        """Number of live flows pinned to each server (fairness checks)."""
+        distribution: Dict[IPv6Address, int] = {}
+        for entry in self._entries.values():
+            distribution[entry.server] = distribution.get(entry.server, 0) + 1
+        return distribution
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, flow_key: FlowKey) -> bool:
+        return flow_key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowTable(entries={len(self._entries)}, "
+            f"created={self.stats.entries_created}, "
+            f"hits={self.stats.lookup_hits}, misses={self.stats.lookup_misses})"
+        )

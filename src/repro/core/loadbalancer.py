@@ -1,0 +1,292 @@
+"""The SRLB load balancer.
+
+The load balancer sits at the edge of the data center and advertises the
+virtual IP addresses (VIPs) of the applications it fronts.  Its job is
+deliberately small (paper §I-A):
+
+* for the **first packet of a new flow** (a TCP SYN addressed to a VIP),
+  pick a list of candidate servers with the configured selection scheme
+  and insert a Segment Routing header offering the connection to each of
+  them in turn, with the VIP as the final segment;
+* for the **connection-acceptance packet** (the SYN-ACK coming back from
+  the accepting server, carrying an SR header that names that server),
+  record the flow-to-server binding in the flow table and forward the
+  packet to the client;
+* for **every subsequent packet of the flow**, steer it to the recorded
+  server with a two-segment SR header (server, VIP).
+
+Everything else — whether a server accepts, and on what basis — happens
+on the servers, which is the point of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.candidate_selection import CandidateSelector
+from repro.core.flow_table import FlowTable
+from repro.errors import LoadBalancerError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import FlowKey, Packet, TCPFlag, TCPSegment
+from repro.net.router import NetworkNode
+from repro.net.srh import SegmentRoutingHeader
+from repro.sim.engine import PeriodicTask, Simulator
+
+
+@dataclass
+class LoadBalancerStats:
+    """Aggregate counters kept by the load balancer."""
+
+    syn_received: int = 0
+    syn_dispatched: int = 0
+    steering_packets: int = 0
+    steering_misses: int = 0
+    acceptances_learned: int = 0
+    resets_sent: int = 0
+    unknown_vip_drops: int = 0
+    #: How many times each server appeared as the first candidate.
+    first_candidate_offers: Dict[IPv6Address, int] = field(default_factory=dict)
+    #: How many flows each server ended up accepting.
+    acceptances_per_server: Dict[IPv6Address, int] = field(default_factory=dict)
+
+
+class LoadBalancerNode(NetworkNode):
+    """SRLB edge load balancer (one instance).
+
+    Parameters
+    ----------
+    simulator:
+        Shared simulation engine.
+    name:
+        Node name (diagnostics).
+    address:
+        The load balancer's own IPv6 address — the segment the accepting
+        server routes the SYN-ACK through.
+    selector:
+        Candidate-selection scheme producing the SR candidate list for
+        new flows.
+    flow_idle_timeout:
+        Idle timeout of flow-table entries, in seconds.
+    flow_table_capacity:
+        Optional cap on the number of tracked flows.
+    advertise_vips:
+        When ``True`` (the default, single-instance deployment) the node
+        binds its VIPs on the fabric so client traffic reaches it
+        directly.  Fleet deployments set this to ``False``: the ECMP
+        router owns the VIPs and hands packets to the instances.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        address: IPv6Address,
+        selector: CandidateSelector,
+        flow_idle_timeout: float = 60.0,
+        flow_table_capacity: Optional[int] = None,
+        advertise_vips: bool = True,
+    ) -> None:
+        super().__init__(simulator, name)
+        self.add_address(address)
+        self.selector = selector
+        self.advertise_vips = advertise_vips
+        self.flow_table = FlowTable(
+            idle_timeout=flow_idle_timeout, capacity=flow_table_capacity
+        )
+        self.stats = LoadBalancerStats()
+        self._backends: Dict[IPv6Address, List[IPv6Address]] = {}
+        self._steering_aliases: set = set()
+        self._housekeeping: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def register_vip(
+        self, vip: IPv6Address, servers: Sequence[IPv6Address]
+    ) -> None:
+        """Front ``vip`` with the given pool of application servers."""
+        if not servers:
+            raise LoadBalancerError(f"VIP {vip} needs at least one server")
+        self._backends[vip] = list(servers)
+        if self.fabric is not None and self.advertise_vips:
+            self.fabric.bind_address(vip, self)
+
+    def add_backend(self, vip: IPv6Address, server: IPv6Address) -> None:
+        """Add a server to an existing VIP pool."""
+        pool = self._backends.get(vip)
+        if pool is None:
+            raise LoadBalancerError(f"VIP {vip} is not registered")
+        if server not in pool:
+            pool.append(server)
+
+    def remove_backend(self, vip: IPv6Address, server: IPv6Address) -> bool:
+        """Remove a server from a VIP pool; existing flows keep steering."""
+        pool = self._backends.get(vip)
+        if pool is None:
+            raise LoadBalancerError(f"VIP {vip} is not registered")
+        if server in pool:
+            pool.remove(server)
+            if not pool:
+                raise LoadBalancerError(
+                    f"removing {server} would leave VIP {vip} with no servers"
+                )
+            return True
+        return False
+
+    def add_steering_alias(self, address: IPv6Address) -> None:
+        """Accept steering signals addressed to ``address`` as well.
+
+        Fleet deployments use a shared anycast address as the "load
+        balancer" segment of the servers' steering replies; the ECMP
+        router owns that address on the fabric and hands the packets to
+        the owning instance, which must then recognise them as steering
+        signals even though the address is not locally bound.
+        """
+        self._steering_aliases.add(address)
+
+    def backends_for(self, vip: IPv6Address) -> List[IPv6Address]:
+        """The current server pool for a VIP (copy)."""
+        pool = self._backends.get(vip)
+        if pool is None:
+            raise LoadBalancerError(f"VIP {vip} is not registered")
+        return list(pool)
+
+    @property
+    def vips(self) -> List[IPv6Address]:
+        """All registered VIPs."""
+        return list(self._backends)
+
+    def attach(self, fabric) -> None:
+        """Attach to the fabric and claim the registered VIPs (if advertising)."""
+        super().attach(fabric)
+        if self.advertise_vips:
+            for vip in self._backends:
+                fabric.bind_address(vip, self)
+
+    def start_housekeeping(self, interval: Optional[float] = None) -> None:
+        """Start periodic flow-table expiry (idle-timeout enforcement)."""
+        if self._housekeeping is not None and self._housekeeping.active:
+            return
+        period = interval if interval is not None else self.flow_table.idle_timeout
+        self._housekeeping = PeriodicTask(
+            simulator=self.simulator,
+            interval=period,
+            callback=lambda: self.flow_table.expire_idle(self.simulator.now),
+            label=f"{self.name}-flow-expiry",
+        )
+        self._housekeeping.start()
+
+    def stop_housekeeping(self) -> None:
+        """Stop the periodic flow-table expiry task."""
+        if self._housekeeping is not None:
+            self._housekeeping.stop()
+
+    # ------------------------------------------------------------------
+    # packet processing
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.dst in self._backends:
+            self._handle_client_packet(packet, vip=packet.dst)
+        elif self.owns(packet.dst) or packet.dst in self._steering_aliases:
+            self._handle_steering_signal(packet)
+        else:
+            # A VIP in the advertised prefix that no application registered.
+            self.stats.unknown_vip_drops += 1
+
+    # -- client -> VIP direction ----------------------------------------
+    def _handle_client_packet(self, packet: Packet, vip: IPv6Address) -> None:
+        is_syn = packet.tcp.has(TCPFlag.SYN) and not packet.tcp.has(TCPFlag.ACK)
+        if is_syn:
+            self._dispatch_new_flow(packet, vip)
+        else:
+            self._steer_existing_flow(packet, vip)
+
+    def _dispatch_new_flow(self, packet: Packet, vip: IPv6Address) -> None:
+        """Offer a new connection to the selected candidate servers."""
+        self.stats.syn_received += 1
+        flow_key = packet.flow_key()
+        candidates = self.selector.select(flow_key, self._backends[vip])
+        if not candidates:
+            raise LoadBalancerError("candidate selector returned an empty list")
+        first = candidates[0]
+        self.stats.first_candidate_offers[first] = (
+            self.stats.first_candidate_offers.get(first, 0) + 1
+        )
+        srh = SegmentRoutingHeader.from_traversal(list(candidates) + [vip])
+        packet.attach_srh(srh)
+        self.stats.syn_dispatched += 1
+        self.send(packet)
+
+    def _steer_existing_flow(self, packet: Packet, vip: IPv6Address) -> None:
+        """Pin a mid-flow packet to the server that accepted the flow."""
+        flow_key = packet.flow_key()
+        server = self.flow_table.steer(flow_key, self.simulator.now)
+        if server is None:
+            # No steering state (expired or never learned): fail fast with
+            # a RST so the client does not wait forever, and count it.
+            self.stats.steering_misses += 1
+            self._send_reset(packet, vip)
+            return
+        srh = SegmentRoutingHeader.from_traversal([server, vip])
+        packet.attach_srh(srh)
+        self.stats.steering_packets += 1
+        self.send(packet)
+
+    def _send_reset(self, packet: Packet, vip: IPv6Address) -> None:
+        reset = Packet(
+            src=vip,
+            dst=packet.src,
+            tcp=TCPSegment(
+                src_port=packet.tcp.dst_port,
+                dst_port=packet.tcp.src_port,
+                flags=TCPFlag.RST,
+                request_id=packet.tcp.request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.stats.resets_sent += 1
+        self.send(reset)
+
+    # -- server -> client direction (connection acceptance) --------------
+    def _handle_steering_signal(self, packet: Packet) -> None:
+        """Learn which server accepted a flow from the SYN-ACK's SR header."""
+        srh = packet.srh
+        if srh is None:
+            # Not a Service Hunting signal; nothing for us to do.
+            self.stats.unknown_vip_drops += 1
+            return
+        accepting_server = srh.traversal_order()[0]
+        # The SYN-ACK travels in the server->client direction; the flow
+        # table is keyed by the client->VIP direction.
+        forward_key = packet.flow_key().reversed()
+        self.flow_table.learn(forward_key, accepting_server, self.simulator.now)
+        self.stats.acceptances_learned += 1
+        self.stats.acceptances_per_server[accepting_server] = (
+            self.stats.acceptances_per_server.get(accepting_server, 0) + 1
+        )
+        # Hand the packet on to the client, stripping the SR header: the
+        # client sees a plain SYN-ACK from the VIP (paper, figure 1).
+        client = srh.final_segment
+        packet.detach_srh()
+        packet.dst = client
+        self.send(packet)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def acceptance_share(self) -> Dict[IPv6Address, float]:
+        """Fraction of learned flows accepted by each server."""
+        total = sum(self.stats.acceptances_per_server.values())
+        if total == 0:
+            return {}
+        return {
+            server: count / total
+            for server, count in self.stats.acceptances_per_server.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadBalancerNode(name={self.name!r}, vips={len(self._backends)}, "
+            f"flows={len(self.flow_table)}, selector={self.selector.name!r})"
+        )

@@ -1,0 +1,149 @@
+"""Service Hunting: the in-network service-selection function.
+
+Service Hunting (paper §II) is the SR behaviour a server's virtual
+router applies to packets whose active segment is the server's SID:
+
+* If two or more segments remain (``SegmentsLeft >= 2``), the router asks
+  the local connection-acceptance policy whether the application instance
+  wants the connection.  Accepting sets ``SegmentsLeft`` to 0 (the VIP,
+  always the final segment, becomes active) and delivers the packet to
+  the local application; refusing advances the SR list so the packet
+  continues to the next candidate.
+* If exactly one segment remains (``SegmentsLeft == 1``), the router
+  *must* accept — the penultimate candidate guarantees satisfiability.
+
+The :class:`ServiceHuntingProcessor` implements that decision table.  It
+is deliberately independent of the packet-forwarding machinery so that
+the algorithmic behaviour (Algorithms 1 and 2) can be unit-tested and
+reasoned about in isolation; the server's virtual router calls it and
+then forwards or delivers the packet according to the returned decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.agent import ApplicationAgent
+from repro.core.policies import ConnectionAcceptancePolicy
+from repro.errors import SegmentRoutingError
+from repro.net.packet import Packet
+
+
+class HuntingDecision(enum.Enum):
+    """Outcome of processing a Service Hunting packet."""
+
+    #: Deliver the packet to the local application instance.
+    ACCEPT = "accept"
+    #: Forward the packet to the next candidate in the SR list.
+    FORWARD = "forward"
+    #: The packet is not a Service Hunting packet for this node.
+    NOT_APPLICABLE = "not-applicable"
+
+
+@dataclass
+class ServiceHuntingStats:
+    """Counters kept by one Service Hunting processor (one server)."""
+
+    offers_received: int = 0
+    accepted_by_choice: int = 0
+    accepted_forced: int = 0
+    refused: int = 0
+
+    @property
+    def accepted_total(self) -> int:
+        """Connections this server ended up accepting."""
+        return self.accepted_by_choice + self.accepted_forced
+
+    @property
+    def optional_acceptance_ratio(self) -> float:
+        """Acceptance ratio over optional offers only (what SRdyn targets)."""
+        optional = self.accepted_by_choice + self.refused
+        if optional == 0:
+            return 0.0
+        return self.accepted_by_choice / optional
+
+
+class ServiceHuntingProcessor:
+    """Per-server accept-or-forward decision engine.
+
+    Parameters
+    ----------
+    policy:
+        The local connection-acceptance policy (one instance per server).
+    agent:
+        The application agent exposing the instance's load state.
+    """
+
+    def __init__(
+        self, policy: ConnectionAcceptancePolicy, agent: ApplicationAgent
+    ) -> None:
+        self.policy = policy
+        self.agent = agent
+        self.stats = ServiceHuntingStats()
+
+    def process(self, packet: Packet) -> HuntingDecision:
+        """Apply the Service Hunting decision table to ``packet``.
+
+        On ``ACCEPT`` the packet's ``SegmentsLeft`` is set to 0 (the VIP
+        becomes the destination) so the caller can hand it to the local
+        application.  On ``FORWARD`` the SR list is advanced so the
+        packet's destination is the next candidate.
+        """
+        srh = packet.srh
+        if srh is None or srh.exhausted:
+            return HuntingDecision.NOT_APPLICABLE
+
+        self.stats.offers_received += 1
+
+        if srh.segments_left == 1:
+            # Penultimate segment: the connection must be accepted to
+            # guarantee satisfiability (paper §II-A).
+            packet.set_segments_left(0)
+            self.stats.accepted_forced += 1
+            self.policy.notify_forced_accept(self.agent)
+            return HuntingDecision.ACCEPT
+
+        # Two or more candidates remain: the decision is optional and
+        # strictly local.
+        if self.policy.should_accept(self.agent):
+            packet.set_segments_left(0)
+            self.stats.accepted_by_choice += 1
+            return HuntingDecision.ACCEPT
+
+        packet.advance_srh()
+        self.stats.refused += 1
+        return HuntingDecision.FORWARD
+
+    def reset(self) -> None:
+        """Clear counters and policy state (between experiment runs)."""
+        self.stats = ServiceHuntingStats()
+        self.policy.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceHuntingProcessor(policy={self.policy.name!r}, "
+            f"accepted={self.stats.accepted_total}, refused={self.stats.refused})"
+        )
+
+
+def build_steering_reply_path(
+    server_address, load_balancer_address, client_address
+):
+    """Segment list (traversal order) for the connection-acceptance packet.
+
+    The accepting server signals its identity to the load balancer "by
+    inserting an SR header containing its own IP address, and the IP
+    address of the load-balancer, in the connection acceptance packet"
+    (paper §II-A).  The resulting traversal is
+    ``server -> load balancer -> client``; the first segment records who
+    accepted, the second routes the packet through the load balancer so
+    it can install the steering entry, and the client is the final
+    destination.
+    """
+    if load_balancer_address == client_address:
+        raise SegmentRoutingError(
+            "load balancer and client addresses must differ in the reply path"
+        )
+    return [server_address, load_balancer_address, client_address]

@@ -1,0 +1,74 @@
+"""Experiment harness: the paper's evaluation, end to end.
+
+Builds the simulated testbed (one load balancer, twelve 2-core Apache
+servers, one traffic generator on a shared LAN), calibrates the
+saturation rate λ₀, and runs the Poisson sweep (Figures 2–5) and the
+Wikipedia replay (Figures 6–8) under each load-balancing configuration.
+The :mod:`repro.experiments.figures` module extracts and renders the
+exact series each figure plots.
+"""
+
+from repro.experiments.calibration import (
+    CalibrationProbe,
+    CalibrationResult,
+    analytic_saturation_rate,
+    find_empirical_saturation_rate,
+)
+from repro.experiments.config import (
+    HIGH_LOAD_FACTOR,
+    LIGHT_LOAD_FACTOR,
+    PAPER_LOAD_FACTORS,
+    PoissonSweepConfig,
+    PolicySpec,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    paper_policy_suite,
+    rr_policy,
+    sr_policy,
+    srdyn_policy,
+)
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.poisson_experiment import (
+    PoissonRunResult,
+    PoissonSweep,
+    PoissonSweepResult,
+    make_poisson_trace,
+    run_poisson_once,
+)
+from repro.experiments.wikipedia_experiment import (
+    WikipediaReplay,
+    WikipediaReplayResult,
+    WikipediaRunResult,
+    make_wikipedia_trace,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "TestbedConfig",
+    "PolicySpec",
+    "PoissonSweepConfig",
+    "WikipediaReplayConfig",
+    "rr_policy",
+    "sr_policy",
+    "srdyn_policy",
+    "paper_policy_suite",
+    "PAPER_LOAD_FACTORS",
+    "HIGH_LOAD_FACTOR",
+    "LIGHT_LOAD_FACTOR",
+    "Testbed",
+    "build_testbed",
+    "analytic_saturation_rate",
+    "find_empirical_saturation_rate",
+    "CalibrationResult",
+    "CalibrationProbe",
+    "PoissonSweep",
+    "PoissonSweepResult",
+    "PoissonRunResult",
+    "run_poisson_once",
+    "make_poisson_trace",
+    "WikipediaReplay",
+    "WikipediaReplayResult",
+    "WikipediaRunResult",
+    "make_wikipedia_trace",
+    "figures",
+]

@@ -1,0 +1,215 @@
+"""Experiment configuration dataclasses.
+
+The configuration mirrors the paper's experimental platform (§IV): one
+load balancer, twelve application servers with 2 cores and 32 Apache
+workers each, a TCP backlog of 128 with abort-on-overflow, and the two
+workloads of §V and §VI.  Every parameter is a field so that ablation
+benchmarks and downstream users can deviate from the paper's setup
+explicitly and visibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: The 24 load factors swept by the paper's Figure 2 (evenly spaced in (0, 1)).
+PAPER_LOAD_FACTORS: Tuple[float, ...] = tuple(
+    round(0.04 * step, 2) for step in range(1, 25)
+)
+
+#: The two load factors highlighted by Figures 3-5.
+HIGH_LOAD_FACTOR = 0.88
+LIGHT_LOAD_FACTOR = 0.61
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Static description of the simulated testbed."""
+
+    # Not a test class, despite the name (keeps pytest collection quiet).
+    __test__ = False
+
+    num_servers: int = 12
+    workers_per_server: int = 32
+    cores_per_server: int = 2
+    backlog_capacity: int = 128
+    abort_on_overflow: bool = True
+    cpu_model: str = "processor-sharing"
+    fabric_latency: float = 50e-6
+    flow_idle_timeout: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ExperimentError(
+                f"num_servers must be positive, got {self.num_servers!r}"
+            )
+        if self.workers_per_server <= 0:
+            raise ExperimentError(
+                f"workers_per_server must be positive, got {self.workers_per_server!r}"
+            )
+        if self.cores_per_server <= 0:
+            raise ExperimentError(
+                f"cores_per_server must be positive, got {self.cores_per_server!r}"
+            )
+        if self.backlog_capacity <= 0:
+            raise ExperimentError(
+                f"backlog_capacity must be positive, got {self.backlog_capacity!r}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Aggregate CPU capacity of the server fleet."""
+        return self.num_servers * self.cores_per_server
+
+    @property
+    def total_workers(self) -> int:
+        """Aggregate worker-pool size of the server fleet."""
+        return self.num_servers * self.workers_per_server
+
+    def with_seed(self, seed: int) -> "TestbedConfig":
+        """Copy of this configuration with a different RNG seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named load-balancing configuration (selection + acceptance).
+
+    The paper's configurations:
+
+    * ``RR`` — one random candidate, no Service Hunting choice (the
+      baseline random load balancer);
+    * ``SR4`` / ``SR8`` / ``SR16`` — two random candidates, static
+      acceptance threshold c;
+    * ``SRdyn`` — two random candidates, dynamic threshold.
+    """
+
+    name: str
+    acceptance_policy: str
+    num_candidates: int = 2
+    selector: str = "random"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("policy spec needs a name")
+        if self.num_candidates <= 0:
+            raise ExperimentError(
+                f"num_candidates must be positive, got {self.num_candidates!r}"
+            )
+
+
+def rr_policy() -> PolicySpec:
+    """The paper's RR baseline: one random server, always accepted."""
+    return PolicySpec(name="RR", acceptance_policy="always", num_candidates=1)
+
+
+def sr_policy(threshold: int, num_candidates: int = 2) -> PolicySpec:
+    """A static ``SRc`` configuration with the given threshold."""
+    if threshold < 0:
+        raise ExperimentError(f"threshold must be >= 0, got {threshold!r}")
+    return PolicySpec(
+        name=f"SR{threshold}",
+        acceptance_policy=f"SR{threshold}",
+        num_candidates=num_candidates,
+    )
+
+
+def srdyn_policy(num_candidates: int = 2) -> PolicySpec:
+    """The dynamic ``SRdyn`` configuration."""
+    return PolicySpec(
+        name="SRdyn", acceptance_policy="SRdyn", num_candidates=num_candidates
+    )
+
+
+def paper_policy_suite() -> List[PolicySpec]:
+    """The five configurations compared throughout the paper's evaluation."""
+    return [rr_policy(), sr_policy(4), sr_policy(8), sr_policy(16), srdyn_policy()]
+
+
+@dataclass(frozen=True)
+class PoissonSweepConfig:
+    """Configuration of the Poisson-workload experiments (Figures 2–5)."""
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    load_factors: Tuple[float, ...] = PAPER_LOAD_FACTORS
+    num_queries: int = 20_000
+    service_mean: float = 0.1
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: tuple(paper_policy_suite())
+    )
+    saturation_rate: Optional[float] = None
+    load_sample_interval: float = 0.5
+    workload_seed: int = 12_345
+
+    def __post_init__(self) -> None:
+        if not self.load_factors:
+            raise ExperimentError("at least one load factor is required")
+        for load_factor in self.load_factors:
+            if not 0 < load_factor:
+                raise ExperimentError(
+                    f"load factors must be positive, got {load_factor!r}"
+                )
+        if self.num_queries <= 0:
+            raise ExperimentError(
+                f"num_queries must be positive, got {self.num_queries!r}"
+            )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if not self.policies:
+            raise ExperimentError("at least one policy is required")
+
+    def scaled(self, num_queries: int, load_factors: Optional[Sequence[float]] = None) -> "PoissonSweepConfig":
+        """A cheaper copy of the configuration (for benchmarks and CI)."""
+        return replace(
+            self,
+            num_queries=num_queries,
+            load_factors=tuple(load_factors) if load_factors is not None else self.load_factors,
+        )
+
+
+@dataclass(frozen=True)
+class WikipediaReplayConfig:
+    """Configuration of the Wikipedia-replay experiments (Figures 6–8)."""
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    duration: float = 86_400.0
+    replay_fraction: float = 0.5
+    static_per_wiki: float = 1.0
+    bin_width: float = 600.0
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: (rr_policy(), sr_policy(4))
+    )
+    mean_wiki_rate: float = 85.0
+    wiki_rate_amplitude: float = 30.0
+    trough_hour: float = 8.0
+    workload_seed: int = 54_321
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ExperimentError(f"duration must be positive, got {self.duration!r}")
+        if not 0 < self.replay_fraction <= 1:
+            raise ExperimentError(
+                f"replay_fraction must be in (0, 1], got {self.replay_fraction!r}"
+            )
+        if self.bin_width <= 0:
+            raise ExperimentError(
+                f"bin_width must be positive, got {self.bin_width!r}"
+            )
+        if not self.policies:
+            raise ExperimentError("at least one policy is required")
+
+    def compressed(self, duration: float, bin_width: Optional[float] = None) -> "WikipediaReplayConfig":
+        """Time-lapse copy: same diurnal shape, shorter wall-clock duration.
+
+        The bin width is scaled proportionally by default so the figures
+        keep the same number of bins as the paper's 144 ten-minute bins.
+        """
+        if bin_width is None:
+            bin_width = self.bin_width * duration / self.duration
+        return replace(self, duration=duration, bin_width=bin_width)

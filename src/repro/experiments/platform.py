@@ -1,0 +1,239 @@
+"""Testbed builder: wires the full experimental platform together.
+
+One call to :func:`build_testbed` reproduces the paper's platform (§IV):
+a traffic generator and a load balancer on one side, twelve application
+servers on the other, all bridged on the same link, with the VIP
+advertised by the load balancer and every server running the Service
+Hunting virtual router in front of its Apache instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.candidate_selection import CandidateSelector, make_selector
+from repro.core.loadbalancer import LoadBalancerNode
+from repro.core.policies import ConnectionAcceptancePolicy, make_policy
+from repro.errors import ExperimentError
+from repro.experiments.config import PolicySpec, TestbedConfig
+from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
+from repro.net.addressing import default_allocators
+from repro.net.fabric import LANFabric
+from repro.net.addressing import IPv6Address
+from repro.server.cpu import make_cpu
+from repro.server.http_server import HTTPServerInstance
+from repro.server.virtual_router import ServerNode
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.workload.client import TrafficGeneratorNode
+from repro.workload.requests import RequestCatalog
+from repro.workload.trace import Trace
+
+#: Builds one acceptance-policy instance per server.
+PolicyFactory = Callable[[], ConnectionAcceptancePolicy]
+
+
+@dataclass
+class Testbed:
+    """All the moving parts of one experiment run."""
+
+    config: TestbedConfig
+    policy_spec: PolicySpec
+    simulator: Simulator
+    fabric: LANFabric
+    load_balancer: LoadBalancerNode
+    servers: List[ServerNode]
+    client: TrafficGeneratorNode
+    vip: IPv6Address
+    catalog: RequestCatalog
+    collector: ResponseTimeCollector
+    load_sampler: Optional[ServerLoadSampler] = None
+    _sampler_task: Optional[PeriodicTask] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def attach_load_sampler(self, interval: float = 0.5) -> ServerLoadSampler:
+        """Start periodically sampling per-server busy-thread counts."""
+        sampler = ServerLoadSampler(interval=interval)
+
+        def take_sample() -> None:
+            sampler.sample(
+                self.simulator.now,
+                [server.busy_threads for server in self.servers],
+            )
+
+        task = PeriodicTask(
+            simulator=self.simulator,
+            interval=interval,
+            callback=take_sample,
+            label="load-sampler",
+        )
+        task.start(first_delay=0.0)
+        self.load_sampler = sampler
+        self._sampler_task = task
+        return sampler
+
+    def stop_load_sampler(self) -> None:
+        """Stop the periodic load sampler (so the event heap can drain)."""
+        if self._sampler_task is not None:
+            self._sampler_task.stop()
+            self._sampler_task = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_trace(self, trace: Trace, settle_margin: float = 5.0) -> float:
+        """Replay ``trace`` to completion and return the final simulated time.
+
+        All of the trace's requests are registered in the shared catalog,
+        scheduled at their arrival times, and the simulation runs until
+        every event has been processed.  When a load sampler is active it
+        is stopped once the arrival phase (plus ``settle_margin`` seconds)
+        is over, so the event heap can drain.
+        """
+        for request in trace:
+            if request.request_id not in self.catalog:
+                self.catalog.add(request)
+        self.client.schedule_trace(trace)
+        if self._sampler_task is not None:
+            horizon = self.simulator.now + trace.duration + settle_margin
+            self.simulator.run(until=horizon)
+            self.stop_load_sampler()
+        return self.simulator.run()
+
+    # ------------------------------------------------------------------
+    # convenience accessors used by experiments and tests
+    # ------------------------------------------------------------------
+    def server_busy_counts(self) -> List[int]:
+        """Current busy-thread count of every server."""
+        return [server.busy_threads for server in self.servers]
+
+    def total_requests_served(self) -> int:
+        """Requests served across the fleet."""
+        return sum(server.app.stats.requests_served for server in self.servers)
+
+    def total_resets(self) -> int:
+        """Connections reset by backlog overflow across the fleet."""
+        return sum(server.app.stats.connections_reset for server in self.servers)
+
+    def acceptance_counts(self) -> Dict[str, int]:
+        """Per-server accepted-connection counts (by server name)."""
+        return {
+            server.name: server.hunting.stats.accepted_total
+            for server in self.servers
+        }
+
+
+def build_testbed(
+    config: TestbedConfig,
+    policy_spec: PolicySpec,
+    catalog: Optional[RequestCatalog] = None,
+    collector: Optional[ResponseTimeCollector] = None,
+    run_name: Optional[str] = None,
+) -> Testbed:
+    """Build the full platform for one (testbed, policy) combination.
+
+    Parameters
+    ----------
+    config:
+        The static testbed description (server fleet, CPU model, ...).
+    policy_spec:
+        Which candidate-selection / acceptance-policy combination to run.
+    catalog:
+        Request catalog shared with the workload; created empty when not
+        given (``run_trace`` fills it from the trace).
+    collector:
+        Response-time sink; created fresh when not given.
+    run_name:
+        Label attached to the collector, defaulting to the policy name.
+    """
+    simulator = Simulator(seed=config.seed)
+    fabric = LANFabric(simulator, latency=config.fabric_latency)
+    allocators = default_allocators()
+    catalog = catalog if catalog is not None else RequestCatalog()
+    collector = collector if collector is not None else ResponseTimeCollector(
+        name=run_name or policy_spec.name
+    )
+
+    # Addresses: one LB, one VIP, one client, N servers.
+    lb_address = allocators["lb"].allocate()
+    vip = allocators["vip"].allocate()
+    client_address = allocators["client"].allocate()
+    server_addresses = list(allocators["server"].allocate_many(config.num_servers))
+
+    # Candidate selection scheme (the RNG stream is owned by the simulator
+    # so runs are reproducible given the testbed seed).
+    selector: CandidateSelector = make_selector(
+        policy_spec.selector,
+        rng=simulator.streams.stream("candidate-selection"),
+        num_candidates=policy_spec.num_candidates,
+    )
+    if policy_spec.num_candidates == 1 and policy_spec.selector == "random":
+        # Single random candidate: label it as the RR baseline.
+        selector = make_selector(
+            "single-random", rng=simulator.streams.stream("candidate-selection")
+        )
+
+    load_balancer = LoadBalancerNode(
+        simulator=simulator,
+        name="lb",
+        address=lb_address,
+        selector=selector,
+        flow_idle_timeout=config.flow_idle_timeout,
+    )
+    load_balancer.register_vip(vip, server_addresses)
+    load_balancer.attach(fabric)
+
+    servers: List[ServerNode] = []
+    for index, address in enumerate(server_addresses):
+        cpu = make_cpu(
+            simulator,
+            num_cores=config.cores_per_server,
+            model=config.cpu_model,
+            name=f"cpu-{index}",
+        )
+        app = HTTPServerInstance(
+            simulator=simulator,
+            name=f"apache-{index}",
+            cpu=cpu,
+            num_workers=config.workers_per_server,
+            backlog_capacity=config.backlog_capacity,
+            demand_lookup=catalog.demand_of,
+            abort_on_overflow=config.abort_on_overflow,
+        )
+        policy = make_policy(policy_spec.acceptance_policy)
+        server = ServerNode(
+            simulator=simulator,
+            name=f"server-{index}",
+            address=address,
+            app=app,
+            policy=policy,
+            load_balancer_address=lb_address,
+            cpu_cores=config.cores_per_server,
+        )
+        server.bind_vip(vip)
+        server.attach(fabric)
+        servers.append(server)
+
+    client = TrafficGeneratorNode(
+        simulator=simulator,
+        name="client",
+        address=client_address,
+        vip=vip,
+        collector=collector,
+    )
+    client.attach(fabric)
+
+    return Testbed(
+        config=config,
+        policy_spec=policy_spec,
+        simulator=simulator,
+        fabric=fabric,
+        load_balancer=load_balancer,
+        servers=servers,
+        client=client,
+        vip=vip,
+        catalog=catalog,
+        collector=collector,
+    )

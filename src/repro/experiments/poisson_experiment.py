@@ -1,0 +1,201 @@
+"""Poisson-workload experiments (paper §V, Figures 2–5).
+
+The experiment replays a Poisson stream of CPU-bound queries against the
+testbed under each load-balancing configuration and collects client-side
+response times plus (optionally) the per-server load samples used by
+Figure 4.  The *same* workload trace — same arrival times, same
+per-request CPU demands — is replayed under every policy of a
+comparison, so differences between policies are differences in load
+balancing, not in workload randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import PoissonSweepConfig, PolicySpec, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
+from repro.metrics.stats import SummaryStatistics
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+
+@dataclass
+class PoissonRunResult:
+    """Outcome of one (policy, load factor) run."""
+
+    policy: PolicySpec
+    load_factor: float
+    arrival_rate: float
+    collector: ResponseTimeCollector
+    load_sampler: Optional[ServerLoadSampler]
+    requests_served: int
+    connections_reset: int
+    acceptance_counts: Dict[str, int]
+    simulated_duration: float
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean page load time (Figure 2's metric)."""
+        return self.collector.mean_response_time()
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary statistics."""
+        return self.collector.summary()
+
+    def response_times(self) -> List[float]:
+        """Raw response times (Figures 3 and 5 plot their CDF)."""
+        return self.collector.response_times()
+
+
+def make_poisson_trace(
+    load_factor: float,
+    num_queries: int,
+    saturation_rate: float,
+    service_mean: float,
+    workload_seed: int,
+) -> Trace:
+    """Generate the workload trace for one load factor.
+
+    The RNG is seeded from ``(workload_seed, load factor)`` only, so the
+    trace is identical across policies and across testbed seeds.
+    """
+    if load_factor <= 0:
+        raise ExperimentError(f"load factor must be positive, got {load_factor!r}")
+    workload = PoissonWorkload.from_load_factor(
+        rho=load_factor,
+        saturation_rate=saturation_rate,
+        num_queries=num_queries,
+        service_model=ExponentialServiceTime(service_mean),
+    )
+    rng = np.random.default_rng([workload_seed, int(round(load_factor * 1_000_000))])
+    return workload.generate(rng)
+
+
+def run_poisson_once(
+    testbed_config: TestbedConfig,
+    policy: PolicySpec,
+    load_factor: float,
+    num_queries: int = 20_000,
+    service_mean: float = 0.1,
+    saturation_rate: Optional[float] = None,
+    workload_seed: int = 12_345,
+    sample_load: bool = False,
+    load_sample_interval: float = 0.5,
+    trace: Optional[Trace] = None,
+) -> PoissonRunResult:
+    """Run one (policy, load factor) experiment and return its results.
+
+    A pre-generated ``trace`` may be passed to share the workload across
+    several runs (the sweep does this); otherwise one is generated from
+    ``workload_seed``.
+    """
+    if saturation_rate is None:
+        saturation_rate = analytic_saturation_rate(testbed_config, service_mean)
+    if trace is None:
+        trace = make_poisson_trace(
+            load_factor, num_queries, saturation_rate, service_mean, workload_seed
+        )
+
+    testbed = build_testbed(
+        testbed_config,
+        policy,
+        catalog=RequestCatalog(),
+        run_name=f"{policy.name}-rho{load_factor:g}",
+    )
+    if sample_load:
+        testbed.attach_load_sampler(interval=load_sample_interval)
+    duration = testbed.run_trace(trace)
+
+    return PoissonRunResult(
+        policy=policy,
+        load_factor=load_factor,
+        arrival_rate=load_factor * saturation_rate,
+        collector=testbed.collector,
+        load_sampler=testbed.load_sampler,
+        requests_served=testbed.total_requests_served(),
+        connections_reset=testbed.total_resets(),
+        acceptance_counts=testbed.acceptance_counts(),
+        simulated_duration=duration,
+    )
+
+
+@dataclass
+class PoissonSweepResult:
+    """All runs of a load-factor sweep, indexed by policy then load factor."""
+
+    config: PoissonSweepConfig
+    saturation_rate: float
+    runs: Dict[str, Dict[float, PoissonRunResult]] = field(default_factory=dict)
+
+    def mean_response_series(self, policy_name: str) -> List[Tuple[float, float]]:
+        """``(load factor, mean response time)`` series for one policy."""
+        if policy_name not in self.runs:
+            raise ExperimentError(f"no runs recorded for policy {policy_name!r}")
+        by_load = self.runs[policy_name]
+        return [
+            (load_factor, by_load[load_factor].mean_response_time)
+            for load_factor in sorted(by_load)
+        ]
+
+    def policies(self) -> List[str]:
+        """Names of the policies in the sweep, in configuration order."""
+        return [policy.name for policy in self.config.policies]
+
+    def run(self, policy_name: str, load_factor: float) -> PoissonRunResult:
+        """A specific run, by policy name and load factor."""
+        try:
+            return self.runs[policy_name][load_factor]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"no run for policy {policy_name!r} at load factor {load_factor!r}"
+            ) from exc
+
+
+class PoissonSweep:
+    """Full load-factor sweep across the configured policies (Figure 2)."""
+
+    def __init__(self, config: Optional[PoissonSweepConfig] = None) -> None:
+        self.config = config or PoissonSweepConfig()
+
+    def run(self, sample_load: bool = False) -> PoissonSweepResult:
+        """Execute every (policy, load factor) combination."""
+        config = self.config
+        saturation = (
+            config.saturation_rate
+            if config.saturation_rate is not None
+            else analytic_saturation_rate(config.testbed, config.service_mean)
+        )
+        result = PoissonSweepResult(config=config, saturation_rate=saturation)
+        for load_factor in config.load_factors:
+            trace = make_poisson_trace(
+                load_factor,
+                config.num_queries,
+                saturation,
+                config.service_mean,
+                config.workload_seed,
+            )
+            for policy in config.policies:
+                run = run_poisson_once(
+                    config.testbed,
+                    policy,
+                    load_factor,
+                    num_queries=config.num_queries,
+                    service_mean=config.service_mean,
+                    saturation_rate=saturation,
+                    workload_seed=config.workload_seed,
+                    sample_load=sample_load,
+                    load_sample_interval=config.load_sample_interval,
+                    trace=trace,
+                )
+                result.runs.setdefault(policy.name, {})[load_factor] = run
+        return result

@@ -1,0 +1,62 @@
+"""Measurement and reporting pipeline.
+
+Contains the response-time collector fed by the traffic generator, the
+per-server load sampler, and the statistics the paper's figures are
+built from: summary statistics and CDFs, Jain's fairness index, the EWMA
+filter used to smooth Figure 4, 10-minute time binning for the Wikipedia
+replay, and plain-text table rendering for the benchmark output.
+"""
+
+from repro.metrics.binning import TimeBin, TimeBinner
+from repro.metrics.collector import (
+    CollectorTotals,
+    ResponseTimeCollector,
+    ServerLoadSampler,
+)
+from repro.metrics.ewma import (
+    EWMAFilter,
+    alpha_from_interval,
+    smooth_series,
+    smooth_timeseries,
+)
+from repro.metrics.fairness import jain_fairness_index, min_max_ratio
+from repro.metrics.reporting import format_comparison, format_series, format_table
+from repro.metrics.stats import (
+    SummaryStatistics,
+    cdf_at,
+    deciles,
+    empirical_cdf,
+    improvement_factor,
+    mean_or_nan,
+    median_or_nan,
+    percentile,
+    quartiles,
+    summarize,
+)
+
+__all__ = [
+    "ResponseTimeCollector",
+    "ServerLoadSampler",
+    "CollectorTotals",
+    "TimeBinner",
+    "TimeBin",
+    "EWMAFilter",
+    "alpha_from_interval",
+    "smooth_series",
+    "smooth_timeseries",
+    "jain_fairness_index",
+    "min_max_ratio",
+    "SummaryStatistics",
+    "summarize",
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "deciles",
+    "quartiles",
+    "mean_or_nan",
+    "median_or_nan",
+    "improvement_factor",
+    "format_table",
+    "format_series",
+    "format_comparison",
+]

@@ -1,0 +1,181 @@
+"""Response-time collection.
+
+The traffic generator hands every finished query to a
+:class:`ResponseTimeCollector`; the experiment harness then asks the
+collector for exactly the series the paper's figures plot: response-time
+arrays (optionally filtered by request kind), success/failure counts,
+per-bin series for the Wikipedia replay, and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.metrics.binning import TimeBinner
+from repro.metrics.stats import SummaryStatistics, empirical_cdf, summarize
+from repro.workload.client import RequestOutcome
+
+
+@dataclass
+class CollectorTotals:
+    """Success/failure counts of a run."""
+
+    completed: int
+    failed: int
+
+    @property
+    def total(self) -> int:
+        """All finished queries, successful or not."""
+        return self.completed + self.failed
+
+    @property
+    def failure_ratio(self) -> float:
+        """Fraction of queries that failed (reset)."""
+        if self.total == 0:
+            return 0.0
+        return self.failed / self.total
+
+
+class ResponseTimeCollector:
+    """Accumulates per-query outcomes for one experiment run."""
+
+    def __init__(self, name: str = "run") -> None:
+        self.name = name
+        self._outcomes: List[RequestOutcome] = []
+        self._failed: List[RequestOutcome] = []
+
+    # ------------------------------------------------------------------
+    # recording (OutcomeSink protocol)
+    # ------------------------------------------------------------------
+    def record(self, outcome: RequestOutcome) -> None:
+        """Store one finished query (called by the traffic generator)."""
+        if outcome.succeeded:
+            self._outcomes.append(outcome)
+        else:
+            self._failed.append(outcome)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    @property
+    def totals(self) -> CollectorTotals:
+        """Success/failure counts."""
+        return CollectorTotals(completed=len(self._outcomes), failed=len(self._failed))
+
+    def outcomes(self, kind: Optional[str] = None) -> List[RequestOutcome]:
+        """Successful outcomes, optionally filtered by request kind."""
+        if kind is None:
+            return list(self._outcomes)
+        return [outcome for outcome in self._outcomes if outcome.kind == kind]
+
+    def failures(self, kind: Optional[str] = None) -> List[RequestOutcome]:
+        """Failed outcomes, optionally filtered by request kind."""
+        if kind is None:
+            return list(self._failed)
+        return [outcome for outcome in self._failed if outcome.kind == kind]
+
+    def response_times(self, kind: Optional[str] = None) -> List[float]:
+        """Response times (seconds) of successful queries."""
+        return [
+            outcome.response_time
+            for outcome in self.outcomes(kind)
+            if outcome.response_time is not None
+        ]
+
+    def summary(self, kind: Optional[str] = None) -> SummaryStatistics:
+        """Summary statistics of the response times."""
+        times = self.response_times(kind)
+        if not times:
+            raise ReproError(
+                f"collector {self.name!r} has no successful outcomes"
+                + (f" of kind {kind!r}" if kind else "")
+            )
+        return summarize(times)
+
+    def cdf(self, kind: Optional[str] = None):
+        """Empirical response-time CDF (Figures 3, 5 and 8)."""
+        return empirical_cdf(self.response_times(kind))
+
+    def binned(
+        self,
+        bin_width: float = 600.0,
+        kind: Optional[str] = None,
+        through: Optional[float] = None,
+    ) -> TimeBinner:
+        """Response times binned by *arrival* time (Figures 6 and 7)."""
+        binner = TimeBinner(bin_width=bin_width)
+        for outcome in self.outcomes(kind):
+            if outcome.response_time is not None:
+                binner.add(outcome.sent_at, outcome.response_time)
+        return binner
+
+    def mean_response_time(self, kind: Optional[str] = None) -> float:
+        """Mean response time of successful queries (Figure 2's y-axis)."""
+        return self.summary(kind).mean
+
+    def __len__(self) -> int:
+        return len(self._outcomes) + len(self._failed)
+
+    def __repr__(self) -> str:
+        totals = self.totals
+        return (
+            f"ResponseTimeCollector(name={self.name!r}, "
+            f"completed={totals.completed}, failed={totals.failed})"
+        )
+
+
+class ServerLoadSampler:
+    """Periodic sampler of per-server busy-thread counts (Figure 4).
+
+    The sampler polls a set of scoreboard-like objects at a fixed period
+    and stores ``(time, [busy counts])`` rows; the experiment harness
+    turns them into the mean-load and fairness-index series.
+    """
+
+    def __init__(self, interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ReproError(f"sampling interval must be positive, got {interval!r}")
+        self.interval = interval
+        self._times: List[float] = []
+        self._samples: List[List[int]] = []
+
+    def sample(self, time: float, busy_counts: Sequence[int]) -> None:
+        """Record one snapshot of per-server busy counts."""
+        if self._samples and len(busy_counts) != len(self._samples[0]):
+            raise ReproError(
+                "inconsistent number of servers across load samples "
+                f"({len(busy_counts)} != {len(self._samples[0])})"
+            )
+        self._times.append(time)
+        self._samples.append([int(count) for count in busy_counts])
+
+    @property
+    def times(self) -> List[float]:
+        """Sample timestamps."""
+        return list(self._times)
+
+    @property
+    def samples(self) -> List[List[int]]:
+        """Per-sample busy-count vectors."""
+        return [list(row) for row in self._samples]
+
+    def mean_load_series(self) -> List[Tuple[float, float]]:
+        """``(time, mean busy threads across servers)`` series."""
+        return [
+            (time, sum(row) / len(row) if row else 0.0)
+            for time, row in zip(self._times, self._samples)
+        ]
+
+    def fairness_series(self) -> List[Tuple[float, float]]:
+        """``(time, Jain fairness index of per-server loads)`` series."""
+        from repro.metrics.fairness import jain_fairness_index
+
+        return [
+            (time, jain_fairness_index(row))
+            for time, row in zip(self._times, self._samples)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samples)

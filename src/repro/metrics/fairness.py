@@ -1,0 +1,59 @@
+"""Jain's fairness index.
+
+Figure 4 of the paper plots, next to the mean instantaneous server load,
+the *fairness index* of the per-server loads:
+
+.. math::
+
+    F(x_1, ..., x_n) = \\frac{(\\sum_i x_i)^2}{n \\sum_i x_i^2}
+
+which is 1 when every server carries the same load and tends to ``1/n``
+when a single server carries everything.  The index is what shows that
+SR4 "better spreads queries between all servers" than RR.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of ``values``.
+
+    By convention the index of an all-zero sample is 1.0 (an idle
+    cluster is perfectly fair); negative loads are rejected.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot compute the fairness index of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array < 0):
+        raise ReproError("fairness index requires non-negative values")
+    total = float(np.sum(array))
+    squared_sum = float(np.sum(array ** 2))
+    if total == 0.0 or squared_sum == 0.0:
+        # An idle cluster is perfectly fair; the squared sum can also
+        # underflow to zero for loads near the float minimum, in which
+        # case every server is equally (negligibly) loaded.
+        return 1.0
+    return total ** 2 / (len(array) * squared_sum)
+
+
+def min_max_ratio(values: Sequence[float]) -> float:
+    """Ratio of the least to the most loaded server (1.0 = perfectly even).
+
+    A secondary imbalance indicator used in tests and ablations; unlike
+    Jain's index it is extremely sensitive to a single idle server.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot compute the min/max ratio of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array < 0):
+        raise ReproError("min/max ratio requires non-negative values")
+    maximum = float(np.max(array))
+    if maximum == 0.0:
+        return 1.0
+    return float(np.min(array)) / maximum

@@ -1,0 +1,81 @@
+"""IPv6 + Segment Routing network substrate.
+
+This package models the data-center network the paper's testbed runs on:
+IPv6 addressing (VIPs, server addresses, SIDs), the Segment Routing
+extension header with ``SegmentsLeft`` semantics, a simplified TCP
+handshake with listen-backlog overflow, point-to-point links and the
+shared LAN fabric connecting the load balancer to the application
+servers.
+"""
+
+from repro.net.addressing import (
+    AddressAllocator,
+    CLIENT_PREFIX,
+    IPv6Address,
+    IPv6Prefix,
+    LB_PREFIX,
+    SERVER_PREFIX,
+    VIP_PREFIX,
+    default_allocators,
+    describe,
+    is_virtual_ip,
+)
+from repro.net.fabric import FabricStats, LANFabric
+from repro.net.link import Link, LinkStats
+from repro.net.packet import (
+    DEFAULT_HOP_LIMIT,
+    FlowKey,
+    Packet,
+    TCPFlag,
+    TCPSegment,
+    make_syn,
+    reply_ports,
+)
+from repro.net.router import (
+    LocalSIDTable,
+    NetworkNode,
+    Route,
+    RoutingTable,
+)
+from repro.net.srh import SegmentRoutingHeader
+from repro.net.tcp import (
+    ConnectionState,
+    EphemeralPortAllocator,
+    HTTP_PORT,
+    TCPConnection,
+    classify_segment,
+)
+
+__all__ = [
+    "IPv6Address",
+    "IPv6Prefix",
+    "AddressAllocator",
+    "default_allocators",
+    "describe",
+    "is_virtual_ip",
+    "SERVER_PREFIX",
+    "CLIENT_PREFIX",
+    "VIP_PREFIX",
+    "LB_PREFIX",
+    "SegmentRoutingHeader",
+    "Packet",
+    "TCPSegment",
+    "TCPFlag",
+    "FlowKey",
+    "make_syn",
+    "reply_ports",
+    "DEFAULT_HOP_LIMIT",
+    "Link",
+    "LinkStats",
+    "LANFabric",
+    "FabricStats",
+    "NetworkNode",
+    "RoutingTable",
+    "Route",
+    "LocalSIDTable",
+    "TCPConnection",
+    "ConnectionState",
+    "EphemeralPortAllocator",
+    "classify_segment",
+    "HTTP_PORT",
+]

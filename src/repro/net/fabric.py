@@ -1,0 +1,173 @@
+"""Shared-LAN fabric connecting every node of the testbed.
+
+The paper's experimental platform bridges the load balancer and the
+twelve application servers "on the same link, with routing tables
+statically configured".  The :class:`LANFabric` models exactly that: a
+switched Layer-2/3 segment where every node's addresses are directly
+reachable, VIP prefixes are advertised by the load balancer, and packet
+delivery costs a small fixed latency.
+
+The fabric is the single place packets transit through, which makes it
+a convenient observation point: per-destination counters, drops for
+unroutable packets and optional packet taps (used by tests and by the
+debugging examples) all live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import RoutingError
+from repro.net.addressing import IPv6Address, IPv6Prefix
+from repro.net.packet import Packet
+from repro.net.router import RoutingTable
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.router import NetworkNode
+
+#: A packet tap receives (packet, origin_node_name, destination_node_name).
+PacketTap = Callable[[Packet, str, str], None]
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric counters."""
+
+    packets_delivered: int = 0
+    packets_dropped_no_route: int = 0
+    packets_dropped_hop_limit: int = 0
+    bytes_delivered: int = 0
+    deliveries_per_node: Dict[str, int] = field(default_factory=dict)
+
+
+class LANFabric:
+    """Single-segment data-center fabric with static routing.
+
+    Parameters
+    ----------
+    simulator:
+        Engine used to schedule packet deliveries.
+    latency:
+        One-way delivery latency between any two nodes, in seconds.  The
+        default (50 µs) approximates one switch hop in a data center.
+    strict:
+        When ``True`` an unroutable packet raises
+        :class:`~repro.errors.RoutingError`; when ``False`` it is counted
+        and silently dropped (closer to real network behaviour, and the
+        default for experiments).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = 50e-6,
+        strict: bool = False,
+    ) -> None:
+        if latency < 0:
+            raise RoutingError(f"fabric latency must be non-negative, got {latency!r}")
+        self.simulator = simulator
+        self.latency = latency
+        self.strict = strict
+        self._nodes: Dict[str, "NetworkNode"] = {}
+        self._address_map: Dict[IPv6Address, "NetworkNode"] = {}
+        self._prefix_routes: RoutingTable["NetworkNode"] = RoutingTable()
+        self._taps: List[PacketTap] = []
+        self.stats = FabricStats()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_node(self, node: "NetworkNode") -> None:
+        """Register a node (called from :meth:`NetworkNode.attach`)."""
+        existing = self._nodes.get(node.name)
+        if existing is not None and existing is not node:
+            raise RoutingError(f"a different node named {node.name!r} already exists")
+        self._nodes[node.name] = node
+
+    def bind_address(self, address: IPv6Address, node: "NetworkNode") -> None:
+        """Bind an exact address to a node (wins over prefix routes)."""
+        owner = self._address_map.get(address)
+        if owner is not None and owner is not node:
+            raise RoutingError(
+                f"address {address} already bound to node {owner.name!r}"
+            )
+        self._address_map[address] = node
+
+    def advertise_prefix(self, prefix: IPv6Prefix, node: "NetworkNode") -> None:
+        """Route a whole prefix (e.g. the VIP range) to a node.
+
+        This models the load balancer advertising VIP routes at the edge
+        of the data center.
+        """
+        self._prefix_routes.add_route(prefix, node)
+
+    def withdraw_prefix(self, prefix: IPv6Prefix) -> bool:
+        """Withdraw a previously advertised prefix."""
+        return self._prefix_routes.remove_route(prefix)
+
+    def add_tap(self, tap: PacketTap) -> None:
+        """Register an observer called for every delivered packet."""
+        self._taps.append(tap)
+
+    def node(self, name: str) -> "NetworkNode":
+        """Look up a registered node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise RoutingError(f"unknown node {name!r}") from exc
+
+    def nodes(self) -> Dict[str, "NetworkNode"]:
+        """All registered nodes, keyed by name (copy)."""
+        return dict(self._nodes)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def resolve(self, address: IPv6Address) -> Optional["NetworkNode"]:
+        """The node that should receive packets addressed to ``address``."""
+        node = self._address_map.get(address)
+        if node is not None:
+            return node
+        return self._prefix_routes.lookup_or_none(address)
+
+    def send(self, packet: Packet, origin: Optional["NetworkNode"] = None) -> bool:
+        """Deliver ``packet`` to the owner of its destination address.
+
+        Returns ``True`` if the packet was scheduled for delivery,
+        ``False`` if it was dropped (no route or hop limit exhausted) and
+        the fabric is not strict.
+        """
+        destination = self.resolve(packet.dst)
+        origin_name = origin.name if origin is not None else "<external>"
+        if destination is None:
+            self.stats.packets_dropped_no_route += 1
+            if self.strict:
+                raise RoutingError(
+                    f"no route to {packet.dst} for {packet.describe()}"
+                )
+            return False
+
+        try:
+            packet.decrement_hop_limit()
+        except Exception:
+            self.stats.packets_dropped_hop_limit += 1
+            if self.strict:
+                raise
+            return False
+
+        for tap in self._taps:
+            tap(packet, origin_name, destination.name)
+
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size_bytes()
+        per_node = self.stats.deliveries_per_node
+        per_node[destination.name] = per_node.get(destination.name, 0) + 1
+
+        self.simulator.schedule_in(
+            self.latency,
+            lambda: destination.receive(packet),
+            label=f"deliver->{destination.name}",
+        )
+        return True

@@ -1,0 +1,131 @@
+"""Point-to-point link model.
+
+The experimental platform of the paper bridged all VPP instances on a
+single link, so the default testbed uses the shared
+:class:`~repro.net.fabric.LANFabric`.  Point-to-point links are still
+provided as a substrate: they are useful for building multi-hop
+topologies in examples, and for the ablation that adds network latency
+between racks.
+
+A link adds a fixed propagation latency plus a serialization delay
+derived from the configured bandwidth, and models a finite FIFO output
+queue (tail-drop) per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class PacketSink(Protocol):
+    """Anything that can receive a packet from the network."""
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an incoming packet."""
+
+
+@dataclass
+class LinkStats:
+    """Per-direction link counters."""
+
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    bytes_sent: int = 0
+
+
+class Link:
+    """Bidirectional point-to-point link between two packet sinks.
+
+    Parameters
+    ----------
+    simulator:
+        The simulation engine used to schedule deliveries.
+    endpoint_a, endpoint_b:
+        The two attached nodes.
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth_bps:
+        Link speed in bits per second; ``None`` means infinitely fast
+        (no serialization delay and no queueing).
+    queue_capacity:
+        Maximum number of packets that may be in flight per direction
+        before tail-drop kicks in.  Only enforced when a bandwidth is
+        configured.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        endpoint_a: PacketSink,
+        endpoint_b: PacketSink,
+        latency: float = 50e-6,
+        bandwidth_bps: Optional[float] = None,
+        queue_capacity: int = 1024,
+    ) -> None:
+        if latency < 0:
+            raise NetworkError(f"link latency must be non-negative, got {latency!r}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError(f"link bandwidth must be positive, got {bandwidth_bps!r}")
+        if queue_capacity <= 0:
+            raise NetworkError(f"queue capacity must be positive, got {queue_capacity!r}")
+        self._simulator = simulator
+        self._endpoints = (endpoint_a, endpoint_b)
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.queue_capacity = queue_capacity
+        # Per-direction state, keyed by the *receiving* endpoint index.
+        self._busy_until: Dict[int, float] = {0: 0.0, 1: 0.0}
+        self._in_flight: Dict[int, int] = {0: 0, 1: 0}
+        self.stats: Dict[int, LinkStats] = {0: LinkStats(), 1: LinkStats()}
+
+    def other_end(self, endpoint: PacketSink) -> PacketSink:
+        """The endpoint opposite to ``endpoint``."""
+        if endpoint is self._endpoints[0]:
+            return self._endpoints[1]
+        if endpoint is self._endpoints[1]:
+            return self._endpoints[0]
+        raise NetworkError("node is not attached to this link")
+
+    def transmit(self, sender: PacketSink, packet: Packet) -> bool:
+        """Send ``packet`` from ``sender`` to the opposite endpoint.
+
+        Returns ``True`` if the packet was accepted, ``False`` if it was
+        tail-dropped because the output queue is full.
+        """
+        if sender is self._endpoints[0]:
+            direction = 1
+        elif sender is self._endpoints[1]:
+            direction = 0
+        else:
+            raise NetworkError("sender is not attached to this link")
+        receiver = self._endpoints[direction]
+        stats = self.stats[direction]
+
+        if self.bandwidth_bps is None:
+            delivery_delay = self.latency
+        else:
+            if self._in_flight[direction] >= self.queue_capacity:
+                stats.packets_dropped += 1
+                return False
+            serialization = packet.size_bytes() * 8 / self.bandwidth_bps
+            start = max(self._simulator.now, self._busy_until[direction])
+            finish = start + serialization
+            self._busy_until[direction] = finish
+            delivery_delay = (finish - self._simulator.now) + self.latency
+            self._in_flight[direction] += 1
+
+        stats.packets_sent += 1
+        stats.bytes_sent += packet.size_bytes()
+
+        def deliver() -> None:
+            if self.bandwidth_bps is not None:
+                self._in_flight[direction] -= 1
+            receiver.receive(packet)
+
+        self._simulator.schedule_in(delivery_delay, deliver, label="link-delivery")
+        return True

@@ -1,0 +1,240 @@
+"""Packet and TCP-segment models.
+
+The reproduction simulates traffic at packet grain: each HTTP query is a
+short TCP conversation (SYN, SYN-ACK, request, response, reset on
+overload), and the Service Hunting logic manipulates the Segment Routing
+header carried by individual packets.  The classes here are deliberately
+small value objects; behaviour lives in the nodes that send and receive
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.addressing import IPv6Address
+from repro.net.srh import SegmentRoutingHeader
+
+#: Fixed IPv6 header size in bytes.
+IPV6_HEADER_SIZE = 40
+#: Simplified TCP header size in bytes (no options).
+TCP_HEADER_SIZE = 20
+#: Default hop limit for newly created packets.
+DEFAULT_HOP_LIMIT = 64
+
+_packet_ids = itertools.count(1)
+
+
+class TCPFlag(enum.Flag):
+    """TCP control flags used by the simplified TCP model."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    FIN = enum.auto()
+    RST = enum.auto()
+    PSH = enum.auto()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self is TCPFlag.NONE:
+            return "-"
+        return "|".join(flag.name for flag in TCPFlag if flag and flag in self)
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The 4-tuple identifying a TCP flow towards a VIP.
+
+    The protocol is implicitly TCP, so only source/destination address
+    and port are carried.  The load balancer's flow table and the
+    consistent-hashing selection scheme are keyed by this value.
+    """
+
+    src_address: IPv6Address
+    src_port: int
+    dst_address: IPv6Address
+    dst_port: int
+
+    def reversed(self) -> "FlowKey":
+        """The key of the reverse direction of the flow."""
+        return FlowKey(
+            src_address=self.dst_address,
+            src_port=self.dst_port,
+            dst_address=self.src_address,
+            dst_port=self.src_port,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_address}:{self.src_port} -> "
+            f"{self.dst_address}:{self.dst_port}"
+        )
+
+
+@dataclass
+class TCPSegment:
+    """A (simplified) TCP segment.
+
+    ``request_id`` threads the workload's request identity through the
+    network so the metrics collector can match responses to requests
+    without deep-packet inspection; real systems achieve the same with
+    the flow 5-tuple, which is also available via :class:`FlowKey`.
+    """
+
+    src_port: int
+    dst_port: int
+    flags: TCPFlag = TCPFlag.NONE
+    payload_size: int = 0
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 < port <= 0xFFFF:
+                raise NetworkError(f"invalid TCP port {port!r}")
+        if self.payload_size < 0:
+            raise NetworkError(f"negative TCP payload size {self.payload_size!r}")
+
+    def has(self, flag: TCPFlag) -> bool:
+        """Whether the given flag is set."""
+        return bool(self.flags & flag)
+
+    def size_bytes(self) -> int:
+        """Wire size of the segment."""
+        return TCP_HEADER_SIZE + self.payload_size
+
+
+@dataclass
+class Packet:
+    """An IPv6 packet, optionally carrying a Segment Routing header.
+
+    The IPv6 destination address always equals the SRH's active segment
+    while an SRH is present — maintaining that invariant is the
+    responsibility of whoever inserts or advances the SRH (see
+    :meth:`attach_srh` and :meth:`advance_srh`).
+    """
+
+    src: IPv6Address
+    dst: IPv6Address
+    tcp: TCPSegment
+    srh: Optional[SegmentRoutingHeader] = None
+    hop_limit: int = DEFAULT_HOP_LIMIT
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hop_limit <= 0:
+            raise NetworkError(f"invalid hop limit {self.hop_limit!r}")
+        if self.srh is not None and self.srh.active_segment != self.dst:
+            raise NetworkError(
+                "packet destination must equal the SRH active segment "
+                f"(dst={self.dst}, active={self.srh.active_segment})"
+            )
+
+    # ------------------------------------------------------------------
+    # flow identity
+    # ------------------------------------------------------------------
+    def flow_key(self) -> FlowKey:
+        """Forward-direction flow key of this packet."""
+        return FlowKey(
+            src_address=self.src,
+            src_port=self.tcp.src_port,
+            dst_address=self.final_destination,
+            dst_port=self.tcp.dst_port,
+        )
+
+    @property
+    def final_destination(self) -> IPv6Address:
+        """Where the packet is ultimately headed (last SRH segment if any)."""
+        if self.srh is not None:
+            return self.srh.final_segment
+        return self.dst
+
+    # ------------------------------------------------------------------
+    # segment routing helpers
+    # ------------------------------------------------------------------
+    def attach_srh(self, srh: SegmentRoutingHeader) -> None:
+        """Attach an SRH and point the destination at its active segment."""
+        self.srh = srh
+        self.dst = srh.active_segment
+
+    def detach_srh(self) -> None:
+        """Remove the SRH, keeping the current destination address."""
+        self.srh = None
+
+    def advance_srh(self) -> IPv6Address:
+        """Advance the SRH by one segment and update the destination."""
+        if self.srh is None:
+            raise NetworkError("packet has no SRH to advance")
+        self.dst = self.srh.advance()
+        return self.dst
+
+    def set_segments_left(self, value: int) -> IPv6Address:
+        """Set SegmentsLeft (Service Hunting semantics) and update dst."""
+        if self.srh is None:
+            raise NetworkError("packet has no SRH")
+        self.dst = self.srh.set_segments_left(value)
+        return self.dst
+
+    # ------------------------------------------------------------------
+    # forwarding helpers
+    # ------------------------------------------------------------------
+    def decrement_hop_limit(self) -> None:
+        """Consume one hop; raises when the hop limit is exhausted."""
+        if self.hop_limit <= 1:
+            raise NetworkError(f"hop limit exhausted for packet {self.packet_id}")
+        self.hop_limit -= 1
+
+    def size_bytes(self) -> int:
+        """Total wire size (IPv6 + optional SRH + TCP segment)."""
+        size = IPV6_HEADER_SIZE + self.tcp.size_bytes()
+        if self.srh is not None:
+            size += self.srh.size_bytes()
+        return size
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy for retransmission (new packet id)."""
+        return replace(
+            self,
+            srh=self.srh.copy() if self.srh is not None else None,
+            packet_id=next(_packet_ids),
+        )
+
+    def describe(self) -> str:
+        """Readable one-line description, used by logging and tests."""
+        srh_text = f" {self.srh}" if self.srh is not None else ""
+        return (
+            f"pkt#{self.packet_id} [{self.tcp.flags}] "
+            f"{self.src}:{self.tcp.src_port} -> {self.dst}:{self.tcp.dst_port}"
+            f"{srh_text}"
+        )
+
+
+def make_syn(
+    src: IPv6Address,
+    dst: IPv6Address,
+    src_port: int,
+    dst_port: int,
+    request_id: Optional[int] = None,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a connection-request (SYN) packet."""
+    return Packet(
+        src=src,
+        dst=dst,
+        tcp=TCPSegment(
+            src_port=src_port,
+            dst_port=dst_port,
+            flags=TCPFlag.SYN,
+            request_id=request_id,
+        ),
+        created_at=created_at,
+    )
+
+
+def reply_ports(packet: Packet) -> Tuple[int, int]:
+    """Source/destination ports for a reply to ``packet``."""
+    return packet.tcp.dst_port, packet.tcp.src_port

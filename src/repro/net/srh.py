@@ -1,0 +1,160 @@
+"""IPv6 Segment Routing extension header (SRH).
+
+The SRH carries an ordered list of *segments* — IPv6 addresses naming
+intermediaries and the instruction they should apply to the packet — plus
+a ``SegmentsLeft`` counter indicating how many segments remain to be
+processed (RFC 8754 semantics).
+
+Following the RFC, the segment list is stored in **reverse traversal
+order**: ``segments[0]`` is the final segment and
+``segments[len-1]`` is the first one visited.  The *active* segment is
+``segments[SegmentsLeft]`` and is also copied into the packet's IPv6
+destination address by whoever advances the header.  Because that
+convention is easy to get backwards, constructors and accessors that
+speak "traversal order" are provided and used throughout the library.
+
+Service Hunting (paper §II) uses the SRH in two places:
+
+* the load balancer inserts ``[candidate₁, candidate₂, VIP]`` (traversal
+  order) into the first packet of a new flow, and
+* the accepting server inserts ``[load-balancer, client]`` into the
+  connection-acceptance packet (SYN-ACK), with its own address recorded
+  so the load balancer can steer the rest of the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import SegmentRoutingError
+from repro.net.addressing import IPv6Address
+
+#: Size in bytes of the fixed part of the SRH (RFC 8754 §2).
+SRH_FIXED_SIZE = 8
+#: Size in bytes of each segment entry (an IPv6 address).
+SRH_SEGMENT_SIZE = 16
+
+
+@dataclass
+class SegmentRoutingHeader:
+    """IPv6 Segment Routing extension header.
+
+    Attributes
+    ----------
+    segments:
+        Segment list in RFC (reverse traversal) order.
+    segments_left:
+        Index of the active segment; ``0`` means the last segment is
+        active and the source route is exhausted once it is consumed.
+    """
+
+    segments: List[IPv6Address] = field(default_factory=list)
+    segments_left: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise SegmentRoutingError("an SRH must contain at least one segment")
+        if not 0 <= self.segments_left < len(self.segments):
+            raise SegmentRoutingError(
+                f"SegmentsLeft={self.segments_left} out of range for "
+                f"{len(self.segments)} segments"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_traversal(cls, path: Sequence[IPv6Address]) -> "SegmentRoutingHeader":
+        """Build an SRH from segments given in the order they are visited.
+
+        The first element of ``path`` becomes the active segment.
+        """
+        if not path:
+            raise SegmentRoutingError("cannot build an SRH from an empty path")
+        segments = list(reversed(list(path)))
+        return cls(segments=segments, segments_left=len(segments) - 1)
+
+    def copy(self) -> "SegmentRoutingHeader":
+        """Independent copy (packets are duplicated when retransmitted)."""
+        return SegmentRoutingHeader(
+            segments=list(self.segments), segments_left=self.segments_left
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def active_segment(self) -> IPv6Address:
+        """The segment currently being processed (the IPv6 destination)."""
+        return self.segments[self.segments_left]
+
+    @property
+    def final_segment(self) -> IPv6Address:
+        """The last segment of the source route (``segments[0]``)."""
+        return self.segments[0]
+
+    @property
+    def num_segments(self) -> int:
+        """Total number of segments carried by the header."""
+        return len(self.segments)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the final segment is active (``SegmentsLeft == 0``)."""
+        return self.segments_left == 0
+
+    def traversal_order(self) -> Tuple[IPv6Address, ...]:
+        """The full segment list, in the order segments are visited."""
+        return tuple(reversed(self.segments))
+
+    def remaining_traversal(self) -> Tuple[IPv6Address, ...]:
+        """Segments still to be visited (active segment first)."""
+        return tuple(
+            self.segments[index]
+            for index in range(self.segments_left, -1, -1)
+        )
+
+    def next_segment(self) -> IPv6Address:
+        """The segment after the active one.
+
+        Service Hunting uses this to forward a refused connection to the
+        "second server in the SR list" (paper, Algorithm 1).
+        """
+        if self.exhausted:
+            raise SegmentRoutingError("no next segment: SegmentsLeft is already 0")
+        return self.segments[self.segments_left - 1]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def advance(self) -> IPv6Address:
+        """Consume the active segment and return the new active segment."""
+        if self.exhausted:
+            raise SegmentRoutingError("cannot advance an exhausted SRH")
+        self.segments_left -= 1
+        return self.active_segment
+
+    def set_segments_left(self, value: int) -> IPv6Address:
+        """Set ``SegmentsLeft`` directly (as Algorithms 1 and 2 do).
+
+        Returns the new active segment.  Values may only decrease:
+        segments are never re-activated.
+        """
+        if not 0 <= value <= self.segments_left:
+            raise SegmentRoutingError(
+                f"invalid SegmentsLeft transition {self.segments_left} -> {value}"
+            )
+        self.segments_left = value
+        return self.active_segment
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Wire size of the header, used for overhead accounting."""
+        return SRH_FIXED_SIZE + SRH_SEGMENT_SIZE * len(self.segments)
+
+    def __str__(self) -> str:
+        path = " -> ".join(str(segment) for segment in self.traversal_order())
+        return f"SRH[{path}; left={self.segments_left}]"

@@ -1,0 +1,37 @@
+"""Application-server substrate (Apache + VPP model).
+
+This package models one application server of the paper's testbed: a
+2-core VM whose CPU is time-shared among Apache ``mpm_prefork`` worker
+processes, with a bounded TCP listen backlog (RST on overflow), a
+scoreboard exposing worker states through shared memory, and a virtual
+router hosting the Service Hunting SR behaviour in front of the
+application instance.
+"""
+
+from repro.server.backlog import ListenBacklog
+from repro.server.cpu import CPUModel, FIFOCPU, ProcessorSharingCPU, make_cpu
+from repro.server.http_server import (
+    HTTPServerInstance,
+    ServerAppStats,
+    ServerConnection,
+    ServerTransport,
+)
+from repro.server.scoreboard import Scoreboard, WorkerState
+from repro.server.virtual_router import ServerNode
+from repro.server.worker_pool import WorkerPool
+
+__all__ = [
+    "ListenBacklog",
+    "CPUModel",
+    "ProcessorSharingCPU",
+    "FIFOCPU",
+    "make_cpu",
+    "Scoreboard",
+    "WorkerState",
+    "WorkerPool",
+    "HTTPServerInstance",
+    "ServerConnection",
+    "ServerAppStats",
+    "ServerTransport",
+    "ServerNode",
+]

@@ -1,0 +1,269 @@
+"""CPU models for the application servers.
+
+The paper's application servers are 2-core VMs running a CPU-bound PHP
+workload under Apache's ``mpm_prefork``: each request occupies a worker
+process and needs a given amount of CPU time, and the operating system
+time-slices the runnable workers across the two cores.  The dominant
+effect on response times is therefore *processor sharing*: when ``k``
+workers are runnable on ``m`` cores, each progresses at rate
+``min(1, m/k)``.
+
+Two CPU models are provided:
+
+* :class:`ProcessorSharingCPU` — the default, faithful to the testbed
+  (time-sliced cores).
+* :class:`FIFOCPU` — an ablation model where each core runs one job to
+  completion (run-to-completion scheduling).
+
+Both expose the same interface: ``add_job(job_id, demand, on_complete)``
+plus cancellation, and both keep a busy-core-time integral so
+experiments can report CPU utilization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import ServerError
+from repro.sim.engine import EventHandle, Simulator
+
+#: Completion callback: receives the job id.
+JobCompletionCallback = Callable[[int], None]
+
+#: Numerical tolerance when deciding that a job's remaining demand is zero.
+_REMAINING_EPSILON = 1e-12
+
+
+@dataclass
+class _Job:
+    """Internal per-job state."""
+
+    demand: float
+    remaining: float
+    on_complete: JobCompletionCallback
+    submitted_at: float
+
+
+class CPUModel:
+    """Common bookkeeping shared by the CPU scheduling models."""
+
+    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
+        if num_cores <= 0:
+            raise ServerError(f"number of cores must be positive, got {num_cores!r}")
+        self.simulator = simulator
+        self.num_cores = num_cores
+        self.name = name
+        self.jobs_completed = 0
+        self.busy_core_seconds = 0.0
+        self._last_accounting = simulator.now
+
+    # -- utilization accounting ----------------------------------------
+    def _account_busy_time(self, active_jobs: int) -> None:
+        now = self.simulator.now
+        elapsed = now - self._last_accounting
+        if elapsed > 0:
+            self.busy_core_seconds += elapsed * min(self.num_cores, active_jobs)
+        self._last_accounting = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of core capacity used since ``since``."""
+        horizon = self.simulator.now - since
+        if horizon <= 0:
+            return 0.0
+        return self.busy_core_seconds / (horizon * self.num_cores)
+
+    # -- interface ------------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently holding CPU demand (queued or running)."""
+        raise NotImplementedError
+
+    def add_job(
+        self, job_id: int, demand: float, on_complete: JobCompletionCallback
+    ) -> None:
+        """Submit a job requiring ``demand`` seconds of CPU time."""
+        raise NotImplementedError
+
+    def cancel_job(self, job_id: int) -> bool:
+        """Remove a job before completion; returns whether it existed."""
+        raise NotImplementedError
+
+
+class ProcessorSharingCPU(CPUModel):
+    """Egalitarian processor sharing over ``num_cores`` cores.
+
+    All active jobs progress simultaneously at rate
+    ``min(1, num_cores / active_jobs)``.  The implementation advances the
+    remaining demand of every job lazily whenever the job set changes and
+    keeps a single scheduled event for the earliest completion.
+    """
+
+    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
+        super().__init__(simulator, num_cores, name)
+        self._jobs: Dict[int, _Job] = {}
+        self._last_progress = simulator.now
+        self._completion_event: Optional[EventHandle] = None
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def _per_job_rate(self) -> float:
+        if not self._jobs:
+            return 0.0
+        return min(1.0, self.num_cores / len(self._jobs))
+
+    def _advance_progress(self) -> None:
+        """Charge elapsed CPU progress to every active job."""
+        now = self.simulator.now
+        self._account_busy_time(len(self._jobs))
+        elapsed = now - self._last_progress
+        if elapsed > 0 and self._jobs:
+            progress = elapsed * self._per_job_rate()
+            for job in self._jobs.values():
+                job.remaining -= progress
+        self._last_progress = now
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            return
+        min_remaining = min(job.remaining for job in self._jobs.values())
+        rate = self._per_job_rate()
+        delay = max(0.0, min_remaining) / rate
+        self._completion_event = self.simulator.schedule_in(
+            delay, self._fire_completions, label=f"{self.name}-completion"
+        )
+
+    def _fire_completions(self) -> None:
+        self._completion_event = None
+        self._advance_progress()
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.remaining <= _REMAINING_EPSILON
+        ]
+        completed_jobs = [(job_id, self._jobs.pop(job_id)) for job_id in finished]
+        self._reschedule_completion()
+        for job_id, job in completed_jobs:
+            self.jobs_completed += 1
+            job.on_complete(job_id)
+
+    def add_job(
+        self, job_id: int, demand: float, on_complete: JobCompletionCallback
+    ) -> None:
+        if demand <= 0:
+            raise ServerError(f"job demand must be positive, got {demand!r}")
+        if job_id in self._jobs:
+            raise ServerError(f"job {job_id!r} is already running on {self.name!r}")
+        self._advance_progress()
+        self._jobs[job_id] = _Job(
+            demand=demand,
+            remaining=demand,
+            on_complete=on_complete,
+            submitted_at=self.simulator.now,
+        )
+        self._reschedule_completion()
+
+    def cancel_job(self, job_id: int) -> bool:
+        if job_id not in self._jobs:
+            return False
+        self._advance_progress()
+        del self._jobs[job_id]
+        self._reschedule_completion()
+        return True
+
+
+class FIFOCPU(CPUModel):
+    """Run-to-completion scheduling: each core runs one job at a time.
+
+    Jobs queue in FIFO order behind the cores.  Used as an ablation of
+    the CPU scheduling assumption.
+    """
+
+    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
+        super().__init__(simulator, num_cores, name)
+        self._running: Dict[int, _Job] = {}
+        self._running_events: Dict[int, EventHandle] = {}
+        self._queue: Deque[int] = deque()
+        self._queued_jobs: Dict[int, _Job] = {}
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._running) + len(self._queue)
+
+    def add_job(
+        self, job_id: int, demand: float, on_complete: JobCompletionCallback
+    ) -> None:
+        if demand <= 0:
+            raise ServerError(f"job demand must be positive, got {demand!r}")
+        if job_id in self._running or job_id in self._queued_jobs:
+            raise ServerError(f"job {job_id!r} is already running on {self.name!r}")
+        self._account_busy_time(len(self._running))
+        job = _Job(
+            demand=demand,
+            remaining=demand,
+            on_complete=on_complete,
+            submitted_at=self.simulator.now,
+        )
+        if len(self._running) < self.num_cores:
+            self._start(job_id, job)
+        else:
+            self._queue.append(job_id)
+            self._queued_jobs[job_id] = job
+
+    def _start(self, job_id: int, job: _Job) -> None:
+        self._running[job_id] = job
+        handle = self.simulator.schedule_in(
+            job.remaining,
+            lambda: self._complete(job_id),
+            label=f"{self.name}-completion",
+        )
+        self._running_events[job_id] = handle
+
+    def _complete(self, job_id: int) -> None:
+        self._account_busy_time(len(self._running))
+        job = self._running.pop(job_id)
+        self._running_events.pop(job_id, None)
+        self.jobs_completed += 1
+        self._dequeue_next()
+        job.on_complete(job_id)
+
+    def _dequeue_next(self) -> None:
+        while self._queue and len(self._running) < self.num_cores:
+            next_id = self._queue.popleft()
+            next_job = self._queued_jobs.pop(next_id)
+            self._start(next_id, next_job)
+
+    def cancel_job(self, job_id: int) -> bool:
+        self._account_busy_time(len(self._running))
+        if job_id in self._running:
+            self._running.pop(job_id)
+            handle = self._running_events.pop(job_id, None)
+            if handle is not None:
+                handle.cancel()
+            self._dequeue_next()
+            return True
+        if job_id in self._queued_jobs:
+            self._queued_jobs.pop(job_id)
+            self._queue.remove(job_id)
+            return True
+        return False
+
+
+def make_cpu(
+    simulator: Simulator,
+    num_cores: int,
+    model: str = "processor-sharing",
+    name: str = "cpu",
+) -> CPUModel:
+    """Factory for CPU models, keyed by a configuration string."""
+    if model in ("processor-sharing", "ps"):
+        return ProcessorSharingCPU(simulator, num_cores, name)
+    if model in ("fifo", "run-to-completion"):
+        return FIFOCPU(simulator, num_cores, name)
+    raise ServerError(f"unknown CPU model {model!r}")

@@ -1,0 +1,288 @@
+"""Apache-like HTTP application instance.
+
+This is the application-server substrate of the reproduction: a model of
+one Apache httpd instance running the paper's CPU-bound workloads inside
+a 2-core VM, configured like the testbed (``mpm_prefork`` with 32
+workers, TCP backlog of 128, ``tcp_abort_on_overflow`` enabled).
+
+Responsibilities:
+
+* admit incoming connections through the listen backlog (RST when full),
+* assign accepted connections to worker processes in FIFO order,
+* charge each request's CPU demand to the shared CPU model (processor
+  sharing over the VM's cores),
+* reply once the request has received its full CPU demand,
+* expose the scoreboard so the application agent (and through it the
+  Service Hunting acceptance policy) can read the busy-thread count.
+
+The instance never touches packets: the server's virtual router
+(:class:`repro.server.virtual_router.ServerNode`) translates between
+packets and the calls below through the :class:`ServerTransport`
+protocol, mirroring the separation between Apache and VPP on the
+testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.errors import ServerError
+from repro.net.packet import FlowKey
+from repro.server.backlog import ListenBacklog
+from repro.server.cpu import CPUModel
+from repro.server.scoreboard import Scoreboard
+from repro.server.worker_pool import WorkerPool
+from repro.sim.engine import Simulator
+
+#: Looks up the CPU demand (seconds) of a request by its request id.
+DemandLookup = Callable[[int], float]
+
+_connection_ids = itertools.count(1)
+
+
+class ServerTransport(Protocol):
+    """What the application instance needs from its virtual router."""
+
+    def send_syn_ack(self, connection: "ServerConnection") -> None:
+        """Send the connection-acceptance packet (SYN-ACK) to the client."""
+
+    def send_reset(self, connection: "ServerConnection") -> None:
+        """Send a TCP RST to the client (backlog overflow)."""
+
+    def send_response(self, connection: "ServerConnection", payload_size: int) -> None:
+        """Send the HTTP response to the client."""
+
+
+@dataclass
+class ServerConnection:
+    """Server-side state of one client connection."""
+
+    connection_id: int
+    flow_key: FlowKey
+    request_id: Optional[int]
+    arrived_at: float
+    worker_slot: Optional[int] = None
+    accepted_at: Optional[float] = None
+    request_received: bool = False
+    service_started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    demand: Optional[float] = None
+
+    @property
+    def has_worker(self) -> bool:
+        """Whether a worker process has accepted this connection."""
+        return self.worker_slot is not None
+
+
+@dataclass
+class ServerAppStats:
+    """Aggregate counters for one application instance."""
+
+    connections_received: int = 0
+    connections_reset: int = 0
+    requests_served: int = 0
+    total_service_demand: float = 0.0
+    total_sojourn_time: float = 0.0
+    peak_concurrent_connections: int = 0
+
+
+class HTTPServerInstance:
+    """One simulated Apache httpd instance.
+
+    Parameters
+    ----------
+    simulator:
+        The shared simulation engine.
+    name:
+        Instance name, used in diagnostics.
+    cpu:
+        CPU model the VM's cores (shared by every worker of this instance).
+    num_workers:
+        Size of the ``mpm_prefork`` worker pool (paper: 32).
+    backlog_capacity:
+        TCP listen backlog (paper: 128).
+    demand_lookup:
+        Callable mapping a request id to its CPU demand in seconds; this
+        is how the workload's per-request cost reaches the server.
+    response_payload_size:
+        Size in bytes of the response payload (only used for byte
+        accounting; links are unconstrained by default).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        cpu: CPUModel,
+        num_workers: int = 32,
+        backlog_capacity: int = 128,
+        demand_lookup: Optional[DemandLookup] = None,
+        response_payload_size: int = 8_000,
+        abort_on_overflow: bool = True,
+    ) -> None:
+        if num_workers <= 0:
+            raise ServerError(f"num_workers must be positive, got {num_workers!r}")
+        self.simulator = simulator
+        self.name = name
+        self.cpu = cpu
+        self.scoreboard = Scoreboard(simulator.clock, num_workers)
+        self.workers = WorkerPool(self.scoreboard)
+        self.backlog = ListenBacklog(backlog_capacity, abort_on_overflow)
+        self.demand_lookup = demand_lookup
+        self.response_payload_size = response_payload_size
+        self.transport: Optional[ServerTransport] = None
+        self.stats = ServerAppStats()
+        self._connections: Dict[int, ServerConnection] = {}
+        self._by_flow: Dict[FlowKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_transport(self, transport: ServerTransport) -> None:
+        """Attach the virtual router that sends packets on our behalf."""
+        self.transport = transport
+
+    def _require_transport(self) -> ServerTransport:
+        if self.transport is None:
+            raise ServerError(
+                f"server {self.name!r} has no transport bound; "
+                "attach it to a ServerNode first"
+            )
+        return self.transport
+
+    # ------------------------------------------------------------------
+    # connection lifecycle (called by the virtual router)
+    # ------------------------------------------------------------------
+    def handle_connection_request(
+        self, flow_key: FlowKey, request_id: Optional[int]
+    ) -> ServerConnection:
+        """Process a delivered SYN: admit to the backlog or reset.
+
+        Returns the (possibly reset) connection record so the caller and
+        the tests can observe the outcome.
+        """
+        transport = self._require_transport()
+        self.stats.connections_received += 1
+        connection = ServerConnection(
+            connection_id=next(_connection_ids),
+            flow_key=flow_key,
+            request_id=request_id,
+            arrived_at=self.simulator.now,
+        )
+        if not self.backlog.try_admit(connection.connection_id):
+            self.stats.connections_reset += 1
+            transport.send_reset(connection)
+            return connection
+
+        self._connections[connection.connection_id] = connection
+        self._by_flow[flow_key] = connection.connection_id
+        self.stats.peak_concurrent_connections = max(
+            self.stats.peak_concurrent_connections, len(self._connections)
+        )
+        transport.send_syn_ack(connection)
+        self._accept_ready_connections()
+        return connection
+
+    def handle_request_data(self, flow_key: FlowKey, request_id: Optional[int]) -> bool:
+        """Process the HTTP request payload for an established connection.
+
+        Returns ``False`` when no matching connection exists (e.g. the
+        connection was reset); the packet is then ignored, as a real
+        kernel would answer it with a RST that the client already
+        received.
+        """
+        connection_id = self._by_flow.get(flow_key)
+        if connection_id is None:
+            return False
+        connection = self._connections[connection_id]
+        connection.request_received = True
+        if request_id is not None:
+            connection.request_id = request_id
+        if connection.has_worker:
+            self._start_service(connection)
+        return True
+
+    # ------------------------------------------------------------------
+    # worker scheduling
+    # ------------------------------------------------------------------
+    def _accept_ready_connections(self) -> None:
+        """Have idle workers accept connections from the backlog (FIFO)."""
+        while self.workers.has_idle_worker:
+            connection_id = self.backlog.pop_next()
+            if connection_id is None:
+                break
+            connection = self._connections[connection_id]
+            slot = self.workers.acquire()
+            connection.worker_slot = slot
+            connection.accepted_at = self.simulator.now
+            if connection.request_received:
+                self._start_service(connection)
+
+    def _start_service(self, connection: ServerConnection) -> None:
+        if connection.service_started_at is not None:
+            return
+        connection.service_started_at = self.simulator.now
+        connection.demand = self._demand_for(connection.request_id)
+        self.cpu.add_job(
+            connection.connection_id,
+            connection.demand,
+            self._on_service_complete,
+        )
+
+    def _demand_for(self, request_id: Optional[int]) -> float:
+        if self.demand_lookup is None or request_id is None:
+            raise ServerError(
+                f"server {self.name!r} received a request without a demand source "
+                f"(request_id={request_id!r})"
+            )
+        demand = self.demand_lookup(request_id)
+        if demand <= 0:
+            raise ServerError(
+                f"request {request_id!r} has non-positive CPU demand {demand!r}"
+            )
+        return demand
+
+    def _on_service_complete(self, connection_id: int) -> None:
+        connection = self._connections.pop(connection_id, None)
+        if connection is None:
+            raise ServerError(
+                f"CPU completed unknown connection {connection_id!r} on {self.name!r}"
+            )
+        self._by_flow.pop(connection.flow_key, None)
+        connection.completed_at = self.simulator.now
+        self.stats.requests_served += 1
+        self.stats.total_service_demand += connection.demand or 0.0
+        self.stats.total_sojourn_time += connection.completed_at - connection.arrived_at
+        transport = self._require_transport()
+        transport.send_response(connection, self.response_payload_size)
+        if connection.worker_slot is not None:
+            self.workers.release(connection.worker_slot)
+        self._accept_ready_connections()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy_threads(self) -> int:
+        """Busy worker count (what the acceptance policies look at)."""
+        return self.workers.busy_workers
+
+    @property
+    def open_connections(self) -> int:
+        """Connections currently tracked (in backlog or being served)."""
+        return len(self._connections)
+
+    def connection_for_flow(self, flow_key: FlowKey) -> Optional[ServerConnection]:
+        """The live connection for a flow, if any."""
+        connection_id = self._by_flow.get(flow_key)
+        if connection_id is None:
+            return None
+        return self._connections.get(connection_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"HTTPServerInstance(name={self.name!r}, busy={self.busy_threads}, "
+            f"backlog={self.backlog.depth}, served={self.stats.requests_served})"
+        )

@@ -1,0 +1,138 @@
+"""Apache-style scoreboard.
+
+Apache httpd keeps a *scoreboard* in shared memory: one slot per worker,
+recording whether that worker is idle or busy (plus finer-grained states
+we do not need here).  The paper's server agent reads this shared memory
+directly — "done through shared memory, this incurs no system calls or
+synchronization" — to learn how many worker threads are busy.
+
+In the simulation the scoreboard is a plain in-process object updated by
+the worker pool and read by the application agent.  It also keeps simple
+aggregate statistics (peak busy workers, busy-worker time integral) that
+the metrics pipeline uses for Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import ServerError
+from repro.sim.clock import SimulationClock
+
+
+class WorkerState(enum.Enum):
+    """Per-slot worker state (a reduced version of Apache's states)."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+class Scoreboard:
+    """Shared-memory view of worker-thread states for one server.
+
+    Parameters
+    ----------
+    clock:
+        Simulation clock, used to maintain the busy-time integral.
+    num_slots:
+        Number of worker slots (the server's ``MaxRequestWorkers``).
+    """
+
+    def __init__(self, clock: SimulationClock, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ServerError(f"scoreboard needs at least one slot, got {num_slots!r}")
+        self._clock = clock
+        self._slots: List[WorkerState] = [WorkerState.IDLE] * num_slots
+        self._busy_count = 0
+        self._peak_busy = 0
+        self._busy_time_integral = 0.0
+        self._last_change = clock.now
+
+    # ------------------------------------------------------------------
+    # slot updates (called by the worker pool)
+    # ------------------------------------------------------------------
+    def mark_busy(self, slot: int) -> None:
+        """Mark worker ``slot`` busy."""
+        self._set_state(slot, WorkerState.BUSY)
+
+    def mark_idle(self, slot: int) -> None:
+        """Mark worker ``slot`` idle."""
+        self._set_state(slot, WorkerState.IDLE)
+
+    def _set_state(self, slot: int, state: WorkerState) -> None:
+        if not 0 <= slot < len(self._slots):
+            raise ServerError(
+                f"scoreboard slot {slot!r} out of range (0..{len(self._slots) - 1})"
+            )
+        current = self._slots[slot]
+        if current is state:
+            return
+        self._accumulate()
+        self._slots[slot] = state
+        if state is WorkerState.BUSY:
+            self._busy_count += 1
+            self._peak_busy = max(self._peak_busy, self._busy_count)
+        else:
+            self._busy_count -= 1
+
+    def _accumulate(self) -> None:
+        now = self._clock.now
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self._busy_time_integral += elapsed * self._busy_count
+        self._last_change = now
+
+    # ------------------------------------------------------------------
+    # reads (what the application agent exposes to the virtual router)
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Total number of worker slots."""
+        return len(self._slots)
+
+    @property
+    def busy_count(self) -> int:
+        """Number of busy worker slots right now."""
+        return self._busy_count
+
+    @property
+    def idle_count(self) -> int:
+        """Number of idle worker slots right now."""
+        return len(self._slots) - self._busy_count
+
+    @property
+    def peak_busy(self) -> int:
+        """Highest number of simultaneously busy workers observed."""
+        return self._peak_busy
+
+    def state_of(self, slot: int) -> WorkerState:
+        """State of an individual slot."""
+        if not 0 <= slot < len(self._slots):
+            raise ServerError(
+                f"scoreboard slot {slot!r} out of range (0..{len(self._slots) - 1})"
+            )
+        return self._slots[slot]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Aggregate counters, used by examples and debugging output."""
+        return {
+            "slots": self.num_slots,
+            "busy": self.busy_count,
+            "idle": self.idle_count,
+            "peak_busy": self.peak_busy,
+        }
+
+    def mean_busy(self, since: float = 0.0) -> float:
+        """Time-averaged number of busy workers since ``since``."""
+        self._accumulate()
+        horizon = self._clock.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time_integral / horizon
+
+    def __repr__(self) -> str:
+        return (
+            f"Scoreboard(slots={self.num_slots}, busy={self.busy_count}, "
+            f"peak={self.peak_busy})"
+        )

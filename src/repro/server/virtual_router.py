@@ -1,0 +1,224 @@
+"""Server-side virtual router (the VPP role on each application server).
+
+On the paper's testbed every application server runs VPP, which
+"dispatches packets between physical NICs and application-bound virtual
+interfaces" and hosts both the Service Hunting SR behaviour and the
+Apache server agent.  :class:`ServerNode` plays that role here:
+
+* packets whose active segment is the server's address go through the
+  :class:`~repro.core.service_hunting.ServiceHuntingProcessor`, which
+  consults the local connection-acceptance policy through the
+  application agent and either delivers the packet to the local
+  application instance or forwards it to the next candidate;
+* packets delivered to the application are translated into calls on the
+  :class:`~repro.server.http_server.HTTPServerInstance`;
+* the application's outbound messages (SYN-ACK with the steering SR
+  header, RST on backlog overflow, HTTP responses) are turned back into
+  packets and sent into the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.agent import ApplicationAgent
+from repro.core.policies import ConnectionAcceptancePolicy
+from repro.core.service_hunting import (
+    HuntingDecision,
+    ServiceHuntingProcessor,
+    build_steering_reply_path,
+)
+from repro.errors import ServerError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import Packet, TCPFlag, TCPSegment
+from repro.net.router import NetworkNode
+from repro.net.srh import SegmentRoutingHeader
+from repro.server.http_server import HTTPServerInstance, ServerConnection
+from repro.sim.engine import Simulator
+
+
+class ServerNode(NetworkNode):
+    """One application server: virtual router + local application instance.
+
+    Parameters
+    ----------
+    simulator:
+        Shared simulation engine.
+    name:
+        Node name (diagnostics).
+    address:
+        The server's physical IPv6 address, used as its SR segment.
+    app:
+        The local application instance (Apache model).
+    policy:
+        The connection-acceptance policy for this server.  Must be a
+        dedicated instance; policy state is strictly local.
+    load_balancer_address:
+        Address of the load balancer the steering SYN-ACK is routed
+        through.
+    cpu_cores:
+        Core count reported to the application agent (coarse metrics).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        address: IPv6Address,
+        app: HTTPServerInstance,
+        policy: ConnectionAcceptancePolicy,
+        load_balancer_address: IPv6Address,
+        cpu_cores: int = 2,
+    ) -> None:
+        super().__init__(simulator, name)
+        self.add_address(address)
+        self.app = app
+        self.policy = policy
+        self.load_balancer_address = load_balancer_address
+        self.agent = ApplicationAgent(app.scoreboard, cpu_cores)
+        self.hunting = ServiceHuntingProcessor(policy, self.agent)
+        self._bound_vips: Set[IPv6Address] = set()
+        app.bind_transport(self)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def bind_vip(self, vip: IPv6Address) -> None:
+        """Bind the local application instance to a virtual IP address."""
+        self._bound_vips.add(vip)
+
+    @property
+    def bound_vips(self) -> Set[IPv6Address]:
+        """VIPs served by the local application instance (copy)."""
+        return set(self._bound_vips)
+
+    # ------------------------------------------------------------------
+    # packet processing
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.srh is not None and not packet.srh.exhausted and self.owns(packet.dst):
+            if self._is_connection_request(packet):
+                # Service Hunting proper: the accept-or-forward choice only
+                # applies to the first packet of a flow (the SYN).
+                decision = self.hunting.process(packet)
+                if decision is HuntingDecision.ACCEPT:
+                    self._deliver_to_application(packet)
+                elif decision is HuntingDecision.FORWARD:
+                    self.send(packet)
+                else:  # pragma: no cover - defensive, hunting never returns it here
+                    raise ServerError(
+                        f"unexpected hunting decision {decision!r} on {self.name!r}"
+                    )
+            else:
+                # Mid-flow packet steered to this server by the load
+                # balancer: consume the remaining segments and deliver it
+                # to the local application (no policy involvement).
+                packet.set_segments_left(0)
+                self._deliver_to_application(packet)
+            return
+
+        if packet.dst in self._bound_vips or self.owns(packet.dst):
+            self._deliver_to_application(packet)
+            return
+
+        # Not for us: in a bridged LAN this should not happen, count and drop.
+        raise ServerError(
+            f"server {self.name!r} received a packet it does not own: "
+            f"{packet.describe()}"
+        )
+
+    @staticmethod
+    def _is_connection_request(packet: Packet) -> bool:
+        """Whether ``packet`` is the first packet of a flow (a plain SYN)."""
+        return packet.tcp.has(TCPFlag.SYN) and not packet.tcp.has(TCPFlag.ACK)
+
+    def _deliver_to_application(self, packet: Packet) -> None:
+        """Translate a delivered packet into application-instance calls."""
+        flow_key = packet.flow_key()
+        tcp = packet.tcp
+        if tcp.has(TCPFlag.RST):
+            # Client aborted; nothing to do in the simplified model.
+            return
+        if tcp.has(TCPFlag.SYN) and not tcp.has(TCPFlag.ACK):
+            self.app.handle_connection_request(flow_key, tcp.request_id)
+            return
+        if tcp.payload_size > 0 or tcp.has(TCPFlag.PSH):
+            self.app.handle_request_data(flow_key, tcp.request_id)
+            return
+        # Bare ACKs (handshake completion) carry no new information here.
+
+    # ------------------------------------------------------------------
+    # ServerTransport protocol (called by the application instance)
+    # ------------------------------------------------------------------
+    def send_syn_ack(self, connection: ServerConnection) -> None:
+        """Send the connection-acceptance packet through the load balancer."""
+        flow_key = connection.flow_key
+        path = build_steering_reply_path(
+            server_address=self.primary_address,
+            load_balancer_address=self.load_balancer_address,
+            client_address=flow_key.src_address,
+        )
+        srh = SegmentRoutingHeader.from_traversal(path)
+        # The server's own segment is already "traversed" when the packet
+        # leaves: advance once so the load balancer is the active segment.
+        srh.advance()
+        packet = Packet(
+            src=flow_key.dst_address,  # the VIP: clients talk to the service
+            dst=srh.active_segment,
+            tcp=TCPSegment(
+                src_port=flow_key.dst_port,
+                dst_port=flow_key.src_port,
+                flags=TCPFlag.SYN | TCPFlag.ACK,
+                request_id=connection.request_id,
+            ),
+            srh=srh,
+            created_at=self.simulator.now,
+        )
+        self.send(packet)
+
+    def send_reset(self, connection: ServerConnection) -> None:
+        """Send a RST directly to the client (backlog overflow)."""
+        flow_key = connection.flow_key
+        packet = Packet(
+            src=flow_key.dst_address,
+            dst=flow_key.src_address,
+            tcp=TCPSegment(
+                src_port=flow_key.dst_port,
+                dst_port=flow_key.src_port,
+                flags=TCPFlag.RST,
+                request_id=connection.request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.send(packet)
+
+    def send_response(self, connection: ServerConnection, payload_size: int) -> None:
+        """Send the HTTP response directly to the client (direct return)."""
+        flow_key = connection.flow_key
+        packet = Packet(
+            src=flow_key.dst_address,
+            dst=flow_key.src_address,
+            tcp=TCPSegment(
+                src_port=flow_key.dst_port,
+                dst_port=flow_key.src_port,
+                flags=TCPFlag.PSH | TCPFlag.ACK,
+                payload_size=payload_size,
+                request_id=connection.request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.send(packet)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy_threads(self) -> int:
+        """Busy worker count of the local application instance."""
+        return self.app.busy_threads
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerNode(name={self.name!r}, policy={self.policy.name!r}, "
+            f"busy={self.busy_threads})"
+        )

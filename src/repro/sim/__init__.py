@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven execution core used by every other
+subsystem of the SRLB reproduction: a simulation clock, an event-heap
+engine with cancellable events and periodic tasks, and named reproducible
+random streams.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import (
+    EventHandle,
+    PeriodicTask,
+    Simulator,
+    exponential_delay,
+)
+from repro.sim.random_streams import RandomStreams
+
+__all__ = [
+    "SimulationClock",
+    "Simulator",
+    "EventHandle",
+    "PeriodicTask",
+    "RandomStreams",
+    "exponential_delay",
+]

@@ -1,0 +1,300 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-list simulator: callbacks are scheduled at
+absolute or relative simulated times, stored on a binary heap, and
+executed in time order.  It is the substrate underneath the whole
+reproduction — the network links, TCP handshakes, worker-thread service
+completions, and workload arrival processes are all engine events.
+
+Design points
+-------------
+* **Stable ordering.**  Events at the same timestamp run in scheduling
+  order (FIFO), via a monotonically increasing sequence number.  This
+  makes simulations deterministic, which the experiment harness and the
+  property-based tests rely on.
+* **Cancellation without heap surgery.**  :meth:`EventHandle.cancel`
+  marks the event dead; the main loop skips dead events when they are
+  popped.  This is O(1) and keeps the heap simple.
+* **No wall-clock coupling.**  The engine never sleeps; a 24-hour
+  Wikipedia replay runs as fast as Python can drain the event heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.clock import SimulationClock
+from repro.sim.random_streams import RandomStreams
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is a no-op."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(time={self.time!r}, label={self.label!r}, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with a shared clock and RNG streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the named random streams (see
+        :class:`~repro.sim.random_streams.RandomStreams`).
+    start_time:
+        Initial simulated time, in seconds.
+    """
+
+    def __init__(self, seed: Optional[int] = 0, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self.streams = RandomStreams(seed)
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at {time!r}, "
+                f"which is before current time {self.clock.now!r}"
+            )
+        event = _ScheduledEvent(
+            time=float(time),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` (seconds)."""
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} with negative delay {delay!r}"
+            )
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time.
+            ``None`` runs until the event heap is empty.
+        max_events:
+            Safety valve: stop after executing this many events.
+
+        Returns
+        -------
+        float
+            The simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed_this_run = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self.clock.advance(until)
+                    break
+                heapq.heappop(self._heap)
+                self.clock.advance(event.time)
+                event.callback()
+                self._events_executed += 1
+                executed_this_run += 1
+            else:
+                # Heap drained: if a horizon was given, report it as the
+                # final time so callers can rely on `run(until=T) == T`.
+                if until is not None and until > self.clock.now:
+                    self.clock.advance(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the heap
+        is empty (cancelled events are discarded silently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance(event.time)
+            event.callback()
+            self._events_executed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if none are pending."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def drain(self) -> int:
+        """Discard all pending events; returns how many were discarded."""
+        count = sum(1 for event in self._heap if not event.cancelled)
+        self._heap.clear()
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now!r}, pending={self.pending_events}, "
+            f"executed={self._events_executed})"
+        )
+
+
+@dataclass
+class PeriodicTask:
+    """Helper that re-schedules a callback at a fixed period.
+
+    Used by components that need a heartbeat (e.g. the metrics sampler
+    that records per-server load every ``interval`` seconds for Figure 4).
+    """
+
+    simulator: Simulator
+    interval: float
+    callback: EventCallback
+    label: str = "periodic"
+    _handle: Optional[EventHandle] = field(default=None, init=False, repr=False)
+    _active: bool = field(default=False, init=False, repr=False)
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Start ticking; the first tick fires after ``first_delay`` (default: one interval)."""
+        if self.interval <= 0:
+            raise SchedulingError(
+                f"periodic task {self.label!r} needs a positive interval, "
+                f"got {self.interval!r}"
+            )
+        if self._active:
+            return
+        self._active = True
+        delay = self.interval if first_delay is None else first_delay
+        self._handle = self.simulator.schedule_in(delay, self._tick, self.label)
+
+    def stop(self) -> None:
+        """Stop ticking; pending tick (if any) is cancelled."""
+        self._active = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the task is currently scheduled to keep ticking."""
+        return self._active
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self.callback()
+        if self._active:
+            self._handle = self.simulator.schedule_in(
+                self.interval, self._tick, self.label
+            )
+
+
+def exponential_delay(rng: Any, mean: float) -> float:
+    """Draw an exponentially distributed delay with the given mean.
+
+    Thin wrapper used throughout the workload generators so the
+    distribution used for "exponential" is defined in exactly one place.
+    """
+    if mean <= 0:
+        raise SimulationError(f"exponential mean must be positive, got {mean!r}")
+    return float(rng.exponential(mean))

@@ -1,0 +1,67 @@
+"""Workload generators and the traffic-generator client.
+
+Provides the paper's two workloads — the Poisson stream of CPU-bound PHP
+queries (§V) and the 24-hour Wikipedia replay (§VI, synthesised per the
+substitution recorded in DESIGN.md) — plus the request/trace data model
+and the open-loop client node that replays traces against the load
+balancer.
+"""
+
+from repro.workload.client import (
+    OutcomeSink,
+    RequestOutcome,
+    TrafficGeneratorNode,
+)
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import (
+    KIND_PHP,
+    KIND_STATIC,
+    KIND_WIKI,
+    Request,
+    RequestCatalog,
+    next_request_id,
+    sort_by_arrival,
+    total_offered_demand,
+)
+from repro.workload.service_models import (
+    BoundedParetoServiceTime,
+    DeterministicServiceTime,
+    ExponentialServiceTime,
+    LognormalServiceTime,
+    ServiceTimeModel,
+    StaticPageServiceTime,
+    WikiPageServiceTime,
+)
+from repro.workload.trace import Trace, TraceSummary
+from repro.workload.wikipedia import (
+    DiurnalRateCurve,
+    SECONDS_PER_DAY,
+    SyntheticWikipediaWorkload,
+)
+
+__all__ = [
+    "Request",
+    "RequestCatalog",
+    "next_request_id",
+    "sort_by_arrival",
+    "total_offered_demand",
+    "KIND_PHP",
+    "KIND_WIKI",
+    "KIND_STATIC",
+    "ServiceTimeModel",
+    "ExponentialServiceTime",
+    "DeterministicServiceTime",
+    "LognormalServiceTime",
+    "BoundedParetoServiceTime",
+    "WikiPageServiceTime",
+    "StaticPageServiceTime",
+    "Trace",
+    "TraceSummary",
+    "PoissonWorkload",
+    "DiurnalRateCurve",
+    "SyntheticWikipediaWorkload",
+    "SECONDS_PER_DAY",
+    "TrafficGeneratorNode",
+    "RequestOutcome",
+    "OutcomeSink",
+]

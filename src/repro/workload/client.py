@@ -1,0 +1,232 @@
+"""Traffic generator (the client side of the testbed).
+
+The paper's traffic generator injects an open-loop stream of HTTP
+queries (Poisson or trace replay) into the load balancer and records
+per-query response times at the client.  :class:`TrafficGeneratorNode`
+does the same:
+
+* every request of the trace opens a fresh TCP connection to the VIP at
+  its scheduled arrival time (open-loop: arrivals never wait for earlier
+  responses, exactly like the paper's generator);
+* the HTTP request is sent as soon as the SYN-ACK arrives;
+* the response (or a RST, under overload) closes the query and produces
+  a :class:`RequestOutcome` that is handed to the attached collector.
+
+Response time is measured from connection initiation (SYN sent) to
+response received, i.e. it includes connection setup, queueing in the
+server backlog and service time — the same "page load time" the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.errors import WorkloadError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import Packet, TCPFlag, TCPSegment
+from repro.net.router import NetworkNode
+from repro.net.tcp import EphemeralPortAllocator, HTTP_PORT
+from repro.sim.engine import Simulator
+from repro.workload.requests import Request
+from repro.workload.trace import Trace
+
+#: Size in bytes of the HTTP request payload (a GET with headers).
+REQUEST_PAYLOAD_SIZE = 400
+
+
+@dataclass
+class RequestOutcome:
+    """Client-side record of one query's fate."""
+
+    request_id: int
+    kind: str
+    url: str
+    sent_at: float
+    established_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    failed: bool = False
+    failure_reason: Optional[str] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Page load time (seconds), or ``None`` if the query failed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.sent_at
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a response was received."""
+        return self.completed_at is not None and not self.failed
+
+
+class OutcomeSink(Protocol):
+    """Anything that accepts completed request outcomes (the collector)."""
+
+    def record(self, outcome: RequestOutcome) -> None:
+        """Store one finished (or failed) query."""
+
+
+@dataclass
+class _PendingQuery:
+    """In-flight client state for one query."""
+
+    request: Request
+    outcome: RequestOutcome
+    src_port: int
+
+
+class TrafficGeneratorNode(NetworkNode):
+    """Open-loop trace-replay client.
+
+    Parameters
+    ----------
+    simulator:
+        Shared simulation engine.
+    name:
+        Node name.
+    address:
+        Client IPv6 address.
+    vip:
+        The virtual IP the queries are addressed to.
+    collector:
+        Sink receiving a :class:`RequestOutcome` per finished query.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        address: IPv6Address,
+        vip: IPv6Address,
+        collector: Optional[OutcomeSink] = None,
+    ) -> None:
+        super().__init__(simulator, name)
+        self.add_address(address)
+        self.vip = vip
+        self.collector = collector
+        self._ports = EphemeralPortAllocator()
+        self._pending: Dict[int, _PendingQuery] = {}
+        self.queries_started = 0
+        self.queries_completed = 0
+        self.queries_failed = 0
+
+    # ------------------------------------------------------------------
+    # trace replay
+    # ------------------------------------------------------------------
+    def schedule_trace(self, trace: Trace) -> None:
+        """Schedule every request of ``trace`` at its arrival time."""
+        now = self.simulator.now
+        for request in trace:
+            self.simulator.schedule_at(
+                now + request.arrival_time,
+                self._make_starter(request),
+                label=f"arrival-{request.request_id}",
+            )
+
+    def _make_starter(self, request: Request) -> Callable[[], None]:
+        return lambda: self.start_query(request)
+
+    def start_query(self, request: Request) -> None:
+        """Open a new connection for ``request`` right now."""
+        if request.request_id in self._pending:
+            raise WorkloadError(
+                f"request {request.request_id} is already in flight"
+            )
+        src_port = self._ports.allocate()
+        outcome = RequestOutcome(
+            request_id=request.request_id,
+            kind=request.kind,
+            url=request.url,
+            sent_at=self.simulator.now,
+        )
+        self._pending[request.request_id] = _PendingQuery(
+            request=request, outcome=outcome, src_port=src_port
+        )
+        self.queries_started += 1
+        syn = Packet(
+            src=self.primary_address,
+            dst=self.vip,
+            tcp=TCPSegment(
+                src_port=src_port,
+                dst_port=HTTP_PORT,
+                flags=TCPFlag.SYN,
+                request_id=request.request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.send(syn)
+
+    # ------------------------------------------------------------------
+    # packet handling
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        request_id = packet.tcp.request_id
+        if request_id is None or request_id not in self._pending:
+            # Stray packet (e.g. late RST for an already-failed query).
+            return
+        pending = self._pending[request_id]
+        tcp = packet.tcp
+
+        if tcp.has(TCPFlag.RST):
+            self._finish(pending, failed=True, reason="connection reset")
+            return
+
+        if tcp.has(TCPFlag.SYN) and tcp.has(TCPFlag.ACK):
+            pending.outcome.established_at = self.simulator.now
+            self._send_request_data(pending)
+            return
+
+        if tcp.payload_size > 0 or tcp.has(TCPFlag.PSH):
+            pending.outcome.completed_at = self.simulator.now
+            self._finish(pending, failed=False)
+            return
+
+    def _send_request_data(self, pending: _PendingQuery) -> None:
+        data = Packet(
+            src=self.primary_address,
+            dst=self.vip,
+            tcp=TCPSegment(
+                src_port=pending.src_port,
+                dst_port=HTTP_PORT,
+                flags=TCPFlag.PSH | TCPFlag.ACK,
+                payload_size=REQUEST_PAYLOAD_SIZE,
+                request_id=pending.request.request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.send(data)
+
+    def _finish(
+        self, pending: _PendingQuery, failed: bool, reason: Optional[str] = None
+    ) -> None:
+        pending.outcome.failed = failed
+        pending.outcome.failure_reason = reason
+        del self._pending[pending.request.request_id]
+        if failed:
+            self.queries_failed += 1
+        else:
+            self.queries_completed += 1
+        if self.collector is not None:
+            self.collector.record(pending.outcome)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of queries currently awaiting a response."""
+        return len(self._pending)
+
+    def outstanding_request_ids(self) -> List[int]:
+        """Request ids still in flight (diagnostics for hung runs)."""
+        return list(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficGeneratorNode(name={self.name!r}, started={self.queries_started}, "
+            f"completed={self.queries_completed}, failed={self.queries_failed}, "
+            f"in_flight={self.in_flight})"
+        )

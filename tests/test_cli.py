@@ -1,0 +1,99 @@
+"""Tests for the ``srlb-repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import _policy_spec_from_name, build_parser, main
+from repro.errors import ReproError
+
+
+class TestPolicyNameParsing:
+    def test_rr(self):
+        spec = _policy_spec_from_name("RR")
+        assert spec.num_candidates == 1
+
+    def test_srdyn(self):
+        assert _policy_spec_from_name("SRdyn").acceptance_policy == "SRdyn"
+
+    def test_static_threshold(self):
+        spec = _policy_spec_from_name("SR8")
+        assert spec.acceptance_policy == "SR8"
+        assert spec.num_candidates == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError):
+            _policy_spec_from_name("bogus")
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_poisson_defaults(self):
+        args = build_parser().parse_args(["poisson"])
+        assert args.queries == 3_000
+        assert args.servers == 12
+
+    def test_figure_requires_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+
+class TestCommands:
+    def test_calibrate_analytic_only(self, capsys):
+        exit_code = main(["calibrate", "--servers", "6"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "analytic saturation rate" in captured.out
+        assert "120.0" in captured.out  # 6 servers x 2 cores / 0.1 s
+
+    def test_poisson_small_run(self, capsys):
+        exit_code = main(
+            [
+                "poisson",
+                "--servers", "4",
+                "--workers", "8",
+                "--queries", "150",
+                "--rho", "0.5",
+                "--policy", "RR",
+                "--policy", "SR4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "RR" in captured.out and "SR4" in captured.out
+        assert "mean (s)" in captured.out
+
+    def test_figure_3_small_run(self, capsys):
+        exit_code = main(
+            ["figure", "3", "--servers", "4", "--workers", "8", "--queries", "150"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 3" in captured.out
+
+    def test_unknown_figure_number_is_an_error(self, capsys):
+        exit_code = main(["figure", "42", "--queries", "10"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_wikipedia_small_run(self, capsys):
+        exit_code = main(
+            [
+                "wikipedia",
+                "--servers", "6",
+                "--workers", "8",
+                "--duration", "40",
+                "--static-per-wiki", "0.2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 6" in captured.out
+        assert "whole-day median" in captured.out

@@ -1,0 +1,202 @@
+"""Tests for the ECMP fleet of SRLB instances (scale-out extension).
+
+Covers the Maglev-based flow-to-instance mapping, steering-signal
+routing back to the owning instance, minimal disruption when an
+instance leaves, and an end-to-end run where a two-instance fleet fronts
+the full server substrate.
+"""
+
+import pytest
+
+from repro.core.candidate_selection import ConsistentHashCandidateSelector
+from repro.core.fleet import ECMPRouterNode, LoadBalancerFleet
+from repro.core.loadbalancer import LoadBalancerNode
+from repro.core.policies import make_policy
+from repro.errors import LoadBalancerError
+from repro.metrics.collector import ResponseTimeCollector
+from repro.net.addressing import IPv6Address
+from repro.net.fabric import LANFabric
+from repro.net.packet import FlowKey
+from repro.server.cpu import ProcessorSharingCPU
+from repro.server.http_server import HTTPServerInstance
+from repro.server.virtual_router import ServerNode
+from repro.workload.client import TrafficGeneratorNode
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import DeterministicServiceTime
+
+
+def _addr(text):
+    return IPv6Address.parse(text)
+
+
+ANYCAST = _addr("fd00:400::100")
+VIP = _addr("fd00:300::1")
+CLIENT = _addr("fd00:200::1")
+
+
+def _flow(port):
+    return FlowKey(CLIENT, port, VIP, 80)
+
+
+def _build_fleet_testbed(simulator, num_instances=2, num_servers=6):
+    """A full testbed fronted by an ECMP fleet instead of a single LB."""
+    fabric = LANFabric(simulator, latency=1e-5)
+    catalog = RequestCatalog()
+    collector = ResponseTimeCollector(name="fleet")
+
+    server_addresses = [_addr(f"fd00:100::{index + 1:x}") for index in range(num_servers)]
+    fleet = LoadBalancerFleet(
+        simulator,
+        anycast_address=ANYCAST,
+        instance_addresses=[
+            _addr(f"fd00:400::{index + 1:x}") for index in range(num_instances)
+        ],
+        selector_factory=lambda: ConsistentHashCandidateSelector(
+            num_candidates=2, table_size=251
+        ),
+    )
+    fleet.register_vip(VIP, server_addresses)
+    fleet.attach(fabric)
+
+    servers = []
+    for index, address in enumerate(server_addresses):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        app = HTTPServerInstance(
+            simulator,
+            name=f"apache-{index}",
+            cpu=cpu,
+            num_workers=8,
+            backlog_capacity=32,
+            demand_lookup=catalog.demand_of,
+        )
+        server = ServerNode(
+            simulator,
+            name=f"server-{index}",
+            address=address,
+            app=app,
+            policy=make_policy("SR4"),
+            load_balancer_address=ANYCAST,  # servers talk to the fleet
+        )
+        server.bind_vip(VIP)
+        server.attach(fabric)
+        servers.append(server)
+
+    client = TrafficGeneratorNode(simulator, "client", CLIENT, VIP, collector)
+    client.attach(fabric)
+    return fabric, fleet, servers, client, catalog, collector
+
+
+class TestECMPRouter:
+    def test_flow_to_instance_mapping_is_deterministic(self, simulator):
+        fleet = LoadBalancerFleet(
+            simulator,
+            ANYCAST,
+            [_addr("fd00:400::1"), _addr("fd00:400::2"), _addr("fd00:400::3")],
+            selector_factory=lambda: ConsistentHashCandidateSelector(2, table_size=251),
+        )
+        for port in range(100):
+            first = fleet.router.instance_for(_flow(port))
+            second = fleet.router.instance_for(_flow(port))
+            assert first is second
+
+    def test_flows_spread_over_instances(self, simulator):
+        fleet = LoadBalancerFleet(
+            simulator,
+            ANYCAST,
+            [_addr("fd00:400::1"), _addr("fd00:400::2"), _addr("fd00:400::3")],
+            selector_factory=lambda: ConsistentHashCandidateSelector(2, table_size=251),
+        )
+        owners = {fleet.router.instance_for(_flow(port)).name for port in range(300)}
+        assert owners == {"lb-0", "lb-1", "lb-2"}
+
+    def test_instance_removal_remaps_a_minority_of_flows(self, simulator):
+        fleet = LoadBalancerFleet(
+            simulator,
+            ANYCAST,
+            [_addr(f"fd00:400::{index:x}") for index in range(1, 6)],
+            selector_factory=lambda: ConsistentHashCandidateSelector(2, table_size=251),
+        )
+        flows = [_flow(port) for port in range(1_000)]
+        before = {flow: fleet.router.instance_for(flow).name for flow in flows}
+        fleet.remove_instance("lb-2")
+        after = {flow: fleet.router.instance_for(flow).name for flow in flows}
+        remapped = sum(
+            1 for flow in flows if before[flow] != after[flow] and before[flow] != "lb-2"
+        )
+        # Only flows owned by the removed instance should move (plus a
+        # small Maglev repopulation effect): far less than half.
+        assert remapped / len(flows) < 0.25
+        assert all(after[flow] != "lb-2" for flow in flows)
+
+    def test_cannot_remove_last_instance(self, simulator):
+        fleet = LoadBalancerFleet(
+            simulator,
+            ANYCAST,
+            [_addr("fd00:400::1")],
+            selector_factory=lambda: ConsistentHashCandidateSelector(2, table_size=251),
+        )
+        with pytest.raises(LoadBalancerError):
+            fleet.remove_instance("lb-0")
+
+    def test_duplicate_instance_rejected(self, simulator):
+        router = ECMPRouterNode(simulator, "ecmp", ANYCAST)
+        instance = LoadBalancerNode(
+            simulator,
+            "lb-0",
+            _addr("fd00:400::1"),
+            ConsistentHashCandidateSelector(2, table_size=251),
+            advertise_vips=False,
+        )
+        router.add_instance(instance)
+        with pytest.raises(LoadBalancerError):
+            router.add_instance(instance)
+
+    def test_instance_for_empty_fleet_rejected(self, simulator):
+        router = ECMPRouterNode(simulator, "ecmp", ANYCAST)
+        with pytest.raises(LoadBalancerError):
+            router.instance_for(_flow(1))
+
+
+class TestFleetEndToEnd:
+    def test_queries_complete_through_a_two_instance_fleet(self, simulator):
+        fabric, fleet, servers, client, catalog, collector = _build_fleet_testbed(simulator)
+        workload = PoissonWorkload(
+            rate=50.0, num_queries=300, service_model=DeterministicServiceTime(0.02)
+        )
+        trace = workload.generate(simulator.streams.stream("workload"))
+        for request in trace:
+            catalog.add(request)
+        client.schedule_trace(trace)
+        simulator.run()
+
+        assert collector.totals.completed == 300
+        assert collector.totals.failed == 0
+        # Both instances carried traffic and learned steering state.
+        share = fleet.router.instance_share()
+        assert set(share) == {"lb-0", "lb-1"}
+        assert all(value > 0.1 for value in share.values())
+        learned = sum(
+            instance.stats.acceptances_learned for instance in fleet.instances
+        )
+        assert learned == 300
+        # Every served query was accepted by some server.
+        assert sum(fleet.acceptances_per_server().values()) == 300
+
+    def test_steering_signals_reach_the_owning_instance(self, simulator):
+        fabric, fleet, servers, client, catalog, collector = _build_fleet_testbed(simulator)
+        workload = PoissonWorkload(
+            rate=50.0, num_queries=120, service_model=DeterministicServiceTime(0.02)
+        )
+        trace = workload.generate(simulator.streams.stream("workload"))
+        for request in trace:
+            catalog.add(request)
+        client.schedule_trace(trace)
+        simulator.run()
+
+        assert fleet.router.stats.steering_signals_forwarded == 120
+        # No instance ever had to reset a mid-flow packet for lack of
+        # steering state: the ECMP mapping is consistent per flow.
+        assert all(
+            instance.stats.steering_misses == 0 for instance in fleet.instances
+        )

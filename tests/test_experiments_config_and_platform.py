@@ -1,0 +1,197 @@
+"""Unit tests for experiment configuration, calibration and the testbed builder."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import (
+    HIGH_LOAD_FACTOR,
+    LIGHT_LOAD_FACTOR,
+    PAPER_LOAD_FACTORS,
+    PoissonSweepConfig,
+    PolicySpec,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    paper_policy_suite,
+    rr_policy,
+    sr_policy,
+    srdyn_policy,
+)
+from repro.experiments.platform import build_testbed
+from repro.experiments.poisson_experiment import make_poisson_trace
+from repro.net.addressing import VIP_PREFIX
+
+
+class TestTestbedConfig:
+    def test_paper_defaults(self):
+        config = TestbedConfig()
+        assert config.num_servers == 12
+        assert config.workers_per_server == 32
+        assert config.cores_per_server == 2
+        assert config.backlog_capacity == 128
+        assert config.total_cores == 24
+        assert config.total_workers == 384
+
+    def test_with_seed(self):
+        assert TestbedConfig().with_seed(9).seed == 9
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            TestbedConfig(num_servers=0)
+        with pytest.raises(ExperimentError):
+            TestbedConfig(workers_per_server=0)
+        with pytest.raises(ExperimentError):
+            TestbedConfig(backlog_capacity=0)
+
+
+class TestPolicySpecs:
+    def test_paper_suite_names(self):
+        names = [spec.name for spec in paper_policy_suite()]
+        assert names == ["RR", "SR4", "SR8", "SR16", "SRdyn"]
+
+    def test_rr_uses_single_candidate(self):
+        spec = rr_policy()
+        assert spec.num_candidates == 1
+        assert spec.acceptance_policy == "always"
+
+    def test_sr_policy(self):
+        spec = sr_policy(8)
+        assert spec.num_candidates == 2
+        assert spec.acceptance_policy == "SR8"
+
+    def test_srdyn_policy(self):
+        assert srdyn_policy().acceptance_policy == "SRdyn"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ExperimentError):
+            PolicySpec(name="", acceptance_policy="SR4")
+        with pytest.raises(ExperimentError):
+            PolicySpec(name="x", acceptance_policy="SR4", num_candidates=0)
+        with pytest.raises(ExperimentError):
+            sr_policy(-1)
+
+
+class TestSweepConfigs:
+    def test_paper_load_factors(self):
+        assert len(PAPER_LOAD_FACTORS) == 24
+        assert all(0 < rho < 1 for rho in PAPER_LOAD_FACTORS)
+        assert HIGH_LOAD_FACTOR in PAPER_LOAD_FACTORS
+        assert 0 < LIGHT_LOAD_FACTOR < 1
+
+    def test_poisson_defaults(self):
+        config = PoissonSweepConfig()
+        assert config.num_queries == 20_000
+        assert config.service_mean == pytest.approx(0.1)
+        assert len(config.policies) == 5
+
+    def test_poisson_scaled_copy(self):
+        config = PoissonSweepConfig().scaled(num_queries=500, load_factors=[0.5])
+        assert config.num_queries == 500
+        assert config.load_factors == (0.5,)
+
+    def test_poisson_invalid(self):
+        with pytest.raises(ExperimentError):
+            PoissonSweepConfig(load_factors=())
+        with pytest.raises(ExperimentError):
+            PoissonSweepConfig(num_queries=0)
+        with pytest.raises(ExperimentError):
+            PoissonSweepConfig(load_factors=(0.0,))
+
+    def test_wikipedia_defaults(self):
+        config = WikipediaReplayConfig()
+        assert config.duration == pytest.approx(86_400.0)
+        assert config.replay_fraction == pytest.approx(0.5)
+        assert config.bin_width == pytest.approx(600.0)
+
+    def test_wikipedia_compressed_scales_bin_width(self):
+        config = WikipediaReplayConfig().compressed(duration=8_640.0)
+        assert config.duration == pytest.approx(8_640.0)
+        assert config.bin_width == pytest.approx(60.0)
+
+    def test_wikipedia_invalid(self):
+        with pytest.raises(ExperimentError):
+            WikipediaReplayConfig(duration=0.0)
+        with pytest.raises(ExperimentError):
+            WikipediaReplayConfig(replay_fraction=1.5)
+
+
+class TestCalibration:
+    def test_analytic_rate_matches_capacity(self):
+        assert analytic_saturation_rate(TestbedConfig(), 0.1) == pytest.approx(240.0)
+
+    def test_analytic_rate_scales_with_servers(self):
+        small = dataclasses.replace(TestbedConfig(), num_servers=6)
+        assert analytic_saturation_rate(small, 0.1) == pytest.approx(120.0)
+
+
+class TestBuildTestbed:
+    def test_testbed_shape(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        assert len(testbed.servers) == small_testbed_config.num_servers
+        assert testbed.vip.is_within(VIP_PREFIX)
+        assert testbed.load_balancer.backends_for(testbed.vip) == [
+            server.primary_address for server in testbed.servers
+        ]
+        assert testbed.client.vip == testbed.vip
+
+    def test_each_server_gets_its_own_policy_instance(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, srdyn_policy())
+        policies = {id(server.policy) for server in testbed.servers}
+        assert len(policies) == small_testbed_config.num_servers
+
+    def test_rr_spec_uses_single_candidate_selector(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, rr_policy())
+        assert testbed.load_balancer.selector.num_candidates == 1
+
+    def test_sr_spec_uses_two_candidates(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        assert testbed.load_balancer.selector.num_candidates == 2
+
+    def test_run_trace_serves_every_request(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        trace = make_poisson_trace(
+            load_factor=0.3,
+            num_queries=100,
+            saturation_rate=analytic_saturation_rate(small_testbed_config, 0.05),
+            service_mean=0.05,
+            workload_seed=3,
+        )
+        testbed.run_trace(trace)
+        assert testbed.collector.totals.completed == 100
+        assert testbed.total_requests_served() == 100
+        assert testbed.total_resets() == 0
+
+    def test_load_sampler_records_samples(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        sampler = testbed.attach_load_sampler(interval=0.1)
+        trace = make_poisson_trace(
+            load_factor=0.3,
+            num_queries=50,
+            saturation_rate=analytic_saturation_rate(small_testbed_config, 0.05),
+            service_mean=0.05,
+            workload_seed=3,
+        )
+        testbed.run_trace(trace)
+        assert len(sampler) > 0
+        assert all(len(row) == small_testbed_config.num_servers for row in sampler.samples)
+
+    def test_server_busy_counts_shape(self, small_testbed_config):
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        assert testbed.server_busy_counts() == [0] * small_testbed_config.num_servers
+
+    def test_deterministic_given_seed(self, small_testbed_config):
+        trace_kwargs = dict(
+            load_factor=0.5,
+            num_queries=200,
+            saturation_rate=analytic_saturation_rate(small_testbed_config, 0.05),
+            service_mean=0.05,
+            workload_seed=11,
+        )
+        results = []
+        for _ in range(2):
+            testbed = build_testbed(small_testbed_config, sr_policy(4))
+            testbed.run_trace(make_poisson_trace(**trace_kwargs))
+            results.append(tuple(sorted(testbed.collector.response_times())))
+        assert results[0] == results[1]

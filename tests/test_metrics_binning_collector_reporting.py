@@ -1,0 +1,195 @@
+"""Unit tests for time binning, the response-time collector and reporting."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.binning import TimeBinner
+from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
+from repro.metrics.reporting import format_comparison, format_series, format_table
+from repro.workload.client import RequestOutcome
+
+
+def _outcome(request_id, sent_at, response_time, kind="wiki", failed=False):
+    return RequestOutcome(
+        request_id=request_id,
+        kind=kind,
+        url="/wiki/index.php?title=X",
+        sent_at=sent_at,
+        established_at=sent_at + 0.001,
+        completed_at=None if failed else sent_at + response_time,
+        failed=failed,
+        failure_reason="connection reset" if failed else None,
+    )
+
+
+class TestTimeBinner:
+    def test_samples_land_in_the_right_bins(self):
+        binner = TimeBinner(bin_width=10.0)
+        binner.add(5.0, 1.0)
+        binner.add(15.0, 2.0)
+        binner.add(16.0, 3.0)
+        bins = binner.bins()
+        assert bins[0].count == 1
+        assert bins[1].count == 2
+        assert bins[1].median == pytest.approx(2.5)
+
+    def test_empty_bins_are_materialised(self):
+        binner = TimeBinner(bin_width=10.0)
+        binner.add(35.0, 1.0)
+        bins = binner.bins()
+        assert len(bins) == 4
+        assert bins[0].count == 0
+        assert math.isnan(bins[0].median)
+
+    def test_through_extends_the_range(self):
+        binner = TimeBinner(bin_width=10.0)
+        binner.add(5.0, 1.0)
+        assert len(binner.bins(through=45.0)) == 5
+
+    def test_rate_series(self):
+        binner = TimeBinner(bin_width=10.0)
+        for timestamp in (1.0, 2.0, 3.0, 4.0, 5.0):
+            binner.add(timestamp, 0.1)
+        (center, rate), = binner.rate_series()
+        assert center == pytest.approx(5.0)
+        assert rate == pytest.approx(0.5)
+
+    def test_decile_series_shape(self):
+        binner = TimeBinner(bin_width=10.0)
+        for index in range(100):
+            binner.add(5.0, index / 100.0)
+        (center, decile_values), = binner.decile_series()
+        assert len(decile_values) == 9
+        assert decile_values == sorted(decile_values)
+
+    def test_add_many_and_all_values(self):
+        binner = TimeBinner(bin_width=10.0)
+        binner.add_many([(1.0, 0.5), (12.0, 0.7)])
+        assert sorted(binner.all_values()) == [0.5, 0.7]
+
+    def test_sample_before_origin_rejected(self):
+        binner = TimeBinner(bin_width=10.0, start=100.0)
+        with pytest.raises(ReproError):
+            binner.add(50.0, 1.0)
+
+    def test_invalid_bin_width_rejected(self):
+        with pytest.raises(ReproError):
+            TimeBinner(bin_width=0.0)
+
+
+class TestResponseTimeCollector:
+    def test_records_success_and_failure_separately(self):
+        collector = ResponseTimeCollector()
+        collector.record(_outcome(1, 0.0, 0.2))
+        collector.record(_outcome(2, 1.0, 0.3, failed=True))
+        assert collector.totals.completed == 1
+        assert collector.totals.failed == 1
+        assert collector.totals.failure_ratio == pytest.approx(0.5)
+        assert len(collector) == 2
+
+    def test_response_times_and_summary(self):
+        collector = ResponseTimeCollector()
+        for index in range(10):
+            collector.record(_outcome(index, float(index), 0.1 * (index + 1)))
+        times = collector.response_times()
+        assert len(times) == 10
+        assert collector.summary().mean == pytest.approx(0.55)
+        assert collector.mean_response_time() == pytest.approx(0.55)
+
+    def test_kind_filtering(self):
+        collector = ResponseTimeCollector()
+        collector.record(_outcome(1, 0.0, 0.2, kind="wiki"))
+        collector.record(_outcome(2, 0.0, 0.001, kind="static"))
+        assert len(collector.response_times(kind="wiki")) == 1
+        assert len(collector.outcomes(kind="static")) == 1
+        assert collector.summary(kind="static").mean == pytest.approx(0.001)
+
+    def test_summary_of_empty_collector_rejected(self):
+        with pytest.raises(ReproError):
+            ResponseTimeCollector().summary()
+
+    def test_cdf(self):
+        collector = ResponseTimeCollector()
+        for index in range(4):
+            collector.record(_outcome(index, 0.0, 0.1 * (index + 1)))
+        x, p = collector.cdf()
+        assert len(x) == 4
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_binned_uses_arrival_time(self):
+        collector = ResponseTimeCollector()
+        collector.record(_outcome(1, 5.0, 0.2))
+        collector.record(_outcome(2, 615.0, 0.4))
+        binner = collector.binned(bin_width=600.0)
+        bins = binner.bins()
+        assert bins[0].count == 1
+        assert bins[1].count == 1
+
+    def test_failures_listing(self):
+        collector = ResponseTimeCollector()
+        collector.record(_outcome(1, 0.0, 0.2, failed=True))
+        assert len(collector.failures()) == 1
+        assert collector.failures(kind="wiki")[0].request_id == 1
+
+
+class TestServerLoadSampler:
+    def test_mean_and_fairness_series(self):
+        sampler = ServerLoadSampler(interval=0.5)
+        sampler.sample(0.0, [4, 4, 4, 4])
+        sampler.sample(0.5, [8, 0, 0, 0])
+        mean_series = sampler.mean_load_series()
+        fairness_series = sampler.fairness_series()
+        assert mean_series[0][1] == pytest.approx(4.0)
+        assert mean_series[1][1] == pytest.approx(2.0)
+        assert fairness_series[0][1] == pytest.approx(1.0)
+        assert fairness_series[1][1] == pytest.approx(0.25)
+        assert len(sampler) == 2
+
+    def test_inconsistent_server_count_rejected(self):
+        sampler = ServerLoadSampler()
+        sampler.sample(0.0, [1, 2, 3])
+        with pytest.raises(ReproError):
+            sampler.sample(1.0, [1, 2])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ReproError):
+            ServerLoadSampler(interval=0.0)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(
+            ["policy", "mean"],
+            [["RR", 1.234567], ["SR4", 0.5]],
+            title="Figure 2",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 2"
+        assert "policy" in lines[1]
+        assert "1.235" in text
+        assert "SR4" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_rejects_empty_headers(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_format_series(self):
+        text = format_series(
+            "rho", {"RR": [1.0, 2.0], "SR4": [0.5, 1.0]}, x_values=[0.5, 0.9]
+        )
+        assert "rho" in text
+        assert "RR" in text and "SR4" in text
+
+    def test_format_comparison_shows_improvement_factor(self):
+        text = format_comparison("mean (s)", "RR", 1.0, {"SR4": 0.5})
+        assert "2.00x" in text
+
+    def test_format_comparison_handles_zero(self):
+        text = format_comparison("mean (s)", "RR", 1.0, {"broken": 0.0})
+        assert "n/a" in text

@@ -1,0 +1,233 @@
+"""Unit tests for the LAN fabric, links and routing tables."""
+
+import pytest
+
+from repro.errors import NetworkError, RoutingError
+from repro.net.addressing import IPv6Address, IPv6Prefix
+from repro.net.fabric import LANFabric
+from repro.net.link import Link
+from repro.net.packet import Packet, TCPSegment, TCPFlag, make_syn
+from repro.net.router import LocalSIDTable, NetworkNode, RoutingTable
+from repro.sim.engine import Simulator
+
+
+class RecordingNode(NetworkNode):
+    """Test node that records every packet it receives."""
+
+    def __init__(self, simulator, name):
+        super().__init__(simulator, name)
+        self.received = []
+
+    def handle_packet(self, packet):
+        self.received.append(packet)
+
+
+def _addr(text):
+    return IPv6Address.parse(text)
+
+
+@pytest.fixture
+def fabric_setup(simulator):
+    fabric = LANFabric(simulator, latency=0.001)
+    a = RecordingNode(simulator, "a")
+    a.add_address(_addr("fd00:100::1"))
+    b = RecordingNode(simulator, "b")
+    b.add_address(_addr("fd00:100::2"))
+    a.attach(fabric)
+    b.attach(fabric)
+    return fabric, a, b
+
+
+class TestRoutingTable:
+    def test_longest_prefix_match_wins(self):
+        table = RoutingTable()
+        table.add_route(IPv6Prefix.parse("fd00::/16"), "coarse")
+        table.add_route(IPv6Prefix.parse("fd00:100::/32"), "fine")
+        assert table.lookup(_addr("fd00:100::1")) == "fine"
+        assert table.lookup(_addr("fd00:200::1")) == "coarse"
+
+    def test_lookup_miss_raises(self):
+        table = RoutingTable()
+        with pytest.raises(RoutingError):
+            table.lookup(_addr("2001:db8::1"))
+
+    def test_lookup_or_none(self):
+        table = RoutingTable()
+        assert table.lookup_or_none(_addr("2001:db8::1")) is None
+
+    def test_replacing_a_route(self):
+        table = RoutingTable()
+        prefix = IPv6Prefix.parse("fd00:100::/32")
+        table.add_route(prefix, "old")
+        table.add_route(prefix, "new")
+        assert table.lookup(_addr("fd00:100::1")) == "new"
+        assert len(table) == 1
+
+    def test_remove_route(self):
+        table = RoutingTable()
+        prefix = IPv6Prefix.parse("fd00:100::/32")
+        table.add_route(prefix, "x")
+        assert table.remove_route(prefix) is True
+        assert table.remove_route(prefix) is False
+
+    def test_routes_listed_most_specific_first(self):
+        table = RoutingTable()
+        table.add_route(IPv6Prefix.parse("fd00::/16"), "coarse")
+        table.add_route(IPv6Prefix.parse("fd00:100::/32"), "fine")
+        assert [route.next_hop for route in table.routes()] == ["fine", "coarse"]
+
+
+class TestLocalSIDTable:
+    def test_register_and_lookup(self):
+        table = LocalSIDTable()
+        table.register(_addr("fd00:100::1"), lambda packet: True)
+        assert _addr("fd00:100::1") in table
+        assert table.lookup(_addr("fd00:100::1")) is not None
+        assert table.lookup(_addr("fd00:100::2")) is None
+
+    def test_unregister(self):
+        table = LocalSIDTable()
+        table.register(_addr("fd00:100::1"), lambda packet: True)
+        table.unregister(_addr("fd00:100::1"))
+        assert len(table) == 0
+
+
+class TestLANFabric:
+    def test_delivery_by_exact_address(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        packet = make_syn(a.primary_address, b.primary_address, 1000, 80)
+        a.send(packet)
+        simulator.run()
+        assert len(b.received) == 1
+        assert b.packets_received == 1
+        assert a.packets_sent == 1
+
+    def test_delivery_takes_latency(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        arrival_times = []
+        original = b.handle_packet
+        b.handle_packet = lambda packet: (arrival_times.append(simulator.now), original(packet))
+        a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        simulator.run()
+        assert arrival_times == [pytest.approx(0.001)]
+
+    def test_prefix_advertisement_routes_unknown_addresses(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        fabric.advertise_prefix(IPv6Prefix.parse("fd00:300::/32"), b)
+        a.send(make_syn(a.primary_address, _addr("fd00:300::77"), 1000, 80))
+        simulator.run()
+        assert len(b.received) == 1
+
+    def test_exact_binding_wins_over_prefix(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        fabric.advertise_prefix(IPv6Prefix.parse("fd00:100::/32"), b)
+        # fd00:100::1 is bound exactly to node a, so a self-addressed
+        # packet from b must go to a even though the prefix points at b.
+        b.send(make_syn(b.primary_address, a.primary_address, 1000, 80))
+        simulator.run()
+        assert len(a.received) == 1
+
+    def test_unroutable_packet_is_dropped_and_counted(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        a.send(make_syn(a.primary_address, _addr("2001:db8::1"), 1000, 80))
+        simulator.run()
+        assert fabric.stats.packets_dropped_no_route == 1
+        assert b.received == []
+
+    def test_strict_fabric_raises_on_unroutable(self, simulator):
+        fabric = LANFabric(simulator, strict=True)
+        node = RecordingNode(simulator, "only")
+        node.add_address(_addr("fd00:100::1"))
+        node.attach(fabric)
+        with pytest.raises(RoutingError):
+            node.send(make_syn(node.primary_address, _addr("2001:db8::1"), 1000, 80))
+
+    def test_duplicate_address_binding_rejected(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        with pytest.raises(RoutingError):
+            fabric.bind_address(a.primary_address, b)
+
+    def test_duplicate_node_name_rejected(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        impostor = RecordingNode(simulator, "a")
+        impostor.add_address(_addr("fd00:100::99"))
+        with pytest.raises(RoutingError):
+            impostor.attach(fabric)
+
+    def test_taps_observe_deliveries(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        seen = []
+        fabric.add_tap(lambda packet, origin, destination: seen.append((origin, destination)))
+        a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        simulator.run()
+        assert seen == [("a", "b")]
+
+    def test_stats_per_node(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        for _ in range(3):
+            a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        simulator.run()
+        assert fabric.stats.deliveries_per_node["b"] == 3
+        assert fabric.stats.packets_delivered == 3
+
+    def test_node_lookup_by_name(self, fabric_setup):
+        fabric, a, b = fabric_setup
+        assert fabric.node("a") is a
+        with pytest.raises(RoutingError):
+            fabric.node("missing")
+
+    def test_send_unattached_node_raises(self, simulator):
+        node = RecordingNode(simulator, "lonely")
+        node.add_address(_addr("fd00:100::1"))
+        with pytest.raises(RoutingError):
+            node.send(make_syn(node.primary_address, _addr("fd00:100::2"), 1000, 80))
+
+
+class TestLink:
+    def test_infinite_bandwidth_delivers_after_latency(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b, latency=0.002)
+        packet = make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80)
+        assert link.transmit(a, packet) is True
+        simulator.run()
+        assert len(b.received) == 1
+        assert simulator.now == pytest.approx(0.002)
+
+    def test_serialization_delay_with_finite_bandwidth(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        # 1 Mbit/s: a 60-byte packet takes 480 microseconds to serialize.
+        link = Link(simulator, a, b, latency=0.0, bandwidth_bps=1e6)
+        link.transmit(a, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80))
+        simulator.run()
+        assert simulator.now == pytest.approx(60 * 8 / 1e6)
+
+    def test_queue_overflow_drops(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b, latency=0.0, bandwidth_bps=1e3, queue_capacity=2)
+        results = [
+            link.transmit(a, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80))
+            for _ in range(4)
+        ]
+        assert results == [True, True, False, False]
+        assert link.stats[1].packets_dropped == 2
+
+    def test_other_end(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b)
+        assert link.other_end(a) is b
+        assert link.other_end(b) is a
+        stranger = RecordingNode(simulator, "c")
+        with pytest.raises(NetworkError):
+            link.other_end(stranger)
+
+    def test_foreign_sender_rejected(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        c = RecordingNode(simulator, "c")
+        link = Link(simulator, a, b)
+        with pytest.raises(NetworkError):
+            link.transmit(c, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80))

@@ -1,0 +1,181 @@
+"""Unit tests for the packet and TCP-segment value objects."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import (
+    IPV6_HEADER_SIZE,
+    TCP_HEADER_SIZE,
+    FlowKey,
+    Packet,
+    TCPFlag,
+    TCPSegment,
+    make_syn,
+    reply_ports,
+)
+from repro.net.srh import SegmentRoutingHeader
+
+
+def _addr(text: str) -> IPv6Address:
+    return IPv6Address.parse(text)
+
+
+class TestTCPSegment:
+    def test_flag_queries(self):
+        segment = TCPSegment(src_port=1000, dst_port=80, flags=TCPFlag.SYN | TCPFlag.ACK)
+        assert segment.has(TCPFlag.SYN)
+        assert segment.has(TCPFlag.ACK)
+        assert not segment.has(TCPFlag.RST)
+
+    def test_invalid_ports_rejected(self):
+        with pytest.raises(NetworkError):
+            TCPSegment(src_port=0, dst_port=80)
+        with pytest.raises(NetworkError):
+            TCPSegment(src_port=1000, dst_port=70000)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            TCPSegment(src_port=1000, dst_port=80, payload_size=-1)
+
+    def test_size_includes_payload(self):
+        segment = TCPSegment(src_port=1000, dst_port=80, payload_size=100)
+        assert segment.size_bytes() == TCP_HEADER_SIZE + 100
+
+
+class TestFlowKey:
+    def test_reversed_swaps_endpoints(self):
+        key = FlowKey(_addr("fd00:200::1"), 1234, _addr("fd00:300::1"), 80)
+        reverse = key.reversed()
+        assert reverse.src_address == _addr("fd00:300::1")
+        assert reverse.src_port == 80
+        assert reverse.dst_address == _addr("fd00:200::1")
+        assert reverse.dst_port == 1234
+
+    def test_double_reverse_is_identity(self):
+        key = FlowKey(_addr("fd00:200::1"), 1234, _addr("fd00:300::1"), 80)
+        assert key.reversed().reversed() == key
+
+    def test_hashable(self):
+        key = FlowKey(_addr("fd00:200::1"), 1234, _addr("fd00:300::1"), 80)
+        same = FlowKey(_addr("fd00:200::1"), 1234, _addr("fd00:300::1"), 80)
+        assert len({key, same}) == 1
+
+
+class TestPacket:
+    def test_make_syn(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80, request_id=7)
+        assert packet.tcp.has(TCPFlag.SYN)
+        assert packet.tcp.request_id == 7
+        assert packet.dst == _addr("fd00:300::1")
+
+    def test_flow_key_uses_final_destination_with_srh(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        srh = SegmentRoutingHeader.from_traversal(
+            [_addr("fd00:100::1"), _addr("fd00:100::2"), _addr("fd00:300::1")]
+        )
+        packet.attach_srh(srh)
+        key = packet.flow_key()
+        assert key.dst_address == _addr("fd00:300::1")
+        assert packet.dst == _addr("fd00:100::1")
+
+    def test_attach_srh_points_destination_at_active_segment(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        srh = SegmentRoutingHeader.from_traversal(
+            [_addr("fd00:100::1"), _addr("fd00:300::1")]
+        )
+        packet.attach_srh(srh)
+        assert packet.dst == _addr("fd00:100::1")
+
+    def test_advance_srh_updates_destination(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:100::2"), _addr("fd00:300::1")]
+            )
+        )
+        packet.advance_srh()
+        assert packet.dst == _addr("fd00:100::2")
+
+    def test_set_segments_left_updates_destination(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:100::2"), _addr("fd00:300::1")]
+            )
+        )
+        packet.set_segments_left(0)
+        assert packet.dst == _addr("fd00:300::1")
+
+    def test_advance_without_srh_raises(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        with pytest.raises(NetworkError):
+            packet.advance_srh()
+
+    def test_constructor_enforces_active_segment_invariant(self):
+        srh = SegmentRoutingHeader.from_traversal(
+            [_addr("fd00:100::1"), _addr("fd00:300::1")]
+        )
+        with pytest.raises(NetworkError):
+            Packet(
+                src=_addr("fd00:200::1"),
+                dst=_addr("fd00:300::1"),  # wrong: active segment is fd00:100::1
+                tcp=TCPSegment(src_port=1, dst_port=80),
+                srh=srh,
+            )
+
+    def test_detach_srh_keeps_destination(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:300::1")]
+            )
+        )
+        packet.detach_srh()
+        assert packet.srh is None
+        assert packet.dst == _addr("fd00:100::1")
+
+    def test_hop_limit_decrements_and_expires(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        packet.hop_limit = 2
+        packet.decrement_hop_limit()
+        with pytest.raises(NetworkError):
+            packet.decrement_hop_limit()
+
+    def test_size_includes_srh(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        base = packet.size_bytes()
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:300::1")]
+            )
+        )
+        assert packet.size_bytes() > base
+        assert base == IPV6_HEADER_SIZE + TCP_HEADER_SIZE
+
+    def test_copy_gets_new_id_and_independent_srh(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:100::2"), _addr("fd00:300::1")]
+            )
+        )
+        clone = packet.copy()
+        assert clone.packet_id != packet.packet_id
+        packet.advance_srh()
+        assert clone.srh.segments_left == 2
+
+    def test_unique_packet_ids(self):
+        first = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        second = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        assert first.packet_id != second.packet_id
+
+    def test_reply_ports(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        assert reply_ports(packet) == (80, 1234)
+
+    def test_describe_mentions_flags_and_endpoints(self):
+        packet = make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+        text = packet.describe()
+        assert "SYN" in text
+        assert "fd00:200::1" in text

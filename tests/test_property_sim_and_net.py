@@ -1,0 +1,131 @@
+"""Property-based tests for the simulation engine and network substrate."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import IPv6Address
+from repro.net.srh import SegmentRoutingHeader
+from repro.sim.engine import Simulator
+
+# ----------------------------------------------------------------------
+# simulation engine
+# ----------------------------------------------------------------------
+event_times = st.lists(
+    st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(times=event_times)
+@settings(max_examples=100, deadline=None)
+def test_events_always_execute_in_nondecreasing_time_order(times):
+    simulator = Simulator(seed=0)
+    executed = []
+    for time in times:
+        simulator.schedule_at(time, lambda t=time: executed.append(simulator.now))
+    simulator.run()
+    assert len(executed) == len(times)
+    assert executed == sorted(executed)
+    assert executed == sorted(times)
+
+
+@given(times=event_times, cancel_mask=st.lists(st.booleans(), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_cancelled_events_never_fire_and_others_always_do(times, cancel_mask):
+    simulator = Simulator(seed=0)
+    fired = []
+    handles = []
+    for index, time in enumerate(times):
+        handles.append(
+            simulator.schedule_at(time, lambda i=index: fired.append(i))
+        )
+    cancelled = set()
+    for index, handle in enumerate(handles):
+        if cancel_mask[index % len(cancel_mask)]:
+            handle.cancel()
+            cancelled.add(index)
+    simulator.run()
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(
+    times=event_times,
+    horizon=st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_run_until_never_executes_later_events(times, horizon):
+    simulator = Simulator(seed=0)
+    executed = []
+    for time in times:
+        simulator.schedule_at(time, lambda t=time: executed.append(t))
+    simulator.run(until=horizon)
+    assert all(time <= horizon for time in executed)
+    # Draining afterwards executes exactly the remainder.
+    simulator.run()
+    assert sorted(executed) == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# IPv6 addresses
+# ----------------------------------------------------------------------
+address_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+@given(value=address_values)
+@settings(max_examples=300, deadline=None)
+def test_ipv6_format_parse_roundtrip(value):
+    address = IPv6Address(value)
+    assert IPv6Address.parse(str(address)) == address
+
+
+@given(values=st.lists(address_values, min_size=2, max_size=10, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_ipv6_ordering_matches_integer_ordering(values):
+    addresses = [IPv6Address(value) for value in values]
+    assert sorted(addresses) == [IPv6Address(value) for value in sorted(values)]
+
+
+# ----------------------------------------------------------------------
+# Segment Routing header
+# ----------------------------------------------------------------------
+segment_lists = st.lists(address_values, min_size=1, max_size=8, unique=True).map(
+    lambda values: [IPv6Address(value) for value in values]
+)
+
+
+@given(path=segment_lists)
+@settings(max_examples=200, deadline=None)
+def test_srh_traversal_roundtrip(path):
+    srh = SegmentRoutingHeader.from_traversal(path)
+    assert list(srh.traversal_order()) == path
+    assert srh.active_segment == path[0]
+    assert srh.final_segment == path[-1]
+
+
+@given(path=segment_lists)
+@settings(max_examples=200, deadline=None)
+def test_srh_advancing_visits_segments_in_order(path):
+    srh = SegmentRoutingHeader.from_traversal(path)
+    visited = [srh.active_segment]
+    while not srh.exhausted:
+        visited.append(srh.advance())
+    assert visited == path
+
+
+@given(path=segment_lists, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_srh_segments_left_is_monotonically_non_increasing(path, data):
+    srh = SegmentRoutingHeader.from_traversal(path)
+    previous = srh.segments_left
+    while not srh.exhausted:
+        jump = data.draw(st.integers(min_value=0, max_value=srh.segments_left))
+        srh.set_segments_left(jump)
+        assert srh.segments_left <= previous
+        previous = srh.segments_left
+        if srh.segments_left > 0:
+            srh.advance()
+            previous = srh.segments_left
+    assert srh.active_segment == path[-1] or srh.segments_left == 0

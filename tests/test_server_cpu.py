@@ -1,0 +1,168 @@
+"""Unit tests for the CPU models (processor sharing and FIFO)."""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.cpu import FIFOCPU, ProcessorSharingCPU, make_cpu
+
+
+class TestProcessorSharingCPU:
+    def test_single_job_takes_its_demand(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        completions = []
+        cpu.add_job(1, 0.5, lambda job_id: completions.append((job_id, simulator.now)))
+        simulator.run()
+        assert completions == [(1, pytest.approx(0.5))]
+
+    def test_jobs_within_core_capacity_do_not_slow_each_other(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        completions = {}
+        cpu.add_job(1, 0.5, lambda job_id: completions.setdefault(job_id, simulator.now))
+        cpu.add_job(2, 0.5, lambda job_id: completions.setdefault(job_id, simulator.now))
+        simulator.run()
+        assert completions[1] == pytest.approx(0.5)
+        assert completions[2] == pytest.approx(0.5)
+
+    def test_oversubscription_slows_all_jobs(self, simulator):
+        # 4 equal jobs on 2 cores: each runs at rate 1/2, so 0.5 s of
+        # demand takes 1.0 s of wall clock.
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        completions = {}
+        for job_id in range(4):
+            cpu.add_job(job_id, 0.5, lambda j: completions.setdefault(j, simulator.now))
+        simulator.run()
+        for job_id in range(4):
+            assert completions[job_id] == pytest.approx(1.0)
+
+    def test_late_arrival_shares_remaining_capacity(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        completions = {}
+        cpu.add_job(1, 1.0, lambda j: completions.setdefault(j, simulator.now))
+        # Second job arrives at t=0.5; from then on both run at rate 1/2.
+        simulator.schedule_at(
+            0.5, lambda: cpu.add_job(2, 0.25, lambda j: completions.setdefault(j, simulator.now))
+        )
+        simulator.run()
+        # Job 1: 0.5 done alone, remaining 0.5 at half speed -> finishes at 1.5... but
+        # job 2 finishes first (0.25 demand at half speed = 0.5s) at t=1.0,
+        # after which job 1 runs alone again.
+        assert completions[2] == pytest.approx(1.0)
+        assert completions[1] == pytest.approx(1.25)
+
+    def test_active_jobs_counter(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        cpu.add_job(1, 1.0, lambda j: None)
+        cpu.add_job(2, 1.0, lambda j: None)
+        assert cpu.active_jobs == 2
+        simulator.run()
+        assert cpu.active_jobs == 0
+
+    def test_cancel_job(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        completions = []
+        cpu.add_job(1, 1.0, lambda j: completions.append(j))
+        assert cpu.cancel_job(1) is True
+        assert cpu.cancel_job(1) is False
+        simulator.run()
+        assert completions == []
+
+    def test_cancel_speeds_up_remaining_jobs(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        completions = {}
+        cpu.add_job(1, 1.0, lambda j: completions.setdefault(j, simulator.now))
+        cpu.add_job(2, 1.0, lambda j: completions.setdefault(j, simulator.now))
+        simulator.schedule_at(0.5, lambda: cpu.cancel_job(2))
+        simulator.run()
+        # Job 1 gets half the core until t=0.5 (0.25 done), then full speed.
+        assert completions[1] == pytest.approx(1.25)
+
+    def test_duplicate_job_id_rejected(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        cpu.add_job(1, 1.0, lambda j: None)
+        with pytest.raises(ServerError):
+            cpu.add_job(1, 1.0, lambda j: None)
+
+    def test_non_positive_demand_rejected(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        with pytest.raises(ServerError):
+            cpu.add_job(1, 0.0, lambda j: None)
+
+    def test_jobs_completed_counter(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        for job_id in range(5):
+            cpu.add_job(job_id, 0.1, lambda j: None)
+        simulator.run()
+        assert cpu.jobs_completed == 5
+
+    def test_utilization_tracks_busy_cores(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=2)
+        cpu.add_job(1, 1.0, lambda j: None)
+        simulator.run()
+        # One job on a 2-core CPU for the whole run: 50% utilization.
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_invalid_core_count_rejected(self, simulator):
+        with pytest.raises(ServerError):
+            ProcessorSharingCPU(simulator, num_cores=0)
+
+
+class TestFIFOCPU:
+    def test_jobs_run_to_completion_in_order(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=1)
+        completions = []
+        cpu.add_job(1, 0.3, lambda j: completions.append((j, simulator.now)))
+        cpu.add_job(2, 0.2, lambda j: completions.append((j, simulator.now)))
+        simulator.run()
+        assert completions == [(1, pytest.approx(0.3)), (2, pytest.approx(0.5))]
+
+    def test_parallel_cores(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=2)
+        completions = {}
+        cpu.add_job(1, 0.3, lambda j: completions.setdefault(j, simulator.now))
+        cpu.add_job(2, 0.3, lambda j: completions.setdefault(j, simulator.now))
+        simulator.run()
+        assert completions[1] == pytest.approx(0.3)
+        assert completions[2] == pytest.approx(0.3)
+
+    def test_active_jobs_counts_queue(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=1)
+        for job_id in range(3):
+            cpu.add_job(job_id, 1.0, lambda j: None)
+        assert cpu.active_jobs == 3
+
+    def test_cancel_running_job_promotes_queued(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=1)
+        completions = {}
+        cpu.add_job(1, 1.0, lambda j: completions.setdefault(j, simulator.now))
+        cpu.add_job(2, 0.5, lambda j: completions.setdefault(j, simulator.now))
+        assert cpu.cancel_job(1) is True
+        simulator.run()
+        assert 1 not in completions
+        assert completions[2] == pytest.approx(0.5)
+
+    def test_cancel_queued_job(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=1)
+        cpu.add_job(1, 1.0, lambda j: None)
+        cpu.add_job(2, 1.0, lambda j: None)
+        assert cpu.cancel_job(2) is True
+        assert cpu.active_jobs == 1
+
+    def test_duplicate_job_rejected(self, simulator):
+        cpu = FIFOCPU(simulator, num_cores=1)
+        cpu.add_job(1, 1.0, lambda j: None)
+        with pytest.raises(ServerError):
+            cpu.add_job(1, 0.5, lambda j: None)
+
+
+class TestFactory:
+    def test_processor_sharing_aliases(self, simulator):
+        assert isinstance(make_cpu(simulator, 2, "processor-sharing"), ProcessorSharingCPU)
+        assert isinstance(make_cpu(simulator, 2, "ps"), ProcessorSharingCPU)
+
+    def test_fifo_aliases(self, simulator):
+        assert isinstance(make_cpu(simulator, 2, "fifo"), FIFOCPU)
+        assert isinstance(make_cpu(simulator, 2, "run-to-completion"), FIFOCPU)
+
+    def test_unknown_model_rejected(self, simulator):
+        with pytest.raises(ServerError):
+            make_cpu(simulator, 2, "quantum")

@@ -1,0 +1,172 @@
+"""Unit tests for the scoreboard, worker pool and listen backlog."""
+
+import pytest
+
+from repro.errors import BacklogOverflowError, ServerError, WorkerPoolError
+from repro.server.backlog import ListenBacklog
+from repro.server.scoreboard import Scoreboard, WorkerState
+from repro.server.worker_pool import WorkerPool
+from repro.sim.clock import SimulationClock
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock()
+
+
+class TestScoreboard:
+    def test_starts_all_idle(self, clock):
+        board = Scoreboard(clock, 4)
+        assert board.busy_count == 0
+        assert board.idle_count == 4
+        assert all(board.state_of(slot) is WorkerState.IDLE for slot in range(4))
+
+    def test_mark_busy_and_idle(self, clock):
+        board = Scoreboard(clock, 4)
+        board.mark_busy(2)
+        assert board.busy_count == 1
+        assert board.state_of(2) is WorkerState.BUSY
+        board.mark_idle(2)
+        assert board.busy_count == 0
+
+    def test_double_mark_is_idempotent(self, clock):
+        board = Scoreboard(clock, 4)
+        board.mark_busy(1)
+        board.mark_busy(1)
+        assert board.busy_count == 1
+
+    def test_peak_busy(self, clock):
+        board = Scoreboard(clock, 4)
+        for slot in range(3):
+            board.mark_busy(slot)
+        board.mark_idle(0)
+        assert board.peak_busy == 3
+        assert board.busy_count == 2
+
+    def test_out_of_range_slot_rejected(self, clock):
+        board = Scoreboard(clock, 4)
+        with pytest.raises(ServerError):
+            board.mark_busy(4)
+        with pytest.raises(ServerError):
+            board.state_of(-1)
+
+    def test_zero_slots_rejected(self, clock):
+        with pytest.raises(ServerError):
+            Scoreboard(clock, 0)
+
+    def test_mean_busy_integrates_over_time(self, clock):
+        board = Scoreboard(clock, 4)
+        board.mark_busy(0)
+        clock.advance(2.0)
+        board.mark_busy(1)
+        clock.advance(4.0)
+        # 1 busy for 2 s, then 2 busy for 2 s -> mean = (2 + 4) / 4 = 1.5
+        assert board.mean_busy() == pytest.approx(1.5)
+
+    def test_snapshot(self, clock):
+        board = Scoreboard(clock, 4)
+        board.mark_busy(0)
+        snapshot = board.snapshot()
+        assert snapshot == {"slots": 4, "busy": 1, "idle": 3, "peak_busy": 1}
+
+
+class TestWorkerPool:
+    def test_acquire_until_exhausted(self, clock):
+        pool = WorkerPool(Scoreboard(clock, 3))
+        slots = [pool.acquire() for _ in range(3)]
+        assert sorted(slots) == [0, 1, 2]
+        assert pool.acquire() is None
+        assert pool.busy_workers == 3
+        assert not pool.has_idle_worker
+
+    def test_release_returns_worker(self, clock):
+        pool = WorkerPool(Scoreboard(clock, 2))
+        slot = pool.acquire()
+        pool.release(slot)
+        assert pool.idle_workers == 2
+        assert pool.busy_workers == 0
+
+    def test_release_unacquired_worker_rejected(self, clock):
+        pool = WorkerPool(Scoreboard(clock, 2))
+        with pytest.raises(WorkerPoolError):
+            pool.release(0)
+
+    def test_scoreboard_mirrors_pool_state(self, clock):
+        board = Scoreboard(clock, 2)
+        pool = WorkerPool(board)
+        slot = pool.acquire()
+        assert board.busy_count == 1
+        pool.release(slot)
+        assert board.busy_count == 0
+
+    def test_acquisition_counter(self, clock):
+        pool = WorkerPool(Scoreboard(clock, 2))
+        slot = pool.acquire()
+        pool.release(slot)
+        pool.acquire()
+        assert pool.total_acquisitions == 2
+
+    def test_is_busy(self, clock):
+        pool = WorkerPool(Scoreboard(clock, 2))
+        slot = pool.acquire()
+        assert pool.is_busy(slot)
+        assert not pool.is_busy(1 - slot)
+
+
+class TestListenBacklog:
+    def test_admission_until_full(self):
+        backlog = ListenBacklog(capacity=2)
+        assert backlog.try_admit(1) is True
+        assert backlog.try_admit(2) is True
+        assert backlog.is_full
+        assert backlog.try_admit(3) is False
+        assert backlog.total_rejected == 1
+
+    def test_strict_mode_raises_on_overflow(self):
+        backlog = ListenBacklog(capacity=1, abort_on_overflow=False)
+        backlog.try_admit(1)
+        with pytest.raises(BacklogOverflowError):
+            backlog.try_admit(2)
+
+    def test_fifo_order(self):
+        backlog = ListenBacklog(capacity=4)
+        for connection_id in (10, 20, 30):
+            backlog.try_admit(connection_id)
+        assert backlog.pop_next() == 10
+        assert backlog.pop_next() == 20
+        assert backlog.peek_next() == 30
+
+    def test_pop_empty_returns_none(self):
+        backlog = ListenBacklog(capacity=2)
+        assert backlog.pop_next() is None
+        assert backlog.peek_next() is None
+
+    def test_remove_specific_connection(self):
+        backlog = ListenBacklog(capacity=4)
+        backlog.try_admit(1)
+        backlog.try_admit(2)
+        assert backlog.remove(1) is True
+        assert backlog.remove(1) is False
+        assert backlog.pop_next() == 2
+
+    def test_duplicate_admission_rejected(self):
+        backlog = ListenBacklog(capacity=4)
+        backlog.try_admit(1)
+        with pytest.raises(ServerError):
+            backlog.try_admit(1)
+
+    def test_pop_frees_capacity(self):
+        backlog = ListenBacklog(capacity=1)
+        backlog.try_admit(1)
+        backlog.pop_next()
+        assert backlog.try_admit(2) is True
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ServerError):
+            ListenBacklog(capacity=0)
+
+    def test_contains_and_len(self):
+        backlog = ListenBacklog(capacity=4)
+        backlog.try_admit(7)
+        assert 7 in backlog
+        assert len(backlog) == 1

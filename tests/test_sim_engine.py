@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import PeriodicTask, Simulator, exponential_delay
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, simulator):
+        order = []
+        simulator.schedule_at(2.0, lambda: order.append("b"))
+        simulator.schedule_at(1.0, lambda: order.append("a"))
+        simulator.schedule_at(3.0, lambda: order.append("c"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_run_in_scheduling_order(self, simulator):
+        order = []
+        for label in ("first", "second", "third"):
+            simulator.schedule_at(1.0, lambda label=label: order.append(label))
+        simulator.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_in_is_relative(self, simulator):
+        times = []
+        simulator.schedule_in(1.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [1.5]
+
+    def test_schedule_in_past_raises(self, simulator):
+        simulator.schedule_at(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SchedulingError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self, simulator):
+        with pytest.raises(SchedulingError):
+            simulator.schedule_in(-0.1, lambda: None)
+
+    def test_clock_advances_to_event_time(self, simulator):
+        simulator.schedule_at(7.0, lambda: None)
+        final = simulator.run()
+        assert final == 7.0
+        assert simulator.now == 7.0
+
+    def test_nested_scheduling_from_callback(self, simulator):
+        seen = []
+
+        def outer():
+            seen.append(("outer", simulator.now))
+            simulator.schedule_in(1.0, inner)
+
+        def inner():
+            seen.append(("inner", simulator.now))
+
+        simulator.schedule_at(1.0, outer)
+        simulator.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, simulator):
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append(1))
+        simulator.schedule_at(10.0, lambda: fired.append(10))
+        final = simulator.run(until=5.0)
+        assert fired == [1]
+        assert final == 5.0
+        # The remaining event still fires on a subsequent run.
+        simulator.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_even_without_events(self, simulator):
+        final = simulator.run(until=3.0)
+        assert final == 3.0
+
+    def test_max_events_limits_execution(self, simulator):
+        fired = []
+        for index in range(10):
+            simulator.schedule_at(float(index + 1), lambda i=index: fired.append(i))
+        simulator.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_stop_halts_the_run(self, simulator):
+        fired = []
+        simulator.schedule_at(1.0, lambda: (fired.append(1), simulator.stop()))
+        simulator.schedule_at(2.0, lambda: fired.append(2))
+        simulator.run()
+        assert fired == [1]
+
+    def test_step_executes_exactly_one_event(self, simulator):
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append("a"))
+        simulator.schedule_at(2.0, lambda: fired.append("b"))
+        assert simulator.step() is True
+        assert fired == ["a"]
+        assert simulator.step() is True
+        assert simulator.step() is False
+
+    def test_reentrant_run_raises(self, simulator):
+        def reenter():
+            simulator.run()
+
+        simulator.schedule_at(1.0, reenter)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_events_executed_counter(self, simulator):
+        for index in range(5):
+            simulator.schedule_at(float(index), lambda: None)
+        simulator.run()
+        assert simulator.events_executed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, simulator):
+        fired = []
+        handle = simulator.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_twice_is_harmless(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_peek_next_time_skips_cancelled(self, simulator):
+        first = simulator.schedule_at(1.0, lambda: None)
+        simulator.schedule_at(2.0, lambda: None)
+        first.cancel()
+        assert simulator.peek_next_time() == 2.0
+
+    def test_peek_next_time_empty_heap(self, simulator):
+        assert simulator.peek_next_time() is None
+
+    def test_drain_discards_pending_events(self, simulator):
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.schedule_at(2.0, lambda: None)
+        assert simulator.drain() == 2
+        assert simulator.peek_next_time() is None
+
+
+class TestPeriodicTask:
+    def test_periodic_task_ticks_at_interval(self, simulator):
+        ticks = []
+        task = PeriodicTask(simulator, interval=1.0, callback=lambda: ticks.append(simulator.now))
+        task.start()
+        simulator.schedule_at(3.5, task.stop)
+        simulator.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_periodic_task_first_delay_override(self, simulator):
+        ticks = []
+        task = PeriodicTask(simulator, interval=2.0, callback=lambda: ticks.append(simulator.now))
+        task.start(first_delay=0.0)
+        simulator.schedule_at(4.5, task.stop)
+        simulator.run()
+        assert ticks == [0.0, 2.0, 4.0]
+
+    def test_periodic_task_requires_positive_interval(self, simulator):
+        task = PeriodicTask(simulator, interval=0.0, callback=lambda: None)
+        with pytest.raises(SchedulingError):
+            task.start()
+
+    def test_stop_before_start_is_noop(self, simulator):
+        task = PeriodicTask(simulator, interval=1.0, callback=lambda: None)
+        task.stop()
+        assert not task.active
+
+    def test_double_start_does_not_double_tick(self, simulator):
+        ticks = []
+        task = PeriodicTask(simulator, interval=1.0, callback=lambda: ticks.append(simulator.now))
+        task.start()
+        task.start()
+        simulator.schedule_at(2.5, task.stop)
+        simulator.run()
+        assert ticks == [1.0, 2.0]
+
+
+class TestExponentialDelay:
+    def test_positive_values(self, simulator):
+        rng = simulator.streams.stream("test")
+        values = [exponential_delay(rng, 0.5) for _ in range(100)]
+        assert all(value > 0 for value in values)
+
+    def test_mean_is_roughly_right(self, simulator):
+        rng = simulator.streams.stream("test")
+        values = [exponential_delay(rng, 2.0) for _ in range(20_000)]
+        assert 1.9 < sum(values) / len(values) < 2.1
+
+    def test_rejects_non_positive_mean(self, simulator):
+        rng = simulator.streams.stream("test")
+        with pytest.raises(SimulationError):
+            exponential_delay(rng, 0.0)

@@ -1,0 +1,176 @@
+"""Unit tests for the traffic-generator client node."""
+
+import pytest
+
+from repro.metrics.collector import ResponseTimeCollector
+from repro.net.addressing import IPv6Address
+from repro.net.fabric import LANFabric
+from repro.net.packet import Packet, TCPFlag, TCPSegment
+from repro.net.router import NetworkNode
+from repro.net.tcp import HTTP_PORT
+from repro.workload.client import REQUEST_PAYLOAD_SIZE, TrafficGeneratorNode
+from repro.workload.requests import Request
+from repro.workload.trace import Trace
+
+
+def _addr(text):
+    return IPv6Address.parse(text)
+
+
+CLIENT = _addr("fd00:200::1")
+VIP = _addr("fd00:300::1")
+
+
+class EchoService(NetworkNode):
+    """Stand-in for the LB + server side: answers SYNs and requests.
+
+    Behaviour is configurable per test: it can answer with a SYN-ACK and
+    a response, or reset the connection.
+    """
+
+    def __init__(self, simulator, reset_ports=frozenset(), response_delay=0.01):
+        super().__init__(simulator, "service")
+        self.add_address(VIP)
+        self.reset_ports = reset_ports
+        self.response_delay = response_delay
+        self.syns = []
+        self.requests = []
+
+    def handle_packet(self, packet):
+        tcp = packet.tcp
+        if tcp.has(TCPFlag.SYN):
+            self.syns.append(packet)
+            flags = (
+                TCPFlag.RST
+                if tcp.src_port in self.reset_ports
+                else TCPFlag.SYN | TCPFlag.ACK
+            )
+            self.send(
+                Packet(
+                    src=VIP,
+                    dst=packet.src,
+                    tcp=TCPSegment(
+                        src_port=HTTP_PORT,
+                        dst_port=tcp.src_port,
+                        flags=flags,
+                        request_id=tcp.request_id,
+                    ),
+                )
+            )
+        elif tcp.payload_size > 0:
+            self.requests.append(packet)
+            reply = Packet(
+                src=VIP,
+                dst=packet.src,
+                tcp=TCPSegment(
+                    src_port=HTTP_PORT,
+                    dst_port=tcp.src_port,
+                    flags=TCPFlag.PSH | TCPFlag.ACK,
+                    payload_size=1_000,
+                    request_id=tcp.request_id,
+                ),
+            )
+            self.simulator.schedule_in(self.response_delay, lambda: self.send(reply))
+
+
+def _build(simulator, reset_ports=frozenset()):
+    fabric = LANFabric(simulator, latency=1e-4)
+    collector = ResponseTimeCollector()
+    client = TrafficGeneratorNode(simulator, "client", CLIENT, VIP, collector)
+    service = EchoService(simulator, reset_ports=reset_ports)
+    client.attach(fabric)
+    service.attach(fabric)
+    return client, service, collector
+
+
+def _trace(count, spacing=0.01):
+    return Trace(
+        [
+            Request(request_id=1_000 + index, arrival_time=index * spacing,
+                    service_demand=0.05, kind="php", url=f"/item/{index}")
+            for index in range(count)
+        ]
+    )
+
+
+class TestTrafficGenerator:
+    def test_full_query_lifecycle(self, simulator):
+        client, service, collector = _build(simulator)
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_completed == 1
+        assert client.queries_failed == 0
+        assert client.in_flight == 0
+        assert len(service.requests) == 1
+        outcome = collector.outcomes()[0]
+        assert outcome.succeeded
+        assert outcome.established_at is not None
+        # Response time covers handshake + request + service + response.
+        assert outcome.response_time > 0.01
+
+    def test_open_loop_arrivals_follow_the_trace(self, simulator):
+        client, service, collector = _build(simulator)
+        client.schedule_trace(_trace(5, spacing=0.1))
+        simulator.run()
+        sent_times = sorted(outcome.sent_at for outcome in collector.outcomes())
+        assert sent_times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_request_payload_is_sent_after_syn_ack(self, simulator):
+        client, service, collector = _build(simulator)
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert service.requests[0].tcp.payload_size == REQUEST_PAYLOAD_SIZE
+
+    def test_reset_marks_query_failed(self, simulator):
+        # The first ephemeral port is 10_000; reset that connection.
+        client, service, collector = _build(simulator, reset_ports={10_000})
+        client.schedule_trace(_trace(2))
+        simulator.run()
+        assert client.queries_failed == 1
+        assert client.queries_completed == 1
+        assert collector.totals.failed == 1
+        failure = collector.failures()[0]
+        assert failure.failure_reason == "connection reset"
+
+    def test_each_query_gets_a_distinct_source_port(self, simulator):
+        client, service, collector = _build(simulator)
+        client.schedule_trace(_trace(4))
+        simulator.run()
+        ports = {packet.tcp.src_port for packet in service.syns}
+        assert len(ports) == 4
+
+    def test_stray_packet_is_ignored(self, simulator):
+        client, service, collector = _build(simulator)
+        stray = Packet(
+            src=VIP,
+            dst=CLIENT,
+            tcp=TCPSegment(src_port=80, dst_port=9_999, flags=TCPFlag.ACK, request_id=777),
+        )
+        client.receive(stray)
+        assert client.queries_completed == 0
+        assert client.queries_failed == 0
+
+    def test_duplicate_in_flight_request_rejected(self, simulator):
+        client, service, collector = _build(simulator)
+        request = Request(request_id=42, arrival_time=0.0, service_demand=0.05)
+        client.start_query(request)
+        with pytest.raises(Exception):
+            client.start_query(request)
+
+    def test_outstanding_request_ids(self, simulator):
+        client, service, collector = _build(simulator)
+        request = Request(request_id=43, arrival_time=0.0, service_demand=0.05)
+        client.start_query(request)
+        assert client.outstanding_request_ids() == [43]
+        simulator.run()
+        assert client.outstanding_request_ids() == []
+
+    def test_works_without_collector(self, simulator):
+        fabric = LANFabric(simulator, latency=1e-4)
+        client = TrafficGeneratorNode(simulator, "client", CLIENT, VIP, collector=None)
+        service = EchoService(simulator)
+        client.attach(fabric)
+        service.attach(fabric)
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_completed == 1

@@ -1,0 +1,226 @@
+"""Unit tests for the trace container and the two workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import KIND_PHP, KIND_STATIC, KIND_WIKI, Request
+from repro.workload.service_models import DeterministicServiceTime
+from repro.workload.trace import Trace
+from repro.workload.wikipedia import (
+    DiurnalRateCurve,
+    SECONDS_PER_DAY,
+    SyntheticWikipediaWorkload,
+)
+
+
+def _request(request_id, arrival, demand=0.1, kind=KIND_PHP):
+    return Request(
+        request_id=request_id, arrival_time=arrival, service_demand=demand, kind=kind
+    )
+
+
+class TestTrace:
+    def test_requests_sorted_by_arrival(self):
+        trace = Trace([_request(1, 5.0), _request(2, 1.0), _request(3, 3.0)])
+        assert [request.request_id for request in trace] == [2, 3, 1]
+        assert trace.duration == 5.0
+
+    def test_summary(self):
+        trace = Trace([_request(1, 1.0, 0.2), _request(2, 2.0, 0.4, KIND_WIKI)])
+        summary = trace.summary()
+        assert summary.num_requests == 2
+        assert summary.mean_demand == pytest.approx(0.3)
+        assert summary.total_demand == pytest.approx(0.6)
+        assert summary.kinds == {KIND_PHP: 1, KIND_WIKI: 1}
+
+    def test_empty_trace_summary(self):
+        summary = Trace([]).summary()
+        assert summary.num_requests == 0
+        assert summary.duration == 0.0
+
+    def test_arrival_rate_in_window(self):
+        trace = Trace([_request(index + 1, float(index)) for index in range(10)])
+        assert trace.arrival_rate_in(0.0, 10.0) == pytest.approx(1.0)
+        with pytest.raises(WorkloadError):
+            trace.arrival_rate_in(5.0, 5.0)
+
+    def test_slice_time_rebases(self):
+        trace = Trace([_request(index, float(index)) for index in range(10)])
+        sliced = trace.slice_time(3.0, 6.0)
+        assert len(sliced) == 3
+        assert sliced[0].arrival_time == pytest.approx(0.0)
+
+    def test_thin_keeps_a_fraction(self, rng):
+        trace = Trace([_request(index, float(index) * 0.001) for index in range(10_000)])
+        thinned = trace.thin(0.25, rng)
+        assert 0.2 * len(trace) < len(thinned) < 0.3 * len(trace)
+
+    def test_thin_rejects_bad_fraction(self, rng):
+        trace = Trace([_request(1, 0.0)])
+        with pytest.raises(WorkloadError):
+            trace.thin(0.0, rng)
+
+    def test_compress_time(self):
+        trace = Trace([_request(1, 10.0), _request(2, 20.0)])
+        compressed = trace.compress_time(10.0)
+        assert compressed.duration == pytest.approx(2.0)
+
+    def test_filter_kind(self):
+        trace = Trace([_request(1, 0.0), _request(2, 1.0, kind=KIND_WIKI)])
+        assert len(trace.filter_kind(KIND_WIKI)) == 1
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = Trace([_request(1, 0.5), _request(2, 1.5, 0.3, KIND_WIKI)])
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == 2
+        assert loaded[1].kind == KIND_WIKI
+        assert loaded[1].service_demand == pytest.approx(0.3)
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(WorkloadError):
+            Trace.load(path)
+
+    def test_catalog_roundtrip(self):
+        trace = Trace([_request(7, 0.0, 0.2)])
+        catalog = trace.catalog()
+        assert catalog.demand_of(7) == pytest.approx(0.2)
+
+
+class TestPoissonWorkload:
+    def test_generates_requested_number_of_queries(self, rng):
+        workload = PoissonWorkload(rate=100.0, num_queries=500)
+        trace = workload.generate(rng)
+        assert len(trace) == 500
+        assert all(request.kind == KIND_PHP for request in trace)
+
+    def test_mean_rate_close_to_configured(self, rng):
+        workload = PoissonWorkload(rate=200.0, num_queries=20_000)
+        trace = workload.generate(rng)
+        assert trace.summary().mean_rate == pytest.approx(200.0, rel=0.05)
+
+    def test_service_demands_follow_configured_model(self, rng):
+        workload = PoissonWorkload(
+            rate=100.0, num_queries=200, service_model=DeterministicServiceTime(0.05)
+        )
+        trace = workload.generate(rng)
+        assert all(request.service_demand == pytest.approx(0.05) for request in trace)
+
+    def test_from_load_factor(self):
+        workload = PoissonWorkload.from_load_factor(
+            rho=0.5, saturation_rate=240.0, num_queries=100
+        )
+        assert workload.rate == pytest.approx(120.0)
+
+    def test_offered_load(self):
+        workload = PoissonWorkload(rate=120.0, num_queries=100)
+        assert workload.offered_load(total_cores=24) == pytest.approx(0.5)
+
+    def test_expected_duration(self):
+        workload = PoissonWorkload(rate=100.0, num_queries=1_000)
+        assert workload.expected_duration() == pytest.approx(10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonWorkload(rate=0.0)
+        with pytest.raises(WorkloadError):
+            PoissonWorkload(rate=10.0, num_queries=0)
+        with pytest.raises(WorkloadError):
+            PoissonWorkload.from_load_factor(rho=0.0, saturation_rate=100.0)
+
+    def test_same_seed_same_trace(self):
+        workload = PoissonWorkload(rate=100.0, num_queries=200)
+        first = workload.generate(np.random.default_rng(5))
+        second = workload.generate(np.random.default_rng(5))
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+        assert [r.service_demand for r in first] == [r.service_demand for r in second]
+
+
+class TestDiurnalCurve:
+    def test_trough_and_peak_locations(self):
+        curve = DiurnalRateCurve(mean_rate=85.0, amplitude=30.0, trough_hour=8.0,
+                                 second_harmonic=0.0)
+        trough = curve.rate_at(8.0 * 3600)
+        peak = curve.rate_at(20.0 * 3600)
+        assert trough == pytest.approx(55.0)
+        assert peak == pytest.approx(115.0)
+
+    def test_rate_never_negative(self):
+        curve = DiurnalRateCurve(mean_rate=30.0, amplitude=29.0)
+        rates = [curve.rate_at(t) for t in np.linspace(0, SECONDS_PER_DAY, 500)]
+        assert min(rates) > 0
+
+    def test_peak_rate_bounds_the_curve(self):
+        curve = DiurnalRateCurve()
+        rates = [curve.rate_at(t) for t in np.linspace(0, SECONDS_PER_DAY, 1_000)]
+        assert max(rates) <= curve.peak_rate() + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            DiurnalRateCurve(mean_rate=0.0)
+        with pytest.raises(WorkloadError):
+            DiurnalRateCurve(mean_rate=10.0, amplitude=20.0)
+
+
+class TestSyntheticWikipediaWorkload:
+    def test_generates_both_kinds(self, rng):
+        workload = SyntheticWikipediaWorkload(
+            duration=120.0, replay_fraction=0.5, static_per_wiki=1.0
+        )
+        trace = workload.generate(rng)
+        kinds = trace.summary().kinds
+        assert kinds.get(KIND_WIKI, 0) > 0
+        assert kinds.get(KIND_STATIC, 0) > 0
+
+    def test_request_count_matches_expectation(self, rng):
+        workload = SyntheticWikipediaWorkload(
+            duration=600.0, replay_fraction=0.5, static_per_wiki=1.0
+        )
+        trace = workload.generate(rng)
+        assert len(trace) == pytest.approx(workload.expected_request_count(), rel=0.15)
+
+    def test_diurnal_shape_visible_in_compressed_trace(self, rng):
+        # Compress a day into 20 minutes and check the trough-vs-peak ratio
+        # of wiki arrivals follows the configured curve.
+        workload = SyntheticWikipediaWorkload(
+            duration=1200.0, replay_fraction=1.0, static_per_wiki=0.0
+        )
+        trace = workload.generate(rng).filter_kind(KIND_WIKI)
+        trough_window = (8 / 24 * 1200.0 - 60.0, 8 / 24 * 1200.0 + 60.0)
+        peak_window = (20 / 24 * 1200.0 - 60.0, 20 / 24 * 1200.0 + 60.0)
+        trough_rate = trace.arrival_rate_in(*trough_window)
+        peak_rate = trace.arrival_rate_in(*peak_window)
+        assert peak_rate > 1.5 * trough_rate
+
+    def test_replay_fraction_scales_rate(self, rng):
+        full = SyntheticWikipediaWorkload(duration=300.0, replay_fraction=1.0,
+                                          static_per_wiki=0.0)
+        half = SyntheticWikipediaWorkload(duration=300.0, replay_fraction=0.5,
+                                          static_per_wiki=0.0)
+        full_count = len(full.generate(np.random.default_rng(1)))
+        half_count = len(half.generate(np.random.default_rng(1)))
+        assert half_count == pytest.approx(full_count / 2, rel=0.15)
+
+    def test_offered_peak_load_positive(self):
+        workload = SyntheticWikipediaWorkload(duration=600.0, replay_fraction=0.5)
+        assert 0 < workload.offered_peak_load(total_cores=24) < 2.0
+
+    def test_rate_helpers(self):
+        workload = SyntheticWikipediaWorkload(duration=SECONDS_PER_DAY, replay_fraction=0.5)
+        assert workload.wiki_rate_at(8 * 3600.0) < workload.wiki_rate_at(20 * 3600.0)
+        assert workload.static_rate_at(0.0) == pytest.approx(
+            workload.wiki_rate_at(0.0) * workload.static_per_wiki
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWikipediaWorkload(replay_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            SyntheticWikipediaWorkload(static_per_wiki=-1.0)
+        with pytest.raises(WorkloadError):
+            SyntheticWikipediaWorkload(duration=0.0)
