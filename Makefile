@@ -1,0 +1,31 @@
+# Convenience targets for the SRLB reproduction.
+#
+#   make test        - tier-1 test suite (the gate every PR must keep green)
+#   make bench-smoke - one fast benchmark per scenario family, reduced scale
+#   make docs-check  - doc-vs-CLI consistency tests only
+#   make bench       - the full benchmark suite at default (reduced) scale
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
+
+.PHONY: test bench bench-smoke docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docs_cli.py
+
+# One representative benchmark per scenario family (figures, ablations,
+# resilience) at a deliberately small scale: a smoke signal, not a
+# measurement.
+bench-smoke:
+	REPRO_BENCH_QUERIES=800 $(PYTHON) -m pytest -q $(BENCH_OPTS) \
+		benchmarks/bench_figure2_mean_response.py \
+		benchmarks/bench_ablation_selection_scheme.py \
+		benchmarks/bench_resilience_lb_churn.py
+
+bench:
+	$(PYTHON) -m pytest -q $(BENCH_OPTS) benchmarks

@@ -1,7 +1,7 @@
 """Command-line interface for the SRLB reproduction.
 
 Installed as the ``srlb-repro`` console script (also runnable as
-``python -m repro.cli``).  Four sub-commands cover the common workflows:
+``python -m repro.cli``).  Five sub-commands cover the common workflows:
 
 ``calibrate``
     Print the testbed's analytic saturation rate λ₀ and, optionally, run
@@ -19,6 +19,11 @@ Installed as the ``srlb-repro`` console script (also runnable as
 ``figure``
     Regenerate a single figure of the paper (2–8) at a chosen scale and
     print the same series the paper plots.
+
+``resilience``
+    Front the testbed with an ECMP load-balancer tier, kill (or add)
+    instances mid-run, and print the broken-flow fraction per
+    candidate-selection scheme (the paper's §II-B resiliency claim).
 
 Every command accepts ``--servers`` / ``--workers`` / ``--cores`` to
 resize the simulated testbed; defaults match the paper's platform.
@@ -42,8 +47,10 @@ from repro.experiments.calibration import (
 from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
     LIGHT_LOAD_FACTOR,
+    ChurnEvent,
     PoissonSweepConfig,
     PolicySpec,
+    ResilienceConfig,
     TestbedConfig,
     WikipediaReplayConfig,
     paper_policy_suite,
@@ -53,6 +60,10 @@ from repro.experiments.config import (
 )
 from repro.experiments import figures
 from repro.experiments.poisson_experiment import PoissonSweep, run_poisson_once
+from repro.experiments.resilience_experiment import (
+    render_resilience_table,
+    run_resilience_comparison,
+)
 from repro.experiments.wikipedia_experiment import WikipediaReplay, make_wikipedia_trace
 from repro.metrics.reporting import format_table
 
@@ -236,6 +247,57 @@ def _command_figure(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown figure number {number!r}: the paper has figures 2-8")
 
 
+def _command_resilience(args: argparse.Namespace) -> int:
+    testbed = dataclasses.replace(
+        _testbed_from_args(args),
+        num_load_balancers=args.lbs,
+        ecmp_hash=args.ecmp_hash,
+        request_spread=args.spread,
+        request_chunks=args.chunks,
+        # Free workers pinned by abandoned flows well after a legitimate
+        # upload would have finished.
+        request_timeout=2 * args.spread + 1.0,
+    )
+    # Default to one mid-run kill only when no churn was requested at
+    # all; an explicit --add-at alone means an add-only schedule.
+    kill_fractions = args.kill_at
+    if kill_fractions is None and not args.add_at:
+        kill_fractions = [0.5]
+    churn: List[ChurnEvent] = [
+        ChurnEvent(at_fraction=fraction, action="kill")
+        for fraction in (kill_fractions or [])
+    ]
+    churn.extend(
+        ChurnEvent(at_fraction=fraction, action="add")
+        for fraction in (args.add_at or [])
+    )
+    churn.sort(key=lambda event: event.at_fraction)
+    config = ResilienceConfig(
+        testbed=testbed,
+        load_factor=args.rho,
+        num_queries=args.queries,
+        acceptance_policy=args.policy,
+        selection_schemes=tuple(args.scheme or ["random", "consistent-hash"]),
+        churn=tuple(churn),
+    )
+    comparison = run_resilience_comparison(config)
+    print(render_resilience_table(comparison))
+    for scheme in comparison.schemes():
+        run = comparison.run(scheme)
+        for observation in run.observations:
+            print(
+                f"{scheme}: {observation.event.action} {observation.instance} "
+                f"at t={observation.at_time:.1f}s with "
+                f"{len(observation.in_flight_ids)} queries in flight"
+                + (
+                    f", {observation.flow_entries_lost} flow entries lost"
+                    if observation.event.action == "kill"
+                    else ""
+                )
+            )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -295,6 +357,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=480.0, help="compressed day for figures 6-8"
     )
     figure.set_defaults(handler=_command_figure)
+
+    resilience = subparsers.add_parser(
+        "resilience",
+        help="measure broken flows under load-balancer churn (ECMP tier)",
+    )
+    _add_testbed_arguments(resilience)
+    resilience.add_argument(
+        "--lbs", type=int, default=4, help="load-balancer instances in the tier"
+    )
+    resilience.add_argument(
+        "--scheme",
+        action="append",
+        help="selection scheme (random, consistent-hash); repeatable; default both",
+    )
+    resilience.add_argument(
+        "--policy", default="SR8", help="acceptance policy on the servers"
+    )
+    resilience.add_argument("--rho", type=float, default=0.6, help="load factor")
+    resilience.add_argument("--queries", type=int, default=4_000)
+    resilience.add_argument(
+        "--kill-at",
+        action="append",
+        type=float,
+        help="kill one instance at this fraction of the run; repeatable; default 0.5",
+    )
+    resilience.add_argument(
+        "--add-at",
+        action="append",
+        type=float,
+        help="add one instance at this fraction of the run; repeatable",
+    )
+    resilience.add_argument(
+        "--ecmp-hash",
+        choices=["rendezvous", "modulo"],
+        default="rendezvous",
+        help="flow-to-instance mapping of the ECMP edge",
+    )
+    resilience.add_argument(
+        "--spread", type=float, default=2.0, help="request upload spread in seconds"
+    )
+    resilience.add_argument(
+        "--chunks", type=int, default=5, help="segments per spread upload"
+    )
+    resilience.set_defaults(handler=_command_resilience)
 
     return parser
 

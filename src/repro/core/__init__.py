@@ -21,6 +21,12 @@ from repro.core.candidate_selection import (
 from repro.core.consistent_hash import MaglevTable, flow_hash_key
 from repro.core.fleet import ECMPRouterNode, ECMPStats, LoadBalancerFleet
 from repro.core.flow_table import FlowEntry, FlowTable, FlowTableStats
+from repro.core.lb_tier import (
+    LoadBalancerTier,
+    TierInstanceStats,
+    TierLoadBalancer,
+    TierStats,
+)
 from repro.core.loadbalancer import LoadBalancerNode, LoadBalancerStats
 from repro.core.policies import (
     AlwaysAcceptPolicy,
@@ -69,6 +75,10 @@ __all__ = [
     "ECMPRouterNode",
     "ECMPStats",
     "LoadBalancerFleet",
+    "LoadBalancerTier",
+    "TierLoadBalancer",
+    "TierStats",
+    "TierInstanceStats",
     "ServiceHuntingProcessor",
     "ServiceHuntingStats",
     "HuntingDecision",

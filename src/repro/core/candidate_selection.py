@@ -45,6 +45,12 @@ class CandidateSelector(abc.ABC):
     #: Number of candidates this selector emits per flow.
     num_candidates: int = 2
 
+    #: Whether the candidate list is a pure function of the flow key and
+    #: server pool.  Flow-stable selectors let any load-balancer instance
+    #: re-derive a flow's candidate chain after a steering-state loss
+    #: (the property ECMP fleets rely on, paper §II-B).
+    flow_stable: bool = False
+
     @abc.abstractmethod
     def select(
         self, flow_key: FlowKey, servers: Sequence[IPv6Address]
@@ -142,6 +148,8 @@ class ConsistentHashCandidateSelector(CandidateSelector):
     steering decisions without sharing state (the Maglev/Ananta
     motivation discussed in the paper's related work).
     """
+
+    flow_stable = True
 
     def __init__(
         self,

@@ -28,7 +28,7 @@ from repro.core.candidate_selection import CandidateSelector
 from repro.core.flow_table import FlowTable
 from repro.errors import LoadBalancerError
 from repro.net.addressing import IPv6Address
-from repro.net.packet import FlowKey, Packet, TCPFlag, TCPSegment
+from repro.net.packet import FlowKey, Packet, TCPFlag, TCPSegment, make_reset
 from repro.net.router import NetworkNode
 from repro.net.srh import SegmentRoutingHeader
 from repro.sim.engine import PeriodicTask, Simulator
@@ -36,14 +36,29 @@ from repro.sim.engine import PeriodicTask, Simulator
 
 @dataclass
 class LoadBalancerStats:
-    """Aggregate counters kept by the load balancer."""
+    """Aggregate counters kept by one load-balancer instance.
 
+    Tier deployments (see :mod:`repro.core.lb_tier`) aggregate these
+    across instances; each counter is strictly local to the instance
+    that incremented it.
+    """
+
+    #: New-flow SYNs received from clients (before candidate selection).
     syn_received: int = 0
+    #: New-flow SYNs dispatched with an SR candidate list.  Equals
+    #: ``syn_received`` unless candidate selection raised.
     syn_dispatched: int = 0
+    #: Mid-flow packets steered to their recorded server (flow-table hits).
     steering_packets: int = 0
+    #: Mid-flow packets with no flow-table entry (expired, never learned,
+    #: or learned by another instance that is now gone).
     steering_misses: int = 0
+    #: Flow-to-server bindings learned from steering SYN-ACKs.
     acceptances_learned: int = 0
+    #: RSTs sent to clients on unrecoverable steering misses.
     resets_sent: int = 0
+    #: Packets addressed to an unregistered VIP, or steering-address
+    #: packets carrying no SR header; both are dropped.
     unknown_vip_drops: int = 0
     #: How many times each server appeared as the first candidate.
     first_candidate_offers: Dict[IPv6Address, int] = field(default_factory=dict)
@@ -223,30 +238,33 @@ class LoadBalancerNode(NetworkNode):
         flow_key = packet.flow_key()
         server = self.flow_table.steer(flow_key, self.simulator.now)
         if server is None:
-            # No steering state (expired or never learned): fail fast with
-            # a RST so the client does not wait forever, and count it.
             self.stats.steering_misses += 1
-            self._send_reset(packet, vip)
+            self._handle_steering_miss(packet, vip)
             return
         srh = SegmentRoutingHeader.from_traversal([server, vip])
         packet.attach_srh(srh)
         self.stats.steering_packets += 1
         self.send(packet)
 
+    def _handle_steering_miss(self, packet: Packet, vip: IPv6Address) -> None:
+        """React to a mid-flow packet with no steering state.
+
+        A single instance can only fail fast: it sends a RST so the
+        client does not wait forever.  Tier deployments override this
+        with the stateless recovery path (re-deriving the candidate
+        chain when the selector is flow-stable).
+        """
+        self._send_reset(packet, vip)
+
     def _send_reset(self, packet: Packet, vip: IPv6Address) -> None:
-        reset = Packet(
-            src=vip,
-            dst=packet.src,
-            tcp=TCPSegment(
-                src_port=packet.tcp.dst_port,
-                dst_port=packet.tcp.src_port,
-                flags=TCPFlag.RST,
-                request_id=packet.tcp.request_id,
-            ),
-            created_at=self.simulator.now,
-        )
         self.stats.resets_sent += 1
-        self.send(reset)
+        self.send(
+            make_reset(
+                packet.flow_key(),
+                request_id=packet.tcp.request_id,
+                created_at=self.simulator.now,
+            )
+        )
 
     # -- server -> client direction (connection acceptance) --------------
     def _handle_steering_signal(self, packet: Packet) -> None:
@@ -256,6 +274,23 @@ class LoadBalancerNode(NetworkNode):
             # Not a Service Hunting signal; nothing for us to do.
             self.stats.unknown_vip_drops += 1
             return
+        self._learn_from_signal(packet)
+        # Hand the packet on to the client, stripping the SR header: the
+        # client sees a plain SYN-ACK from the VIP (paper, figure 1).
+        client = srh.final_segment
+        packet.detach_srh()
+        packet.dst = client
+        self.send(packet)
+
+    def _learn_from_signal(self, packet: Packet) -> IPv6Address:
+        """Install the flow binding carried in-band by a steering SYN-ACK.
+
+        The accepting server's address is the first traversed segment of
+        the SR header, so *any* instance that sees the packet can learn
+        the binding without shared state — the property the ECMP tier's
+        cross-instance relay relies on.
+        """
+        srh = packet.srh
         accepting_server = srh.traversal_order()[0]
         # The SYN-ACK travels in the server->client direction; the flow
         # table is keyed by the client->VIP direction.
@@ -265,12 +300,7 @@ class LoadBalancerNode(NetworkNode):
         self.stats.acceptances_per_server[accepting_server] = (
             self.stats.acceptances_per_server.get(accepting_server, 0) + 1
         )
-        # Hand the packet on to the client, stripping the SR header: the
-        # client sees a plain SYN-ACK from the VIP (paper, figure 1).
-        client = srh.final_segment
-        packet.detach_srh()
-        packet.dst = client
-        self.send(packet)
+        return accepting_server
 
     # ------------------------------------------------------------------
     # introspection

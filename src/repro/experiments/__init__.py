@@ -18,8 +18,10 @@ from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
     LIGHT_LOAD_FACTOR,
     PAPER_LOAD_FACTORS,
+    ChurnEvent,
     PoissonSweepConfig,
     PolicySpec,
+    ResilienceConfig,
     TestbedConfig,
     WikipediaReplayConfig,
     paper_policy_suite,
@@ -34,6 +36,15 @@ from repro.experiments.poisson_experiment import (
     PoissonSweepResult,
     make_poisson_trace,
     run_poisson_once,
+)
+from repro.experiments.resilience_experiment import (
+    ResilienceComparison,
+    ResilienceRunResult,
+    make_resilience_trace,
+    render_resilience_table,
+    resilience_saturation_rate,
+    run_resilience_comparison,
+    run_resilience_once,
 )
 from repro.experiments.wikipedia_experiment import (
     WikipediaReplay,
@@ -70,5 +81,14 @@ __all__ = [
     "WikipediaReplayResult",
     "WikipediaRunResult",
     "make_wikipedia_trace",
+    "ChurnEvent",
+    "ResilienceConfig",
+    "ResilienceComparison",
+    "ResilienceRunResult",
+    "make_resilience_trace",
+    "render_resilience_table",
+    "resilience_saturation_rate",
+    "run_resilience_comparison",
+    "run_resilience_once",
     "figures",
 ]

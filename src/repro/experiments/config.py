@@ -40,12 +40,52 @@ class TestbedConfig:
     cpu_model: str = "processor-sharing"
     fabric_latency: float = 50e-6
     flow_idle_timeout: float = 60.0
+    #: Size of the SRLB tier.  1 (the paper's platform) deploys a single
+    #: load balancer advertising the VIP itself; 2+ deploys a
+    #: :class:`~repro.core.lb_tier.LoadBalancerTier` behind an ECMP edge
+    #: router, which is what the resilience experiments exercise.
+    num_load_balancers: int = 1
+    #: Flow-to-instance mapping of the ECMP edge (tier deployments only):
+    #: ``"rendezvous"`` (consistent) or ``"modulo"`` (naive).
+    ecmp_hash: str = "rendezvous"
+    #: When positive, clients trickle each request upload over this many
+    #: seconds (in ``request_chunks`` paced segments), stretching the
+    #: window during which a flow depends on load-balancer steering
+    #: state.  The resilience experiments use this to model long-lived
+    #: flows; 0 keeps the paper's send-at-once behaviour.
+    request_spread: float = 0.0
+    request_chunks: int = 1
+    #: Server-side ``RequestReadTimeout`` in seconds (0 disables it):
+    #: a worker whose connection never delivers its request payload is
+    #: reset after this long.  Long-lived-flow scenarios (request_spread
+    #: > 0) need it so abandoned flows do not pin workers forever.
+    request_timeout: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_servers <= 0:
             raise ExperimentError(
                 f"num_servers must be positive, got {self.num_servers!r}"
+            )
+        if self.num_load_balancers <= 0:
+            raise ExperimentError(
+                f"num_load_balancers must be positive, got {self.num_load_balancers!r}"
+            )
+        if self.ecmp_hash not in ("rendezvous", "modulo"):
+            raise ExperimentError(
+                f"ecmp_hash must be 'rendezvous' or 'modulo', got {self.ecmp_hash!r}"
+            )
+        if self.request_spread < 0:
+            raise ExperimentError(
+                f"request_spread must be non-negative, got {self.request_spread!r}"
+            )
+        if self.request_chunks <= 0:
+            raise ExperimentError(
+                f"request_chunks must be positive, got {self.request_chunks!r}"
+            )
+        if self.request_timeout < 0:
+            raise ExperimentError(
+                f"request_timeout must be non-negative, got {self.request_timeout!r}"
             )
         if self.workers_per_server <= 0:
             raise ExperimentError(
@@ -213,3 +253,102 @@ class WikipediaReplayConfig:
         if bin_width is None:
             bin_width = self.bin_width * duration / self.duration
         return replace(self, duration=duration, bin_width=bin_width)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change of the load-balancer tier during a run.
+
+    ``at_fraction`` places the event relative to the workload's arrival
+    phase (0.5 = halfway through the trace), so the same churn schedule
+    is meaningful at any experiment scale.  ``instance`` names the
+    instance to kill; ``None`` kills the alive instance with the largest
+    flow table — the most steering state at risk (entries are not
+    expired during a run, so this is cumulative, not live, state).
+    """
+
+    at_fraction: float
+    action: str = "kill"
+    instance: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.at_fraction < 1:
+            raise ExperimentError(
+                f"at_fraction must be in (0, 1), got {self.at_fraction!r}"
+            )
+        if self.action not in ("kill", "add"):
+            raise ExperimentError(
+                f"churn action must be 'kill' or 'add', got {self.action!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Configuration of the LB-churn resilience experiments.
+
+    The experiment replays the same Poisson workload against a
+    load-balancer *tier* under each candidate-selection scheme, applies
+    the churn schedule mid-run, and measures how many in-flight flows
+    break — the paper's §II-B resiliency claim, quantified.
+    """
+
+    testbed: TestbedConfig = field(
+        default_factory=lambda: TestbedConfig(
+            num_load_balancers=4,
+            # Spread uploads keep flows steering-dependent for ~2 s, so
+            # mid-run churn has in-flight flows to break; the read
+            # timeout frees workers pinned by flows the churn broke.
+            request_spread=2.0,
+            request_chunks=5,
+            request_timeout=5.0,
+        )
+    )
+    load_factor: float = 0.6
+    num_queries: int = 6_000
+    service_mean: float = 0.1
+    acceptance_policy: str = "SR8"
+    num_candidates: int = 2
+    selection_schemes: Tuple[str, ...] = ("random", "consistent-hash")
+    churn: Tuple[ChurnEvent, ...] = (ChurnEvent(at_fraction=0.5),)
+    workload_seed: int = 2_024
+
+    def __post_init__(self) -> None:
+        if self.testbed.num_load_balancers < 2:
+            raise ExperimentError(
+                "resilience experiments need a tier of at least 2 load "
+                f"balancers, got {self.testbed.num_load_balancers!r}"
+            )
+        if not 0 < self.load_factor:
+            raise ExperimentError(
+                f"load_factor must be positive, got {self.load_factor!r}"
+            )
+        if self.num_queries <= 0:
+            raise ExperimentError(
+                f"num_queries must be positive, got {self.num_queries!r}"
+            )
+        if not self.selection_schemes:
+            raise ExperimentError("at least one selection scheme is required")
+        # Reject schedules that would kill the whole tier before the
+        # simulation wastes minutes discovering it mid-run.
+        alive = self.testbed.num_load_balancers
+        for event in sorted(self.churn, key=lambda event: event.at_fraction):
+            alive += 1 if event.action == "add" else -1
+            if alive < 1:
+                raise ExperimentError(
+                    "churn schedule kills every load-balancer instance: "
+                    f"{self.testbed.num_load_balancers} instances cannot "
+                    f"absorb {len(self.churn)} events ending below 1 alive"
+                )
+
+    def scaled(self, num_queries: int) -> "ResilienceConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(self, num_queries=num_queries)
+
+    def policy_for(self, scheme: str) -> PolicySpec:
+        """The :class:`PolicySpec` running the tier under ``scheme``."""
+        return PolicySpec(
+            name=scheme,
+            acceptance_policy=self.acceptance_policy,
+            num_candidates=self.num_candidates,
+            selector=scheme,
+        )

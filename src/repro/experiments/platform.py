@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.candidate_selection import CandidateSelector, make_selector
+from repro.core.lb_tier import LoadBalancerTier
 from repro.core.loadbalancer import LoadBalancerNode
 from repro.core.policies import ConnectionAcceptancePolicy, make_policy
 from repro.errors import ExperimentError
@@ -41,12 +42,18 @@ class Testbed:
     policy_spec: PolicySpec
     simulator: Simulator
     fabric: LANFabric
+    #: The single load balancer — or, in tier deployments
+    #: (``num_load_balancers > 1``), the tier's first instance; use
+    #: :attr:`lb_tier` for tier-wide operations.
     load_balancer: LoadBalancerNode
     servers: List[ServerNode]
     client: TrafficGeneratorNode
     vip: IPv6Address
     catalog: RequestCatalog
     collector: ResponseTimeCollector
+    #: Present when the testbed fronts the servers with an ECMP
+    #: load-balancer tier instead of a single instance.
+    lb_tier: Optional[LoadBalancerTier] = None
     load_sampler: Optional[ServerLoadSampler] = None
     _sampler_task: Optional[PeriodicTask] = field(default=None, repr=False)
 
@@ -124,6 +131,16 @@ class Testbed:
             for server in self.servers
         }
 
+    def load_balancers(self) -> List[LoadBalancerNode]:
+        """Every load-balancer instance (one, or the whole tier)."""
+        if self.lb_tier is not None:
+            return list(self.lb_tier.instances)
+        return [self.load_balancer]
+
+    def total_steering_misses(self) -> int:
+        """Steering misses across all load-balancer instances."""
+        return sum(lb.stats.steering_misses for lb in self.load_balancers())
+
 
 def build_testbed(
     config: TestbedConfig,
@@ -156,34 +173,54 @@ def build_testbed(
         name=run_name or policy_spec.name
     )
 
-    # Addresses: one LB, one VIP, one client, N servers.
+    # Addresses: one LB (or the tier's shared steering address), one VIP,
+    # one client, N servers.
     lb_address = allocators["lb"].allocate()
     vip = allocators["vip"].allocate()
     client_address = allocators["client"].allocate()
     server_addresses = list(allocators["server"].allocate_many(config.num_servers))
 
     # Candidate selection scheme (the RNG stream is owned by the simulator
-    # so runs are reproducible given the testbed seed).
-    selector: CandidateSelector = make_selector(
-        policy_spec.selector,
-        rng=simulator.streams.stream("candidate-selection"),
-        num_candidates=policy_spec.num_candidates,
-    )
-    if policy_spec.num_candidates == 1 and policy_spec.selector == "random":
-        # Single random candidate: label it as the RR baseline.
-        selector = make_selector(
-            "single-random", rng=simulator.streams.stream("candidate-selection")
+    # so runs are reproducible given the testbed seed).  Tier deployments
+    # build one selector per instance from the same recipe.
+    def make_one_selector() -> CandidateSelector:
+        if policy_spec.num_candidates == 1 and policy_spec.selector == "random":
+            # Single random candidate: label it as the RR baseline.
+            return make_selector(
+                "single-random", rng=simulator.streams.stream("candidate-selection")
+            )
+        return make_selector(
+            policy_spec.selector,
+            rng=simulator.streams.stream("candidate-selection"),
+            num_candidates=policy_spec.num_candidates,
         )
 
-    load_balancer = LoadBalancerNode(
-        simulator=simulator,
-        name="lb",
-        address=lb_address,
-        selector=selector,
-        flow_idle_timeout=config.flow_idle_timeout,
-    )
-    load_balancer.register_vip(vip, server_addresses)
-    load_balancer.attach(fabric)
+    lb_tier: Optional[LoadBalancerTier] = None
+    if config.num_load_balancers > 1:
+        instance_addresses = list(
+            allocators["lb"].allocate_many(config.num_load_balancers)
+        )
+        lb_tier = LoadBalancerTier(
+            simulator=simulator,
+            steering_address=lb_address,
+            instance_addresses=instance_addresses,
+            selector_factory=make_one_selector,
+            flow_idle_timeout=config.flow_idle_timeout,
+            hash_scheme=config.ecmp_hash,
+        )
+        lb_tier.register_vip(vip, server_addresses)
+        lb_tier.attach(fabric)
+        load_balancer: LoadBalancerNode = lb_tier.instances[0]
+    else:
+        load_balancer = LoadBalancerNode(
+            simulator=simulator,
+            name="lb",
+            address=lb_address,
+            selector=make_one_selector(),
+            flow_idle_timeout=config.flow_idle_timeout,
+        )
+        load_balancer.register_vip(vip, server_addresses)
+        load_balancer.attach(fabric)
 
     servers: List[ServerNode] = []
     for index, address in enumerate(server_addresses):
@@ -201,6 +238,7 @@ def build_testbed(
             backlog_capacity=config.backlog_capacity,
             demand_lookup=catalog.demand_of,
             abort_on_overflow=config.abort_on_overflow,
+            request_timeout=config.request_timeout or None,
         )
         policy = make_policy(policy_spec.acceptance_policy)
         server = ServerNode(
@@ -222,6 +260,8 @@ def build_testbed(
         address=client_address,
         vip=vip,
         collector=collector,
+        request_spread=config.request_spread,
+        request_chunks=config.request_chunks,
     )
     client.attach(fabric)
 
@@ -236,4 +276,5 @@ def build_testbed(
         vip=vip,
         catalog=catalog,
         collector=collector,
+        lb_tier=lb_tier,
     )

@@ -1,0 +1,284 @@
+"""Resilience experiments: load-balancer churn under an ECMP tier.
+
+The paper argues (§II-B) that SRLB instances can be added and removed at
+will when candidate selection is flow-stable: any instance can re-derive
+a flow's candidate chain, so no flow state needs to be synchronised and
+in-flight flows survive instance churn.  This experiment family
+quantifies that claim on the simulated platform:
+
+* the testbed is fronted by a :class:`~repro.core.lb_tier.LoadBalancerTier`
+  (``num_load_balancers`` instances behind a per-packet ECMP edge);
+* clients trickle each request upload over a few seconds
+  (``request_spread``), so every flow depends on steering state for a
+  macroscopic window;
+* mid-run, a churn schedule kills (or adds) tier instances;
+* the run reports the **broken-flow fraction**: of the queries in flight
+  at each churn event, how many never completed.
+
+The same workload is replayed under each candidate-selection scheme, so
+the difference between ``random`` (steering state is unrecoverable, the
+victim's flows are reset) and ``consistent-hash`` (stateless recovery
+re-derives the chain and flows survive) is attributable to the scheme
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import ChurnEvent, ResilienceConfig, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.metrics.collector import ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+
+def resilience_saturation_rate(
+    testbed: TestbedConfig, service_mean: float
+) -> float:
+    """Saturation rate of the testbed under spread uploads, queries/s.
+
+    With paced uploads a connection holds an Apache worker for roughly
+    ``request_spread + service_mean`` seconds, so the worker pool — not
+    the CPU — is usually the binding resource.  The saturation rate is
+    the tighter of the two limits.
+    """
+    cpu_limit = analytic_saturation_rate(testbed, service_mean)
+    worker_limit = testbed.total_workers / (testbed.request_spread + service_mean)
+    return min(cpu_limit, worker_limit)
+
+
+def make_resilience_trace(config: ResilienceConfig) -> Trace:
+    """The Poisson workload trace shared by every scheme of a comparison."""
+    saturation = resilience_saturation_rate(config.testbed, config.service_mean)
+    workload = PoissonWorkload.from_load_factor(
+        rho=config.load_factor,
+        saturation_rate=saturation,
+        num_queries=config.num_queries,
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+    rng = np.random.default_rng([config.workload_seed, config.num_queries])
+    return workload.generate(rng)
+
+
+@dataclass
+class ChurnObservation:
+    """What one churn event looked like when it fired."""
+
+    event: ChurnEvent
+    at_time: float
+    instance: str
+    #: Request ids in flight at the instant of the event.
+    in_flight_ids: Set[int] = field(default_factory=set)
+    #: Flow-table entries the killed instance took down with it.
+    flow_entries_lost: int = 0
+
+
+@dataclass
+class ResilienceRunResult:
+    """Outcome of one (selection scheme, churn schedule) run."""
+
+    scheme: str
+    config: ResilienceConfig
+    collector: ResponseTimeCollector
+    observations: List[ChurnObservation]
+    #: Queries that were in flight at some churn event and never
+    #: completed (reset or hung) — the paper's "broken flows".
+    broken_flows: int
+    in_flight_at_churn: int
+    queries_hung: int
+    recovery_hunts: int
+    steering_misses: int
+    signals_relayed: int
+    acceptances_learned: int
+    simulated_duration: float
+
+    @property
+    def broken_fraction(self) -> float:
+        """Fraction of churn-exposed in-flight flows that broke."""
+        if self.in_flight_at_churn == 0:
+            return 0.0
+        return self.broken_flows / self.in_flight_at_churn
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary of the queries that did complete."""
+        return self.collector.summary()
+
+
+def _resolve_victim(tier, event: ChurnEvent):
+    """The instance a kill event targets.
+
+    When unnamed, the alive instance with the largest flow table is
+    chosen — the most steering state at risk.  Flow tables are not
+    expired mid-run, so the size counts every flow the instance ever
+    owned, an upper bound on (and proxy for) its live flows.
+    """
+    if event.instance is not None:
+        return tier.instance(event.instance)
+    return max(tier.alive_instances(), key=lambda lb: len(lb.flow_table))
+
+
+def run_resilience_once(
+    config: ResilienceConfig,
+    scheme: str,
+    trace: Optional[Trace] = None,
+) -> ResilienceRunResult:
+    """Run the churn schedule under one candidate-selection scheme."""
+    if scheme == "random" and config.num_candidates < 2:
+        raise ExperimentError("resilience runs need at least 2 candidates")
+    if trace is None:
+        trace = make_resilience_trace(config)
+
+    policy = config.policy_for(scheme)
+    testbed = build_testbed(
+        config.testbed,
+        policy,
+        catalog=RequestCatalog(),
+        run_name=f"resilience-{scheme}",
+    )
+    tier = testbed.lb_tier
+    if tier is None:
+        raise ExperimentError(
+            "resilience experiments require num_load_balancers >= 2"
+        )
+
+    observations: List[ChurnObservation] = []
+    added = [0]
+
+    def apply_churn(event: ChurnEvent) -> None:
+        observation = ChurnObservation(
+            event=event,
+            at_time=testbed.simulator.now,
+            instance="",
+            in_flight_ids=set(testbed.client.outstanding_request_ids()),
+        )
+        if event.action == "kill":
+            victim = _resolve_victim(tier, event)
+            observation.instance = victim.name
+            observation.flow_entries_lost = len(victim.flow_table)
+            tier.kill_instance(victim.name)
+        else:
+            added[0] += 1
+            # A fresh address well clear of the construction-time range.
+            instance = tier.add_instance(tier.steering_address + 1_000 + added[0])
+            observation.instance = instance.name
+        observations.append(observation)
+
+    for event in config.churn:
+        testbed.simulator.schedule_at(
+            trace.duration * event.at_fraction,
+            lambda event=event: apply_churn(event),
+            label=f"churn-{event.action}",
+        )
+
+    duration = testbed.run_trace(trace)
+
+    completed_ids = {
+        outcome.request_id for outcome in testbed.collector.outcomes()
+    }
+    exposed: Set[int] = set()
+    for observation in observations:
+        exposed |= observation.in_flight_ids
+    broken = sum(1 for request_id in exposed if request_id not in completed_ids)
+
+    return ResilienceRunResult(
+        scheme=scheme,
+        config=config,
+        collector=testbed.collector,
+        observations=observations,
+        broken_flows=broken,
+        in_flight_at_churn=len(exposed),
+        queries_hung=testbed.client.in_flight,
+        recovery_hunts=tier.recovery_hunts(),
+        steering_misses=testbed.total_steering_misses(),
+        signals_relayed=tier.signals_relayed(),
+        acceptances_learned=tier.acceptances_learned(),
+        simulated_duration=duration,
+    )
+
+
+@dataclass
+class ResilienceComparison:
+    """All schemes of one resilience comparison, over the same workload."""
+
+    config: ResilienceConfig
+    runs: Dict[str, ResilienceRunResult] = field(default_factory=dict)
+
+    def schemes(self) -> List[str]:
+        """Scheme names, in configuration order."""
+        return [scheme for scheme in self.config.selection_schemes]
+
+    def run(self, scheme: str) -> ResilienceRunResult:
+        """The run for one scheme."""
+        try:
+            return self.runs[scheme]
+        except KeyError as exc:
+            raise ExperimentError(f"no run for scheme {scheme!r}") from exc
+
+
+def run_resilience_comparison(config: ResilienceConfig) -> ResilienceComparison:
+    """Replay the same workload + churn under every configured scheme."""
+    trace = make_resilience_trace(config)
+    comparison = ResilienceComparison(config=config)
+    for scheme in config.selection_schemes:
+        comparison.runs[scheme] = run_resilience_once(config, scheme, trace=trace)
+    return comparison
+
+
+def render_resilience_table(comparison: ResilienceComparison) -> str:
+    """Text table of the per-scheme broken-flow fractions."""
+    config = comparison.config
+    rows: List[List[object]] = []
+    for scheme in comparison.schemes():
+        run = comparison.run(scheme)
+        totals = run.collector.totals
+        rows.append(
+            [
+                scheme,
+                run.in_flight_at_churn,
+                run.broken_flows,
+                f"{100 * run.broken_fraction:.1f}%",
+                run.recovery_hunts,
+                totals.failed + run.queries_hung,
+                run.summary.mean,
+                run.summary.p90,
+            ]
+        )
+    kills = sum(1 for event in config.churn if event.action == "kill")
+    adds = len(config.churn) - kills
+    churn_text = " + ".join(
+        part
+        for part in (
+            f"{kills} kill(s)" if kills else "",
+            f"{adds} add(s)" if adds else "",
+        )
+        if part
+    )
+    return format_table(
+        [
+            "scheme",
+            "in flight",
+            "broken",
+            "broken %",
+            "recoveries",
+            "failed total",
+            "mean (s)",
+            "p90 (s)",
+        ],
+        rows,
+        title=(
+            f"LB-churn resilience: {config.testbed.num_load_balancers} LBs, "
+            f"{churn_text} mid-run, rho={config.load_factor:g}, "
+            f"{config.num_queries} queries"
+        ),
+    )

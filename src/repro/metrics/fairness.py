@@ -32,13 +32,17 @@ def jain_fairness_index(values: Sequence[float]) -> float:
     array = np.asarray(values, dtype=float)
     if np.any(array < 0):
         raise ReproError("fairness index requires non-negative values")
+    peak = float(np.max(array))
+    if peak == 0.0:
+        # An idle cluster is perfectly fair.
+        return 1.0
+    # Normalise by the peak before squaring: the index is scale
+    # invariant, and loads near the float minimum would otherwise
+    # square into subnormals whose precision loss can push the result
+    # outside the mathematical [1/n, 1] bounds.
+    array = array / peak
     total = float(np.sum(array))
     squared_sum = float(np.sum(array ** 2))
-    if total == 0.0 or squared_sum == 0.0:
-        # An idle cluster is perfectly fair; the squared sum can also
-        # underflow to zero for loads near the float minimum, in which
-        # case every server is equally (negligibly) loaded.
-        return 1.0
     return total ** 2 / (len(array) * squared_sum)
 
 

@@ -28,6 +28,7 @@ from repro.net.packet import (
     Packet,
     TCPFlag,
     TCPSegment,
+    make_reset,
     make_syn,
     reply_ports,
 )
@@ -38,6 +39,7 @@ from repro.net.router import (
     RoutingTable,
 )
 from repro.net.srh import SegmentRoutingHeader
+from repro.net.ecmp import EcmpEdgeRouter, EcmpEdgeStats, five_tuple_key
 from repro.net.tcp import (
     ConnectionState,
     EphemeralPortAllocator,
@@ -63,12 +65,16 @@ __all__ = [
     "TCPFlag",
     "FlowKey",
     "make_syn",
+    "make_reset",
     "reply_ports",
     "DEFAULT_HOP_LIMIT",
     "Link",
     "LinkStats",
     "LANFabric",
     "FabricStats",
+    "EcmpEdgeRouter",
+    "EcmpEdgeStats",
+    "five_tuple_key",
     "NetworkNode",
     "RoutingTable",
     "Route",

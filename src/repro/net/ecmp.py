@@ -1,0 +1,226 @@
+"""ECMP edge router: per-packet 5-tuple hashing over equal-cost next hops.
+
+The paper's resiliency argument (§II-B) assumes the SRLB tier sits
+*behind* an ECMP edge: the data-center border router advertises the VIPs
+once and spreads flows over N identical load-balancer instances by
+hashing each packet's 5-tuple, exactly like the Maglev and Ananta
+deployments discussed in the related work.  :class:`EcmpEdgeRouter`
+models that router faithfully — and therefore *imperfectly*:
+
+* it hashes **each packet independently** on its own 5-tuple, so both
+  directions of a flow are hashed on different tuples and the SYN-ACK of
+  a connection generally reaches a *different* instance than the SYN did
+  (the load-balancer tier must cope, which SRLB does because the SYN-ACK
+  carries the accepting server in its SR header — see
+  :mod:`repro.core.lb_tier`);
+* it has no flow state: when the next-hop set changes, flows are
+  remapped purely by the hash scheme.
+
+Two hash schemes are provided so experiments can quantify the difference
+membership churn makes:
+
+* ``rendezvous`` — highest-random-weight (HRW) hashing; removing one of
+  N next hops remaps exactly the flows the removed hop owned (~1/N);
+* ``modulo`` — the naive ``hash % N`` over the hop list; removing a hop
+  renumbers the list and remaps ~(N-1)/N of all flows.  This is the
+  strawman that motivates consistent hashing in the first place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.net.addressing import IPv6Address
+from repro.net.packet import FlowKey, Packet
+from repro.net.router import NetworkNode
+from repro.sim.engine import Simulator
+
+#: Recognised flow-to-next-hop mapping schemes.
+HASH_SCHEMES = ("rendezvous", "modulo")
+
+
+def five_tuple_key(flow_key: FlowKey, protocol: str = "tcp") -> str:
+    """Canonical 5-tuple string an ECMP router hashes a packet on."""
+    return (
+        f"{protocol}|{flow_key.src_address}|{flow_key.src_port}|"
+        f"{flow_key.dst_address}|{flow_key.dst_port}"
+    )
+
+
+def _hash64(data: str, salt: str) -> int:
+    """Stable 64-bit hash (process-independent, like the Maglev table's)."""
+    digest = hashlib.sha256(f"{salt}:{data}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class EcmpEdgeStats:
+    """Aggregate counters kept by the ECMP edge router."""
+
+    #: Client-to-VIP packets spread over the next hops.
+    forward_packets: int = 0
+    #: Return-path packets (steering SYN-ACKs to the shared address).
+    return_packets: int = 0
+    #: Packets whose destination matched neither a VIP nor the steering
+    #: address, or that arrived while the next-hop set was empty.
+    packets_dropped: int = 0
+    #: Next-hop set changes (adds + removals) since construction.
+    membership_changes: int = 0
+    #: Packets handed to each next hop, by name.
+    per_next_hop: Dict[str, int] = field(default_factory=dict)
+
+
+class EcmpEdgeRouter(NetworkNode):
+    """Data-center edge router spreading packets over equal-cost next hops.
+
+    Parameters
+    ----------
+    simulator:
+        Shared simulation engine.
+    name:
+        Node name (diagnostics).
+    steering_address:
+        Shared address of the tier behind the router.  Servers send
+        their steering SYN-ACKs here; the router hashes them like any
+        other packet (it cannot know which instance dispatched the SYN).
+    hash_scheme:
+        ``"rendezvous"`` (consistent, the default) or ``"modulo"``
+        (naive, maximal disruption on membership change).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        steering_address: IPv6Address,
+        hash_scheme: str = "rendezvous",
+    ) -> None:
+        super().__init__(simulator, name)
+        if hash_scheme not in HASH_SCHEMES:
+            raise RoutingError(
+                f"unknown ECMP hash scheme {hash_scheme!r}: expected one of "
+                f"{HASH_SCHEMES}"
+            )
+        self.add_address(steering_address)
+        self.steering_address = steering_address
+        self.hash_scheme = hash_scheme
+        self._next_hops: List[NetworkNode] = []
+        self._vips: List[IPv6Address] = []
+        self.stats = EcmpEdgeStats()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_next_hop(self, node: NetworkNode) -> None:
+        """Add an equal-cost next hop to the group."""
+        if any(existing.name == node.name for existing in self._next_hops):
+            raise RoutingError(f"next hop {node.name!r} is already in the ECMP group")
+        self._next_hops.append(node)
+        self._next_hops.sort(key=lambda hop: hop.name)
+        self.stats.membership_changes += 1
+
+    def remove_next_hop(self, name: str) -> bool:
+        """Remove a next hop (failure or drain); flows remap by the hash."""
+        before = len(self._next_hops)
+        self._next_hops = [hop for hop in self._next_hops if hop.name != name]
+        if len(self._next_hops) != before:
+            self.stats.membership_changes += 1
+            return True
+        return False
+
+    @property
+    def next_hops(self) -> Tuple[NetworkNode, ...]:
+        """The current ECMP group members (name-sorted copy)."""
+        return tuple(self._next_hops)
+
+    def register_vip(self, vip: IPv6Address) -> None:
+        """Advertise a VIP at the edge (exact binding on this router)."""
+        if vip not in self._vips:
+            self._vips.append(vip)
+            if self.fabric is not None:
+                self.fabric.bind_address(vip, self)
+
+    @property
+    def vips(self) -> Tuple[IPv6Address, ...]:
+        """VIPs advertised by this router."""
+        return tuple(self._vips)
+
+    def attach(self, fabric) -> None:
+        """Attach to the fabric, claiming the registered VIPs."""
+        super().attach(fabric)
+        for vip in self._vips:
+            fabric.bind_address(vip, self)
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    def next_hop_for(self, flow_key: FlowKey) -> NetworkNode:
+        """The ECMP group member the given 5-tuple hashes to."""
+        if not self._next_hops:
+            raise RoutingError("the ECMP group has no next hops")
+        key = five_tuple_key(flow_key)
+        if self.hash_scheme == "modulo":
+            return self._next_hops[_hash64(key, "ecmp-modulo") % len(self._next_hops)]
+        # Rendezvous (HRW): every hop scores the key; the highest wins.
+        return max(
+            self._next_hops,
+            key=lambda hop: _hash64(key, f"ecmp-hrw:{hop.name}"),
+        )
+
+    def owner_of_forward_flow(self, forward_key: FlowKey) -> Optional[NetworkNode]:
+        """The hop that client-to-VIP packets of ``forward_key`` reach.
+
+        The load-balancer tier uses this to relay steering signals to the
+        instance that will see the flow's forward direction; ``None``
+        when the group is empty.
+        """
+        if not self._next_hops:
+            return None
+        return self.next_hop_for(forward_key)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.dst in self._vips:
+            self._spread(packet, is_return=False)
+        elif packet.dst == self.steering_address:
+            self._spread(packet, is_return=True)
+        else:
+            self.stats.packets_dropped += 1
+
+    def _spread(self, packet: Packet, is_return: bool) -> None:
+        try:
+            # Per-packet hashing: the packet's own 5-tuple, whichever
+            # direction it travels.  A SYN-ACK therefore hashes on the
+            # (VIP, client) tuple and may reach a different hop than the
+            # (client, VIP) SYN did.
+            hop = self.next_hop_for(packet.flow_key())
+        except RoutingError:
+            self.stats.packets_dropped += 1
+            return
+        if is_return:
+            self.stats.return_packets += 1
+        else:
+            self.stats.forward_packets += 1
+        self.stats.per_next_hop[hop.name] = self.stats.per_next_hop.get(hop.name, 0) + 1
+        latency = self.fabric.latency if self.fabric is not None else 0.0
+        self.simulator.schedule_in(
+            latency, lambda: hop.receive(packet), label=f"ecmp->{hop.name}"
+        )
+
+    def next_hop_share(self) -> Dict[str, float]:
+        """Fraction of spread packets handled by each next hop."""
+        total = sum(self.stats.per_next_hop.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in self.stats.per_next_hop.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"EcmpEdgeRouter(name={self.name!r}, scheme={self.hash_scheme!r}, "
+            f"next_hops={len(self._next_hops)}, vips={len(self._vips)})"
+        )

@@ -235,6 +235,32 @@ def make_syn(
     )
 
 
+def make_reset(
+    flow_key: FlowKey,
+    request_id: Optional[int] = None,
+    created_at: float = 0.0,
+) -> Packet:
+    """RST addressed to the initiator of ``flow_key``.
+
+    ``flow_key`` is the client-to-service direction; the reset travels
+    the other way, from the flow's destination (the VIP or server) back
+    to its source.  Used by the load balancer (steering miss), the
+    server application (backlog overflow, request timeout) and the
+    virtual router (data for a non-existent connection).
+    """
+    return Packet(
+        src=flow_key.dst_address,
+        dst=flow_key.src_address,
+        tcp=TCPSegment(
+            src_port=flow_key.dst_port,
+            dst_port=flow_key.src_port,
+            flags=TCPFlag.RST,
+            request_id=request_id,
+        ),
+        created_at=created_at,
+    )
+
+
 def reply_ports(packet: Packet) -> Tuple[int, int]:
     """Source/destination ports for a reply to ``packet``."""
     return packet.tcp.dst_port, packet.tcp.src_port

@@ -82,6 +82,9 @@ class ServerAppStats:
 
     connections_received: int = 0
     connections_reset: int = 0
+    #: Accepted connections reset because the request payload never
+    #: arrived within ``request_timeout`` (client gone mid-upload).
+    connections_timed_out: int = 0
     requests_served: int = 0
     total_service_demand: float = 0.0
     total_sojourn_time: float = 0.0
@@ -109,6 +112,13 @@ class HTTPServerInstance:
     response_payload_size:
         Size in bytes of the response payload (only used for byte
         accounting; links are unconstrained by default).
+    request_timeout:
+        Apache's ``RequestReadTimeout``: a worker that accepted a
+        connection but has not received the request payload after this
+        many seconds resets the connection and frees itself.  ``None``
+        (the default) disables the timeout; long-lived-flow scenarios
+        need it so that clients that abandoned a broken flow do not pin
+        workers forever.
     """
 
     def __init__(
@@ -121,9 +131,14 @@ class HTTPServerInstance:
         demand_lookup: Optional[DemandLookup] = None,
         response_payload_size: int = 8_000,
         abort_on_overflow: bool = True,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if num_workers <= 0:
             raise ServerError(f"num_workers must be positive, got {num_workers!r}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServerError(
+                f"request_timeout must be positive, got {request_timeout!r}"
+            )
         self.simulator = simulator
         self.name = name
         self.cpu = cpu
@@ -132,6 +147,7 @@ class HTTPServerInstance:
         self.backlog = ListenBacklog(backlog_capacity, abort_on_overflow)
         self.demand_lookup = demand_lookup
         self.response_payload_size = response_payload_size
+        self.request_timeout = request_timeout
         self.transport: Optional[ServerTransport] = None
         self.stats = ServerAppStats()
         self._connections: Dict[int, ServerConnection] = {}
@@ -219,6 +235,25 @@ class HTTPServerInstance:
             connection.accepted_at = self.simulator.now
             if connection.request_received:
                 self._start_service(connection)
+            elif self.request_timeout is not None:
+                self.simulator.schedule_in(
+                    self.request_timeout,
+                    lambda cid=connection_id: self._check_request_timeout(cid),
+                    label=f"{self.name}-req-timeout",
+                )
+
+    def _check_request_timeout(self, connection_id: int) -> None:
+        """Reset a worker-held connection whose request never arrived."""
+        connection = self._connections.get(connection_id)
+        if connection is None or connection.request_received:
+            return
+        del self._connections[connection_id]
+        self._by_flow.pop(connection.flow_key, None)
+        self.stats.connections_timed_out += 1
+        self._require_transport().send_reset(connection)
+        if connection.worker_slot is not None:
+            self.workers.release(connection.worker_slot)
+        self._accept_ready_connections()
 
     def _start_service(self, connection: ServerConnection) -> None:
         if connection.service_started_at is not None:

@@ -30,7 +30,7 @@ from repro.core.service_hunting import (
 )
 from repro.errors import ServerError
 from repro.net.addressing import IPv6Address
-from repro.net.packet import Packet, TCPFlag, TCPSegment
+from repro.net.packet import Packet, TCPFlag, TCPSegment, make_reset
 from repro.net.router import NetworkNode
 from repro.net.srh import SegmentRoutingHeader
 from repro.server.http_server import HTTPServerInstance, ServerConnection
@@ -78,6 +78,9 @@ class ServerNode(NetworkNode):
         self.agent = ApplicationAgent(app.scoreboard, cpu_cores)
         self.hunting = ServiceHuntingProcessor(policy, self.agent)
         self._bound_vips: Set[IPv6Address] = set()
+        #: RSTs sent for data packets that matched no local connection
+        #: (e.g. a recovery hunt that ended on the wrong server).
+        self.stray_data_resets = 0
         app.bind_transport(self)
 
     # ------------------------------------------------------------------
@@ -110,11 +113,7 @@ class ServerNode(NetworkNode):
                         f"unexpected hunting decision {decision!r} on {self.name!r}"
                     )
             else:
-                # Mid-flow packet steered to this server by the load
-                # balancer: consume the remaining segments and deliver it
-                # to the local application (no policy involvement).
-                packet.set_segments_left(0)
-                self._deliver_to_application(packet)
+                self._handle_mid_flow_segment(packet)
             return
 
         if packet.dst in self._bound_vips or self.owns(packet.dst):
@@ -132,6 +131,28 @@ class ServerNode(NetworkNode):
         """Whether ``packet`` is the first packet of a flow (a plain SYN)."""
         return packet.tcp.has(TCPFlag.SYN) and not packet.tcp.has(TCPFlag.ACK)
 
+    def _handle_mid_flow_segment(self, packet: Packet) -> None:
+        """Process a mid-flow packet whose active segment is this server.
+
+        Ordinary steering uses a two-segment ``[server, VIP]`` header, so
+        the packet is consumed and delivered locally.  A longer remaining
+        list is a *recovery hunt*: a load balancer that lost its steering
+        state re-sent the packet through the flow's (stable) candidate
+        chain, and the connection lives on exactly one of the candidates
+        — deliver if it is here, else pass the packet down the chain.
+        The final candidate consumes the packet unconditionally, like the
+        forced accept of connection-request hunting.
+        """
+        if (
+            packet.srh.segments_left <= 1
+            or self.app.connection_for_flow(packet.flow_key()) is not None
+        ):
+            packet.set_segments_left(0)
+            self._deliver_to_application(packet)
+        else:
+            packet.advance_srh()
+            self.send(packet)
+
     def _deliver_to_application(self, packet: Packet) -> None:
         """Translate a delivered packet into application-instance calls."""
         flow_key = packet.flow_key()
@@ -143,7 +164,19 @@ class ServerNode(NetworkNode):
             self.app.handle_connection_request(flow_key, tcp.request_id)
             return
         if tcp.payload_size > 0 or tcp.has(TCPFlag.PSH):
-            self.app.handle_request_data(flow_key, tcp.request_id)
+            if not self.app.handle_request_data(flow_key, tcp.request_id):
+                # No such connection here: answer with a RST, as a real
+                # kernel would.  Clients that already saw a RST for this
+                # query ignore the duplicate; clients mid-recovery learn
+                # that their flow is broken instead of waiting forever.
+                self.stray_data_resets += 1
+                self.send(
+                    make_reset(
+                        packet.flow_key(),
+                        request_id=packet.tcp.request_id,
+                        created_at=self.simulator.now,
+                    )
+                )
             return
         # Bare ACKs (handshake completion) carry no new information here.
 
@@ -177,20 +210,14 @@ class ServerNode(NetworkNode):
         self.send(packet)
 
     def send_reset(self, connection: ServerConnection) -> None:
-        """Send a RST directly to the client (backlog overflow)."""
-        flow_key = connection.flow_key
-        packet = Packet(
-            src=flow_key.dst_address,
-            dst=flow_key.src_address,
-            tcp=TCPSegment(
-                src_port=flow_key.dst_port,
-                dst_port=flow_key.src_port,
-                flags=TCPFlag.RST,
+        """Send a RST directly to the client (backlog overflow, timeout)."""
+        self.send(
+            make_reset(
+                connection.flow_key,
                 request_id=connection.request_id,
-            ),
-            created_at=self.simulator.now,
+                created_at=self.simulator.now,
+            )
         )
-        self.send(packet)
 
     def send_response(self, connection: ServerConnection, payload_size: int) -> None:
         """Send the HTTP response directly to the client (direct return)."""

@@ -93,6 +93,17 @@ class TrafficGeneratorNode(NetworkNode):
         The virtual IP the queries are addressed to.
     collector:
         Sink receiving a :class:`RequestOutcome` per finished query.
+    request_spread:
+        When positive, the client trickles each request upload over this
+        many seconds after connection establishment instead of sending it
+        at once: ``request_chunks - 1`` bare-ACK segments pace the
+        upload, then the request payload closes it.  Every one of those
+        packets is steered by the load balancer, so the flow *depends* on
+        steering state for the whole window — which is what the
+        resilience experiments need to observe load-balancer churn
+        breaking (or not breaking) in-flight flows.
+    request_chunks:
+        Number of segments the spread upload is split into (>= 1).
     """
 
     def __init__(
@@ -102,11 +113,23 @@ class TrafficGeneratorNode(NetworkNode):
         address: IPv6Address,
         vip: IPv6Address,
         collector: Optional[OutcomeSink] = None,
+        request_spread: float = 0.0,
+        request_chunks: int = 1,
     ) -> None:
         super().__init__(simulator, name)
+        if request_spread < 0:
+            raise WorkloadError(
+                f"request_spread must be non-negative, got {request_spread!r}"
+            )
+        if request_chunks <= 0:
+            raise WorkloadError(
+                f"request_chunks must be positive, got {request_chunks!r}"
+            )
         self.add_address(address)
         self.vip = vip
         self.collector = collector
+        self.request_spread = request_spread
+        self.request_chunks = request_chunks
         self._ports = EphemeralPortAllocator()
         self._pending: Dict[int, _PendingQuery] = {}
         self.queries_started = 0
@@ -176,13 +199,60 @@ class TrafficGeneratorNode(NetworkNode):
 
         if tcp.has(TCPFlag.SYN) and tcp.has(TCPFlag.ACK):
             pending.outcome.established_at = self.simulator.now
-            self._send_request_data(pending)
+            if self.request_spread > 0:
+                # Paced upload; with request_chunks == 1 this degenerates
+                # to sending the whole payload request_spread seconds
+                # after establishment (no mid-upload probes).
+                self._schedule_spread_upload(pending)
+            else:
+                self._send_request_data(pending)
             return
 
         if tcp.payload_size > 0 or tcp.has(TCPFlag.PSH):
             pending.outcome.completed_at = self.simulator.now
             self._finish(pending, failed=False)
             return
+
+    def _schedule_spread_upload(self, pending: _PendingQuery) -> None:
+        """Pace the request upload over :attr:`request_spread` seconds."""
+        request_id = pending.request.request_id
+        interval = self.request_spread / self.request_chunks
+        for chunk in range(1, self.request_chunks):
+            self.simulator.schedule_in(
+                chunk * interval,
+                lambda: self._send_upload_probe(request_id),
+                label=f"upload-{request_id}",
+            )
+        self.simulator.schedule_in(
+            self.request_spread,
+            lambda: self._finish_upload(request_id),
+            label=f"upload-final-{request_id}",
+        )
+
+    def _send_upload_probe(self, request_id: int) -> None:
+        """One paced mid-upload segment (a bare ACK steered by the LB)."""
+        pending = self._pending.get(request_id)
+        if pending is None:
+            # The query already finished (e.g. reset); stop uploading.
+            return
+        probe = Packet(
+            src=self.primary_address,
+            dst=self.vip,
+            tcp=TCPSegment(
+                src_port=pending.src_port,
+                dst_port=HTTP_PORT,
+                flags=TCPFlag.ACK,
+                request_id=request_id,
+            ),
+            created_at=self.simulator.now,
+        )
+        self.send(probe)
+
+    def _finish_upload(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        self._send_request_data(pending)
 
     def _send_request_data(self, pending: _PendingQuery) -> None:
         data = Packet(

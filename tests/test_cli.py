@@ -97,3 +97,25 @@ class TestCommands:
         assert exit_code == 0
         assert "Figure 6" in captured.out
         assert "whole-day median" in captured.out
+
+    def test_resilience_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.lbs == 4
+        assert args.ecmp_hash == "rendezvous"
+
+    def test_resilience_small_run(self, capsys):
+        exit_code = main(
+            [
+                "resilience",
+                "--servers", "6",
+                "--workers", "8",
+                "--queries", "500",
+                "--spread", "1.0",
+                "--chunks", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "LB-churn resilience" in captured.out
+        assert "consistent-hash" in captured.out
+        assert "kill lb-" in captured.out

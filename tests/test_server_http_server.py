@@ -176,3 +176,47 @@ class TestServiceLifecycle:
         assert server.stats.requests_served == 3
         assert server.stats.total_service_demand == pytest.approx(0.3)
         assert server.stats.peak_concurrent_connections == 3
+
+
+class TestRequestTimeout:
+    def test_abandoned_connection_frees_its_worker(self, simulator):
+        server, transport = _make_server(simulator, num_workers=1)
+        server.request_timeout = 2.0
+        server.handle_connection_request(_flow_key(1000), request_id=1)
+        assert server.busy_threads == 1
+        simulator.run()  # the request payload never arrives
+        assert server.stats.connections_timed_out == 1
+        assert len(transport.resets) == 1
+        assert server.busy_threads == 0
+        assert server.open_connections == 0
+
+    def test_timely_request_is_not_timed_out(self, simulator):
+        server, transport = _make_server(simulator, num_workers=1, demand=0.05)
+        server.request_timeout = 2.0
+        server.handle_connection_request(_flow_key(1000), request_id=1)
+        simulator.schedule_at(
+            1.0, lambda: server.handle_request_data(_flow_key(1000), 1), label="data"
+        )
+        simulator.run()
+        assert server.stats.connections_timed_out == 0
+        assert transport.resets == []
+        assert len(transport.responses) == 1
+
+    def test_freed_worker_picks_up_the_backlog(self, simulator):
+        server, transport = _make_server(simulator, num_workers=1, backlog=2)
+        server.request_timeout = 1.0
+        # First connection never sends its request; the second does.
+        server.handle_connection_request(_flow_key(1000), request_id=1)
+        server.handle_connection_request(_flow_key(1001), request_id=2)
+        server.handle_request_data(_flow_key(1001), 2)
+        simulator.run()
+        assert server.stats.connections_timed_out == 1
+        assert len(transport.responses) == 1  # the second connection served
+
+    def test_invalid_timeout_rejected(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        with pytest.raises(ServerError):
+            HTTPServerInstance(
+                simulator, "bad", cpu, num_workers=1,
+                demand_lookup=lambda r: 0.1, request_timeout=0.0,
+            )

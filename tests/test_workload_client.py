@@ -174,3 +174,67 @@ class TestTrafficGenerator:
         client.schedule_trace(_trace(1))
         simulator.run()
         assert client.queries_completed == 1
+
+
+class TestSpreadUpload:
+    def test_single_chunk_spread_delays_the_payload(self, simulator):
+        """request_spread with request_chunks=1 sends the payload late,
+        not immediately (no silently-inert configuration)."""
+        from repro.net.fabric import LANFabric
+        from repro.net.packet import TCPFlag
+        from repro.workload.client import TrafficGeneratorNode
+        from repro.workload.requests import Request
+        from repro.net.addressing import IPv6Address
+
+        from repro.net.router import NetworkNode
+
+        from repro.net.packet import Packet, TCPSegment
+
+        class VipSink(NetworkNode):
+            """Answers the SYN with a SYN-ACK at t=0.5, records the rest."""
+
+            def __init__(self, simulator):
+                super().__init__(simulator, "vip-sink")
+                self.seen = []
+
+            def handle_packet(self, packet):
+                self.seen.append((self.simulator.now, packet))
+                if packet.tcp.has(TCPFlag.SYN):
+                    self.simulator.schedule_at(
+                        0.5,
+                        lambda: self.send(
+                            Packet(
+                                src=packet.dst,
+                                dst=packet.src,
+                                tcp=TCPSegment(
+                                    src_port=packet.tcp.dst_port,
+                                    dst_port=packet.tcp.src_port,
+                                    flags=TCPFlag.SYN | TCPFlag.ACK,
+                                    request_id=packet.tcp.request_id,
+                                ),
+                            )
+                        ),
+                        label="syn-ack",
+                    )
+
+        fabric = LANFabric(simulator, latency=1e-6)
+        sink = VipSink(simulator)
+        sink.add_address(IPv6Address.parse("fd00:300::9"))
+        sink.attach(fabric)
+        client = TrafficGeneratorNode(
+            simulator,
+            "client",
+            IPv6Address.parse("fd00:200::9"),
+            IPv6Address.parse("fd00:300::9"),
+            request_spread=2.0,
+            request_chunks=1,
+        )
+        client.attach(fabric)
+        sent = sink.seen
+
+        client.start_query(Request(request_id=1, arrival_time=0.0, service_demand=0.1))
+        simulator.run()
+        data = [(when, p) for when, p in sent if p.tcp.has(TCPFlag.PSH)]
+        assert len(data) == 1
+        # Established at ~0.5 + spread 2.0 (plus one fabric hop).
+        assert data[0][0] == pytest.approx(2.5, abs=1e-3)
