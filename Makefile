@@ -1,16 +1,18 @@
 # Convenience targets for the SRLB reproduction.
 #
-#   make test        - tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke - one fast benchmark per scenario family, reduced scale
-#   make docs-check  - doc-vs-CLI consistency tests only
-#   make bench       - the full benchmark suite at default (reduced) scale
+#   make test                - tier-1 test suite (the gate every PR must keep green)
+#   make bench-smoke         - one fast benchmark per scenario family, reduced scale
+#   make bench-smoke-parallel - one tiny Figure-2 sweep through the multiprocessing
+#                              runner (jobs=2), so CI exercises the pool path
+#   make docs-check          - doc-vs-CLI consistency tests only
+#   make bench               - the full benchmark suite at default (reduced) scale
 
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test bench bench-smoke docs-check
+.PHONY: test bench bench-smoke bench-smoke-parallel docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +28,14 @@ bench-smoke:
 		benchmarks/bench_figure2_mean_response.py \
 		benchmarks/bench_ablation_selection_scheme.py \
 		benchmarks/bench_resilience_lb_churn.py
+
+# The same Figure-2 smoke sweep, fanned out over 2 worker processes:
+# a cheap end-to-end signal that the parallel sweep runner still works
+# (and still matches the serial results, which the assertions pin).
+bench-smoke-parallel:
+	REPRO_BENCH_QUERIES=800 REPRO_BENCH_RHO_POINTS=2 REPRO_BENCH_JOBS=2 \
+		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
+		benchmarks/bench_figure2_mean_response.py
 
 bench:
 	$(PYTHON) -m pytest -q $(BENCH_OPTS) benchmarks

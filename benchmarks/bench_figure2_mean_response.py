@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import scale_queries, scale_rho_points, run_once, write_output
+from benchmarks.conftest import (
+    run_once,
+    scale_jobs,
+    scale_queries,
+    scale_rho_points,
+    write_output,
+)
 from repro.experiments import figures
 from repro.experiments.config import PoissonSweepConfig, paper_policy_suite
 from repro.experiments.poisson_experiment import PoissonSweep
@@ -35,7 +41,11 @@ def bench_figure2_mean_response_time(benchmark):
         policies=tuple(paper_policy_suite()),
     )
 
-    sweep_result = run_once(benchmark, lambda: PoissonSweep(config).run())
+    # REPRO_BENCH_JOBS > 1 exercises the multiprocessing runner; the
+    # sweep's results are identical in both modes, only wall-clock moves.
+    sweep_result = run_once(
+        benchmark, lambda: PoissonSweep(config).run(jobs=scale_jobs())
+    )
 
     table = figures.render_figure2(sweep_result)
     heavy = max(config.load_factors)

@@ -13,6 +13,10 @@ Scale knobs (environment variables):
   Figure 2 benchmark (default 4; the paper uses 24).
 * ``REPRO_BENCH_WIKI_DURATION`` — compressed duration, in seconds, of the
   synthetic Wikipedia day (default 480; the paper replays 86400).
+* ``REPRO_BENCH_JOBS`` — worker processes for independent runs within a
+  sweep (default 1 = in-process; 0 = all cores).  Results are identical
+  for any value (see ``repro.experiments.runner``), so this is purely a
+  wall-clock knob.
 
 Setting these to the paper-scale values reproduces the full evaluation;
 the defaults keep the whole benchmark suite in the ten-minute range.
@@ -32,6 +36,7 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 DEFAULT_QUERIES = 2_000
 DEFAULT_RHO_POINTS = 4
 DEFAULT_WIKI_DURATION = 480.0
+DEFAULT_JOBS = 1
 
 
 def scale_queries() -> int:
@@ -47,6 +52,11 @@ def scale_rho_points() -> int:
 def scale_wiki_duration() -> float:
     """Compressed duration of the synthetic Wikipedia day, in seconds."""
     return float(os.environ.get("REPRO_BENCH_WIKI_DURATION", DEFAULT_WIKI_DURATION))
+
+
+def scale_jobs() -> int:
+    """Worker processes for independent runs within a sweep."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", DEFAULT_JOBS))
 
 
 def write_output(name: str, text: str) -> None:

@@ -59,7 +59,7 @@ from repro.experiments.config import (
     srdyn_policy,
 )
 from repro.experiments import figures
-from repro.experiments.poisson_experiment import PoissonSweep, run_poisson_once
+from repro.experiments.poisson_experiment import PoissonSweep
 from repro.experiments.resilience_experiment import (
     render_resilience_table,
     run_resilience_comparison,
@@ -100,6 +100,17 @@ def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent runs "
+        "(default 1 = in-process, 0 = all cores); results are identical "
+        "for any value",
+    )
+
+
 # ----------------------------------------------------------------------
 # sub-commands
 # ----------------------------------------------------------------------
@@ -131,16 +142,18 @@ def _command_poisson(args: argparse.Namespace) -> int:
     specs = [_policy_spec_from_name(name) for name in policy_names]
     load_factors = args.rho or [HIGH_LOAD_FACTOR]
 
+    config = PoissonSweepConfig(
+        testbed=testbed,
+        load_factors=tuple(dict.fromkeys(load_factors)),
+        num_queries=args.queries,
+        service_mean=args.service_mean,
+        policies=tuple(specs),
+    )
+    sweep = PoissonSweep(config).run(jobs=args.jobs)
     rows: List[List[object]] = []
     for load_factor in load_factors:
         for spec in specs:
-            result = run_poisson_once(
-                testbed,
-                spec,
-                load_factor=load_factor,
-                num_queries=args.queries,
-                service_mean=args.service_mean,
-            )
+            result = sweep.run(spec.name, load_factor)
             summary = result.summary
             rows.append(
                 [
@@ -178,7 +191,7 @@ def _command_wikipedia(args: argparse.Namespace) -> int:
         f"generated synthetic trace: {len(trace)} requests over "
         f"{trace.duration:.0f} s (replay fraction {args.replay_fraction:g})"
     )
-    result = WikipediaReplay(config).run(trace=trace)
+    result = WikipediaReplay(config).run(trace=trace, jobs=args.jobs)
     print()
     print(figures.render_figure6(result))
     print()
@@ -201,7 +214,7 @@ def _command_figure(args: argparse.Namespace) -> int:
             num_queries=args.queries,
             policies=tuple(paper_policy_suite()),
         )
-        print(figures.render_figure2(PoissonSweep(config).run()))
+        print(figures.render_figure2(PoissonSweep(config).run(jobs=args.jobs)))
         return 0
     if number in (3, 4, 5):
         load_factor = LIGHT_LOAD_FACTOR if number == 5 else HIGH_LOAD_FACTOR
@@ -211,16 +224,15 @@ def _command_figure(args: argparse.Namespace) -> int:
             if number == 4
             else tuple(paper_policy_suite())
         )
-        runs = {
-            spec.name: run_poisson_once(
-                testbed,
-                spec,
-                load_factor=load_factor,
+        sweep = PoissonSweep(
+            PoissonSweepConfig(
+                testbed=testbed,
+                load_factors=(load_factor,),
                 num_queries=args.queries,
-                sample_load=sample_load,
+                policies=tuple(specs),
             )
-            for spec in specs
-        }
+        ).run(sample_load=sample_load, jobs=args.jobs)
+        runs = {spec.name: sweep.run(spec.name, load_factor) for spec in specs}
         if number == 4:
             print(figures.render_figure4(runs))
         else:
@@ -234,7 +246,7 @@ def _command_figure(args: argparse.Namespace) -> int:
         config = dataclasses.replace(
             WikipediaReplayConfig(), testbed=testbed, static_per_wiki=0.5
         ).compressed(duration=args.duration)
-        result = WikipediaReplay(config).run()
+        result = WikipediaReplay(config).run(jobs=args.jobs)
         if number == 6:
             print(figures.render_figure6(result))
         elif number == 7:
@@ -280,7 +292,7 @@ def _command_resilience(args: argparse.Namespace) -> int:
         selection_schemes=tuple(args.scheme or ["random", "consistent-hash"]),
         churn=tuple(churn),
     )
-    comparison = run_resilience_comparison(config)
+    comparison = run_resilience_comparison(config, jobs=args.jobs)
     print(render_resilience_table(comparison))
     for scheme in comparison.schemes():
         run = comparison.run(scheme)
@@ -335,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     poisson.add_argument("--queries", type=int, default=3_000)
     poisson.add_argument("--service-mean", type=float, default=0.1)
+    _add_jobs_argument(poisson)
     poisson.set_defaults(handler=_command_poisson)
 
     wikipedia = subparsers.add_parser(
@@ -346,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wikipedia.add_argument("--replay-fraction", type=float, default=0.5)
     wikipedia.add_argument("--static-per-wiki", type=float, default=0.5)
+    _add_jobs_argument(wikipedia)
     wikipedia.set_defaults(handler=_command_wikipedia)
 
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper (2-8)")
@@ -356,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--duration", type=float, default=480.0, help="compressed day for figures 6-8"
     )
+    _add_jobs_argument(figure)
     figure.set_defaults(handler=_command_figure)
 
     resilience = subparsers.add_parser(
@@ -400,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument(
         "--chunks", type=int, default=5, help="segments per spread upload"
     )
+    _add_jobs_argument(resilience)
     resilience.set_defaults(handler=_command_resilience)
 
     return parser

@@ -31,12 +31,14 @@ from repro.experiments.config import (
 )
 from repro.experiments.platform import Testbed, build_testbed
 from repro.experiments.poisson_experiment import (
+    PoissonRunPayload,
     PoissonRunResult,
     PoissonSweep,
     PoissonSweepResult,
     make_poisson_trace,
     run_poisson_once,
 )
+from repro.experiments.runner import SweepRunner, resolve_jobs
 from repro.experiments.resilience_experiment import (
     ResilienceComparison,
     ResilienceRunResult,
@@ -75,6 +77,9 @@ __all__ = [
     "PoissonSweep",
     "PoissonSweepResult",
     "PoissonRunResult",
+    "PoissonRunPayload",
+    "SweepRunner",
+    "resolve_jobs",
     "run_poisson_once",
     "make_poisson_trace",
     "WikipediaReplay",

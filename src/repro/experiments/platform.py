@@ -16,12 +16,11 @@ from repro.core.candidate_selection import CandidateSelector, make_selector
 from repro.core.lb_tier import LoadBalancerTier
 from repro.core.loadbalancer import LoadBalancerNode
 from repro.core.policies import ConnectionAcceptancePolicy, make_policy
-from repro.errors import ExperimentError
+from repro.errors import WorkloadError
 from repro.experiments.config import PolicySpec, TestbedConfig
 from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
-from repro.net.addressing import default_allocators
+from repro.net.addressing import IPv6Address, default_allocators
 from repro.net.fabric import LANFabric
-from repro.net.addressing import IPv6Address
 from repro.server.cpu import make_cpu
 from repro.server.http_server import HTTPServerInstance
 from repro.server.virtual_router import ServerNode
@@ -61,7 +60,13 @@ class Testbed:
     # instrumentation
     # ------------------------------------------------------------------
     def attach_load_sampler(self, interval: float = 0.5) -> ServerLoadSampler:
-        """Start periodically sampling per-server busy-thread counts."""
+        """Start periodically sampling per-server busy-thread counts.
+
+        Re-attaching replaces the previous sampler; its periodic task is
+        stopped first, so it cannot keep rescheduling forever and hold
+        the event heap open.
+        """
+        self.stop_load_sampler()
         sampler = ServerLoadSampler(interval=interval)
 
         def take_sample() -> None:
@@ -100,8 +105,23 @@ class Testbed:
         is over, so the event heap can drain.
         """
         for request in trace:
-            if request.request_id not in self.catalog:
-                self.catalog.add(request)
+            if request.request_id in self.catalog:
+                # Re-running the same trace (or a pre-filled catalog) is
+                # fine; a *different* request under a known id means two
+                # traces with overlapping id spaces were replayed on one
+                # testbed — the servers would silently look up the first
+                # trace's CPU demands, so reject it loudly.  (Generated
+                # traces number their requests 1..N, so ids are only
+                # unique within a trace.)
+                if self.catalog.get(request.request_id) != request:
+                    raise WorkloadError(
+                        f"request id {request.request_id} is already "
+                        "registered with different contents; replay each "
+                        "trace on its own testbed (or share one catalog "
+                        "only across runs of the same trace)"
+                    )
+                continue
+            self.catalog.add(request)
         self.client.schedule_trace(trace)
         if self._sampler_task is not None:
             horizon = self.simulator.now + trace.duration + settle_margin

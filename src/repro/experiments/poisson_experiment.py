@@ -20,7 +20,13 @@ from repro.errors import ExperimentError
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import PoissonSweepConfig, PolicySpec, TestbedConfig
 from repro.experiments.platform import Testbed, build_testbed
-from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
+from repro.experiments.runner import SweepRunner
+from repro.metrics.collector import (
+    CollectorPayload,
+    LoadSamplerPayload,
+    ResponseTimeCollector,
+    ServerLoadSampler,
+)
 from repro.metrics.stats import SummaryStatistics
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.requests import RequestCatalog
@@ -55,6 +61,62 @@ class PoissonRunResult:
     def response_times(self) -> List[float]:
         """Raw response times (Figures 3 and 5 plot their CDF)."""
         return self.collector.response_times()
+
+    def export_payload(self) -> "PoissonRunPayload":
+        """Compact, picklable export of this run (for the sweep runner)."""
+        return PoissonRunPayload(
+            policy=self.policy,
+            load_factor=self.load_factor,
+            arrival_rate=self.arrival_rate,
+            collector=self.collector.export_payload(),
+            load_sampler=(
+                None
+                if self.load_sampler is None
+                else self.load_sampler.export_payload()
+            ),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            acceptance_counts=dict(self.acceptance_counts),
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class PoissonRunPayload:
+    """Picklable compact form of a :class:`PoissonRunResult`.
+
+    This is what crosses the process boundary when a sweep runs with
+    ``jobs > 1``: configs and scalars plus the array-backed collector
+    and sampler payloads, instead of live simulator-attached objects.
+    """
+
+    policy: PolicySpec
+    load_factor: float
+    arrival_rate: float
+    collector: CollectorPayload
+    load_sampler: Optional[LoadSamplerPayload]
+    requests_served: int
+    connections_reset: int
+    acceptance_counts: Dict[str, int]
+    simulated_duration: float
+
+    def to_result(self) -> PoissonRunResult:
+        """Rebuild the full result object in the parent process."""
+        return PoissonRunResult(
+            policy=self.policy,
+            load_factor=self.load_factor,
+            arrival_rate=self.arrival_rate,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            load_sampler=(
+                None
+                if self.load_sampler is None
+                else ServerLoadSampler.from_payload(self.load_sampler)
+            ),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            acceptance_counts=dict(self.acceptance_counts),
+            simulated_duration=self.simulated_duration,
+        )
 
 
 def make_poisson_trace(
@@ -129,6 +191,42 @@ def run_poisson_once(
     )
 
 
+@dataclass(frozen=True)
+class PoissonCellTask:
+    """Self-contained, picklable description of one (policy, ρ) run.
+
+    The workload trace is *not* carried along: the worker regenerates it
+    from ``(workload_seed, load_factor)``, which is exactly how the
+    serial sweep seeds it, so both paths replay identical workloads.
+    """
+
+    testbed: TestbedConfig
+    policy: PolicySpec
+    load_factor: float
+    num_queries: int
+    service_mean: float
+    saturation_rate: float
+    workload_seed: int
+    sample_load: bool
+    load_sample_interval: float
+
+
+def _run_poisson_cell(task: PoissonCellTask) -> PoissonRunPayload:
+    """Pool worker: run one sweep cell and export its compact payload."""
+    result = run_poisson_once(
+        task.testbed,
+        task.policy,
+        task.load_factor,
+        num_queries=task.num_queries,
+        service_mean=task.service_mean,
+        saturation_rate=task.saturation_rate,
+        workload_seed=task.workload_seed,
+        sample_load=task.sample_load,
+        load_sample_interval=task.load_sample_interval,
+    )
+    return result.export_payload()
+
+
 @dataclass
 class PoissonSweepResult:
     """All runs of a load-factor sweep, indexed by policy then load factor."""
@@ -167,8 +265,16 @@ class PoissonSweep:
     def __init__(self, config: Optional[PoissonSweepConfig] = None) -> None:
         self.config = config or PoissonSweepConfig()
 
-    def run(self, sample_load: bool = False) -> PoissonSweepResult:
-        """Execute every (policy, load factor) combination."""
+    def run(
+        self, sample_load: bool = False, jobs: Optional[int] = 1
+    ) -> PoissonSweepResult:
+        """Execute every (policy, load factor) combination.
+
+        ``jobs`` fans the independent cells out over a process pool
+        (``None``/``0`` = all cores); ``jobs=1`` keeps the historical
+        in-process path.  Results are identical for any value — see
+        :mod:`repro.experiments.runner` for the determinism contract.
+        """
         config = self.config
         saturation = (
             config.saturation_rate
@@ -176,26 +282,48 @@ class PoissonSweep:
             else analytic_saturation_rate(config.testbed, config.service_mean)
         )
         result = PoissonSweepResult(config=config, saturation_rate=saturation)
-        for load_factor in config.load_factors:
-            trace = make_poisson_trace(
-                load_factor,
-                config.num_queries,
-                saturation,
-                config.service_mean,
-                config.workload_seed,
-            )
-            for policy in config.policies:
-                run = run_poisson_once(
-                    config.testbed,
-                    policy,
+        runner = SweepRunner(jobs=jobs)
+        if runner.serial:
+            for load_factor in config.load_factors:
+                trace = make_poisson_trace(
                     load_factor,
-                    num_queries=config.num_queries,
-                    service_mean=config.service_mean,
-                    saturation_rate=saturation,
-                    workload_seed=config.workload_seed,
-                    sample_load=sample_load,
-                    load_sample_interval=config.load_sample_interval,
-                    trace=trace,
+                    config.num_queries,
+                    saturation,
+                    config.service_mean,
+                    config.workload_seed,
                 )
-                result.runs.setdefault(policy.name, {})[load_factor] = run
+                for policy in config.policies:
+                    run = run_poisson_once(
+                        config.testbed,
+                        policy,
+                        load_factor,
+                        num_queries=config.num_queries,
+                        service_mean=config.service_mean,
+                        saturation_rate=saturation,
+                        workload_seed=config.workload_seed,
+                        sample_load=sample_load,
+                        load_sample_interval=config.load_sample_interval,
+                        trace=trace,
+                    )
+                    result.runs.setdefault(policy.name, {})[load_factor] = run
+            return result
+        tasks = [
+            PoissonCellTask(
+                testbed=config.testbed,
+                policy=policy,
+                load_factor=load_factor,
+                num_queries=config.num_queries,
+                service_mean=config.service_mean,
+                saturation_rate=saturation,
+                workload_seed=config.workload_seed,
+                sample_load=sample_load,
+                load_sample_interval=config.load_sample_interval,
+            )
+            for load_factor in config.load_factors
+            for policy in config.policies
+        ]
+        for task, payload in zip(tasks, runner.map(_run_poisson_cell, tasks)):
+            result.runs.setdefault(task.policy.name, {})[
+                task.load_factor
+            ] = payload.to_result()
         return result

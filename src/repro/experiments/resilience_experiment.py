@@ -33,7 +33,8 @@ from repro.errors import ExperimentError
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import ChurnEvent, ResilienceConfig, TestbedConfig
 from repro.experiments.platform import Testbed, build_testbed
-from repro.metrics.collector import ResponseTimeCollector
+from repro.experiments.runner import SweepRunner
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
 from repro.metrics.reporting import format_table
 from repro.metrics.stats import SummaryStatistics
 from repro.workload.poisson import PoissonWorkload
@@ -113,6 +114,81 @@ class ResilienceRunResult:
     def summary(self) -> SummaryStatistics:
         """Response-time summary of the queries that did complete."""
         return self.collector.summary()
+
+    def export_payload(self) -> "ResilienceRunPayload":
+        """Compact, picklable export of this run (for the sweep runner)."""
+        return ResilienceRunPayload(
+            scheme=self.scheme,
+            config=self.config,
+            collector=self.collector.export_payload(),
+            observations=list(self.observations),
+            broken_flows=self.broken_flows,
+            in_flight_at_churn=self.in_flight_at_churn,
+            queries_hung=self.queries_hung,
+            recovery_hunts=self.recovery_hunts,
+            steering_misses=self.steering_misses,
+            signals_relayed=self.signals_relayed,
+            acceptances_learned=self.acceptances_learned,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class ResilienceRunPayload:
+    """Picklable compact form of a :class:`ResilienceRunResult`.
+
+    The churn observations are plain dataclasses over scalars and id
+    sets, so they cross the process boundary as-is; only the collector
+    needs the array-backed compact form.
+    """
+
+    scheme: str
+    config: ResilienceConfig
+    collector: CollectorPayload
+    observations: List[ChurnObservation]
+    broken_flows: int
+    in_flight_at_churn: int
+    queries_hung: int
+    recovery_hunts: int
+    steering_misses: int
+    signals_relayed: int
+    acceptances_learned: int
+    simulated_duration: float
+
+    def to_result(self) -> ResilienceRunResult:
+        """Rebuild the full result object in the parent process."""
+        return ResilienceRunResult(
+            scheme=self.scheme,
+            config=self.config,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            observations=list(self.observations),
+            broken_flows=self.broken_flows,
+            in_flight_at_churn=self.in_flight_at_churn,
+            queries_hung=self.queries_hung,
+            recovery_hunts=self.recovery_hunts,
+            steering_misses=self.steering_misses,
+            signals_relayed=self.signals_relayed,
+            acceptances_learned=self.acceptances_learned,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceCellTask:
+    """Picklable description of one scheme's churn run.
+
+    The trace is regenerated in the worker from the config's workload
+    seed (:func:`make_resilience_trace` is deterministic), matching the
+    trace the serial comparison shares across schemes.
+    """
+
+    config: ResilienceConfig
+    scheme: str
+
+
+def _run_resilience_cell(task: ResilienceCellTask) -> ResilienceRunPayload:
+    """Pool worker: run one scheme's churn run and export the payload."""
+    return run_resilience_once(task.config, task.scheme).export_payload()
 
 
 def _resolve_victim(tier, event: ChurnEvent):
@@ -226,12 +302,29 @@ class ResilienceComparison:
             raise ExperimentError(f"no run for scheme {scheme!r}") from exc
 
 
-def run_resilience_comparison(config: ResilienceConfig) -> ResilienceComparison:
-    """Replay the same workload + churn under every configured scheme."""
-    trace = make_resilience_trace(config)
+def run_resilience_comparison(
+    config: ResilienceConfig, jobs: Optional[int] = 1
+) -> ResilienceComparison:
+    """Replay the same workload + churn under every configured scheme.
+
+    ``jobs`` fans the per-scheme runs out over a process pool
+    (``None``/``0`` = all cores); ``jobs=1`` keeps the historical
+    in-process path.  Results are identical for any value — see
+    :mod:`repro.experiments.runner` for the determinism contract.
+    """
     comparison = ResilienceComparison(config=config)
-    for scheme in config.selection_schemes:
-        comparison.runs[scheme] = run_resilience_once(config, scheme, trace=trace)
+    runner = SweepRunner(jobs=jobs)
+    if runner.serial:
+        trace = make_resilience_trace(config)
+        for scheme in config.selection_schemes:
+            comparison.runs[scheme] = run_resilience_once(config, scheme, trace=trace)
+        return comparison
+    tasks = [
+        ResilienceCellTask(config=config, scheme=scheme)
+        for scheme in config.selection_schemes
+    ]
+    for task, payload in zip(tasks, runner.map(_run_resilience_cell, tasks)):
+        comparison.runs[task.scheme] = payload.to_result()
     return comparison
 
 

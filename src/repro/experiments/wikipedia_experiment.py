@@ -23,8 +23,9 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.experiments.config import PolicySpec, WikipediaReplayConfig
 from repro.experiments.platform import build_testbed
+from repro.experiments.runner import SweepRunner
 from repro.metrics.binning import TimeBinner
-from repro.metrics.collector import ResponseTimeCollector
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
 from repro.metrics.stats import quartiles
 from repro.workload.requests import KIND_STATIC, KIND_WIKI, RequestCatalog
 from repro.workload.trace import Trace
@@ -87,6 +88,82 @@ class WikipediaRunResult:
         """Whole-day quartiles of the wiki-page load time (Figure 8 text)."""
         return quartiles(self.wiki_response_times())
 
+    def export_payload(self) -> "WikipediaRunPayload":
+        """Compact, picklable export of this run (for the sweep runner)."""
+        return WikipediaRunPayload(
+            policy=self.policy,
+            collector=self.collector.export_payload(),
+            bin_width=self.bin_width,
+            trace_duration=self.trace_duration,
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+        )
+
+
+@dataclass
+class WikipediaRunPayload:
+    """Picklable compact form of a :class:`WikipediaRunResult`."""
+
+    policy: PolicySpec
+    collector: CollectorPayload
+    bin_width: float
+    trace_duration: float
+    requests_served: int
+    connections_reset: int
+
+    def to_result(self) -> WikipediaRunResult:
+        """Rebuild the full result object in the parent process."""
+        return WikipediaRunResult(
+            policy=self.policy,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            bin_width=self.bin_width,
+            trace_duration=self.trace_duration,
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+        )
+
+
+@dataclass(frozen=True)
+class WikipediaCellTask:
+    """Picklable description of one policy's replay.
+
+    A pre-generated trace (when the caller supplied one) rides along so
+    the worker replays exactly it; otherwise the worker regenerates the
+    trace from the config's workload seed, which yields the same trace
+    the serial path would generate.
+    """
+
+    config: WikipediaReplayConfig
+    policy: PolicySpec
+    trace: Optional[Trace] = None
+
+
+def _replay_one_policy(
+    config: WikipediaReplayConfig, policy: PolicySpec, trace: Trace
+) -> WikipediaRunResult:
+    """Replay ``trace`` under one policy (shared by both sweep paths)."""
+    testbed = build_testbed(
+        config.testbed,
+        policy,
+        catalog=RequestCatalog(),
+        run_name=f"wikipedia-{policy.name}",
+    )
+    testbed.run_trace(trace)
+    return WikipediaRunResult(
+        policy=policy,
+        collector=testbed.collector,
+        bin_width=config.bin_width,
+        trace_duration=trace.duration,
+        requests_served=testbed.total_requests_served(),
+        connections_reset=testbed.total_resets(),
+    )
+
+
+def _run_wikipedia_cell(task: WikipediaCellTask) -> WikipediaRunPayload:
+    """Pool worker: replay under one policy and export the payload."""
+    trace = task.trace if task.trace is not None else make_wikipedia_trace(task.config)
+    return _replay_one_policy(task.config, task.policy, trace).export_payload()
+
 
 @dataclass
 class WikipediaReplayResult:
@@ -114,9 +191,18 @@ class WikipediaReplay:
     def __init__(self, config: Optional[WikipediaReplayConfig] = None) -> None:
         self.config = config or WikipediaReplayConfig()
 
-    def run(self, trace: Optional[Trace] = None) -> WikipediaReplayResult:
-        """Generate (or reuse) the trace and replay it under every policy."""
+    def run(
+        self, trace: Optional[Trace] = None, jobs: Optional[int] = 1
+    ) -> WikipediaReplayResult:
+        """Generate (or reuse) the trace and replay it under every policy.
+
+        ``jobs`` fans the per-policy replays out over a process pool
+        (``None``/``0`` = all cores); ``jobs=1`` keeps the historical
+        in-process path.  Results are identical for any value — see
+        :mod:`repro.experiments.runner` for the determinism contract.
+        """
         config = self.config
+        explicit_trace = trace
         if trace is None:
             trace = make_wikipedia_trace(config)
         summary = trace.summary()
@@ -129,20 +215,18 @@ class WikipediaReplay:
                 "mean_demand": summary.mean_demand,
             },
         )
-        for policy in config.policies:
-            testbed = build_testbed(
-                config.testbed,
-                policy,
-                catalog=RequestCatalog(),
-                run_name=f"wikipedia-{policy.name}",
-            )
-            testbed.run_trace(trace)
-            result.runs[policy.name] = WikipediaRunResult(
-                policy=policy,
-                collector=testbed.collector,
-                bin_width=config.bin_width,
-                trace_duration=trace.duration,
-                requests_served=testbed.total_requests_served(),
-                connections_reset=testbed.total_resets(),
-            )
+        runner = SweepRunner(jobs=jobs)
+        if runner.serial:
+            for policy in config.policies:
+                result.runs[policy.name] = _replay_one_policy(config, policy, trace)
+            return result
+        # Only ship the trace to the workers when the caller supplied
+        # one; a config-generated trace is cheaper to regenerate from
+        # the seed than to pickle across the pool.
+        tasks = [
+            WikipediaCellTask(config=config, policy=policy, trace=explicit_trace)
+            for policy in config.policies
+        ]
+        for task, payload in zip(tasks, runner.map(_run_wikipedia_cell, tasks)):
+            result.runs[task.policy.name] = payload.to_result()
         return result

@@ -61,13 +61,24 @@ class TimeBinner:
         Width of each bin in seconds (the paper uses 600 s).
     start:
         Start of the first bin; samples before it are rejected.
+    through:
+        Default horizon for :meth:`bins` and the derived series: the
+        materialised range always covers this timestamp, even when the
+        trailing bins are empty.  A ``through=`` argument at a call site
+        overrides it.
     """
 
-    def __init__(self, bin_width: float = 600.0, start: float = 0.0) -> None:
+    def __init__(
+        self,
+        bin_width: float = 600.0,
+        start: float = 0.0,
+        through: Optional[float] = None,
+    ) -> None:
         if bin_width <= 0:
             raise ReproError(f"bin width must be positive, got {bin_width!r}")
         self.bin_width = bin_width
         self.start = start
+        self.through = through
         self._bins: Dict[int, List[float]] = {}
 
     def add(self, timestamp: float, value: float) -> None:
@@ -88,8 +99,11 @@ class TimeBinner:
         """Materialise the bins, including empty ones, in time order.
 
         ``through`` extends the range to cover that timestamp even if the
-        trailing bins are empty (so series from different runs align).
+        trailing bins are empty (so series from different runs align);
+        when omitted, the binner's own :attr:`through` horizon applies.
         """
+        if through is None:
+            through = self.through
         if not self._bins and through is None:
             return []
         last_index = max(self._bins) if self._bins else 0

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.metrics.binning import TimeBinner
 from repro.metrics.stats import SummaryStatistics, empirical_cdf, summarize
@@ -36,6 +38,65 @@ class CollectorTotals:
         if self.total == 0:
             return 0.0
         return self.failed / self.total
+
+
+@dataclass
+class CollectorPayload:
+    """Compact, picklable export of a :class:`ResponseTimeCollector`.
+
+    Outcomes are stored as parallel :mod:`numpy` arrays (one row per
+    query, successes and failures separately) plus small string tables
+    for the request kinds and failure reasons, so a 20k-query run
+    crosses a ``multiprocessing`` pipe as a handful of contiguous
+    buffers instead of tens of thousands of Python objects.  Request
+    URLs are not round-tripped (nothing downstream of the collector
+    reads them); a rebuilt collector reports every URL as ``""``.
+    """
+
+    name: str
+    kinds: Tuple[str, ...]
+    failure_reasons: Tuple[str, ...]
+    #: Successful queries: ids, kind codes and the three timestamps.
+    ok_request_ids: np.ndarray
+    ok_kind_codes: np.ndarray
+    ok_sent_at: np.ndarray
+    ok_established_at: np.ndarray
+    ok_completed_at: np.ndarray
+    #: Failed queries: ids, kind codes, timestamps and reason codes
+    #: (an index into :attr:`failure_reasons`; -1 means no reason).
+    fail_request_ids: np.ndarray
+    fail_kind_codes: np.ndarray
+    fail_sent_at: np.ndarray
+    fail_established_at: np.ndarray
+    fail_reason_codes: np.ndarray
+
+
+def _encode_outcomes(
+    outcomes: Sequence[RequestOutcome],
+    kind_codes: Dict[str, int],
+    kinds: List[str],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(ids, kind codes, sent_at, established_at)`` arrays for one side."""
+    ids = np.empty(len(outcomes), dtype=np.int64)
+    codes = np.empty(len(outcomes), dtype=np.int32)
+    sent = np.empty(len(outcomes), dtype=np.float64)
+    established = np.empty(len(outcomes), dtype=np.float64)
+    for row, outcome in enumerate(outcomes):
+        ids[row] = outcome.request_id
+        code = kind_codes.get(outcome.kind)
+        if code is None:
+            code = kind_codes[outcome.kind] = len(kinds)
+            kinds.append(outcome.kind)
+        codes[row] = code
+        sent[row] = outcome.sent_at
+        established[row] = (
+            np.nan if outcome.established_at is None else outcome.established_at
+        )
+    return ids, codes, sent, established
+
+
+def _float_or_none(value: float) -> Optional[float]:
+    return None if np.isnan(value) else float(value)
 
 
 class ResponseTimeCollector:
@@ -104,8 +165,13 @@ class ResponseTimeCollector:
         kind: Optional[str] = None,
         through: Optional[float] = None,
     ) -> TimeBinner:
-        """Response times binned by *arrival* time (Figures 6 and 7)."""
-        binner = TimeBinner(bin_width=bin_width)
+        """Response times binned by *arrival* time (Figures 6 and 7).
+
+        ``through`` pre-binds the returned binner's horizon, so trailing
+        empty bins up to that timestamp are materialised even when the
+        caller never passes a horizon to :meth:`TimeBinner.bins` itself.
+        """
+        binner = TimeBinner(bin_width=bin_width, through=through)
         for outcome in self.outcomes(kind):
             if outcome.response_time is not None:
                 binner.add(outcome.sent_at, outcome.response_time)
@@ -114,6 +180,89 @@ class ResponseTimeCollector:
     def mean_response_time(self, kind: Optional[str] = None) -> float:
         """Mean response time of successful queries (Figure 2's y-axis)."""
         return self.summary(kind).mean
+
+    # ------------------------------------------------------------------
+    # compact export / rebuild (the parallel sweep runner's wire format)
+    # ------------------------------------------------------------------
+    def export_payload(self) -> CollectorPayload:
+        """Export the recorded outcomes as a :class:`CollectorPayload`."""
+        kinds: List[str] = []
+        kind_codes: Dict[str, int] = {}
+        ok_ids, ok_codes, ok_sent, ok_established = _encode_outcomes(
+            self._outcomes, kind_codes, kinds
+        )
+        ok_completed = np.array(
+            [outcome.completed_at for outcome in self._outcomes], dtype=np.float64
+        )
+        fail_ids, fail_codes, fail_sent, fail_established = _encode_outcomes(
+            self._failed, kind_codes, kinds
+        )
+        reasons: List[str] = []
+        reason_codes: Dict[str, int] = {}
+        fail_reasons = np.empty(len(self._failed), dtype=np.int32)
+        for row, outcome in enumerate(self._failed):
+            if outcome.failure_reason is None:
+                fail_reasons[row] = -1
+                continue
+            code = reason_codes.get(outcome.failure_reason)
+            if code is None:
+                code = reason_codes[outcome.failure_reason] = len(reasons)
+                reasons.append(outcome.failure_reason)
+            fail_reasons[row] = code
+        return CollectorPayload(
+            name=self.name,
+            kinds=tuple(kinds),
+            failure_reasons=tuple(reasons),
+            ok_request_ids=ok_ids,
+            ok_kind_codes=ok_codes,
+            ok_sent_at=ok_sent,
+            ok_established_at=ok_established,
+            ok_completed_at=ok_completed,
+            fail_request_ids=fail_ids,
+            fail_kind_codes=fail_codes,
+            fail_sent_at=fail_sent,
+            fail_established_at=fail_established,
+            fail_reason_codes=fail_reasons,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: CollectorPayload) -> "ResponseTimeCollector":
+        """Rebuild a collector from :meth:`export_payload`'s output.
+
+        The rebuilt collector is interchangeable with the original for
+        every series the figures consume (response times, CDFs, binned
+        series, totals); only request URLs are lost in the round trip.
+        """
+        collector = cls(name=payload.name)
+        for row in range(len(payload.ok_request_ids)):
+            collector._outcomes.append(
+                RequestOutcome(
+                    request_id=int(payload.ok_request_ids[row]),
+                    kind=payload.kinds[int(payload.ok_kind_codes[row])],
+                    url="",
+                    sent_at=float(payload.ok_sent_at[row]),
+                    established_at=_float_or_none(payload.ok_established_at[row]),
+                    completed_at=float(payload.ok_completed_at[row]),
+                )
+            )
+        for row in range(len(payload.fail_request_ids)):
+            reason_code = int(payload.fail_reason_codes[row])
+            collector._failed.append(
+                RequestOutcome(
+                    request_id=int(payload.fail_request_ids[row]),
+                    kind=payload.kinds[int(payload.fail_kind_codes[row])],
+                    url="",
+                    sent_at=float(payload.fail_sent_at[row]),
+                    established_at=_float_or_none(payload.fail_established_at[row]),
+                    failed=True,
+                    failure_reason=(
+                        None
+                        if reason_code < 0
+                        else payload.failure_reasons[reason_code]
+                    ),
+                )
+            )
+        return collector
 
     def __len__(self) -> int:
         return len(self._outcomes) + len(self._failed)
@@ -124,6 +273,16 @@ class ResponseTimeCollector:
             f"ResponseTimeCollector(name={self.name!r}, "
             f"completed={totals.completed}, failed={totals.failed})"
         )
+
+
+@dataclass
+class LoadSamplerPayload:
+    """Compact, picklable export of a :class:`ServerLoadSampler`."""
+
+    interval: float
+    times: np.ndarray
+    #: ``(num_samples, num_servers)`` busy-count matrix.
+    samples: np.ndarray
 
 
 class ServerLoadSampler:
@@ -176,6 +335,30 @@ class ServerLoadSampler:
             (time, jain_fairness_index(row))
             for time, row in zip(self._times, self._samples)
         ]
+
+    # ------------------------------------------------------------------
+    # compact export / rebuild (the parallel sweep runner's wire format)
+    # ------------------------------------------------------------------
+    def export_payload(self) -> LoadSamplerPayload:
+        """Export the recorded samples as a :class:`LoadSamplerPayload`."""
+        num_servers = len(self._samples[0]) if self._samples else 0
+        return LoadSamplerPayload(
+            interval=self.interval,
+            times=np.array(self._times, dtype=np.float64),
+            samples=np.array(self._samples, dtype=np.int64).reshape(
+                len(self._samples), num_servers
+            ),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: LoadSamplerPayload) -> "ServerLoadSampler":
+        """Rebuild a sampler from :meth:`export_payload`'s output."""
+        sampler = cls(interval=payload.interval)
+        sampler._times = [float(time) for time in payload.times]
+        sampler._samples = [
+            [int(count) for count in row] for row in payload.samples
+        ]
+        return sampler
 
     def __len__(self) -> int:
         return len(self._samples)

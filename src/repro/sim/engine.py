@@ -164,7 +164,13 @@ class Simulator:
         Returns
         -------
         float
-            The simulated time when the run stopped.
+            The simulated time when the run stopped.  ``run(until=T)``
+            returns ``T`` whenever every live event at or before ``T``
+            has been executed — including runs ended by ``max_events``
+            or :meth:`stop` after the last such event.  A run cut short
+            with work still pending at or before the horizon returns
+            the time of the last executed event instead, so the
+            unprocessed events remain in the clock's future.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
@@ -182,17 +188,19 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and event.time > until:
-                    self.clock.advance(until)
                     break
                 heapq.heappop(self._heap)
                 self.clock.advance(event.time)
                 event.callback()
                 self._events_executed += 1
                 executed_this_run += 1
-            else:
-                # Heap drained: if a horizon was given, report it as the
-                # final time so callers can rely on `run(until=T) == T`.
-                if until is not None and until > self.clock.now:
+            # Honour `run(until=T) == T` whenever no live event remains
+            # at or before the horizon, regardless of why the loop ended
+            # (heap drained, next event past the horizon, `max_events`
+            # exhausted, or `stop()` after the last pre-horizon event).
+            if until is not None and until > self.clock.now:
+                next_time = self.peek_next_time()
+                if next_time is None or next_time > until:
                     self.clock.advance(until)
         finally:
             self._running = False

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workload.requests import KIND_PHP, Request, next_request_id
+from repro.workload.requests import KIND_PHP, Request
 from repro.workload.service_models import ExponentialServiceTime, ServiceTimeModel
 from repro.workload.trace import Trace
 
@@ -79,12 +79,18 @@ class PoissonWorkload:
         )
 
     def generate(self, rng: np.random.Generator) -> Trace:
-        """Generate the trace of arrivals and CPU demands."""
+        """Generate the trace of arrivals and CPU demands.
+
+        Request ids are local to the trace (``1..num_queries``), so the
+        trace — ids included — is fully determined by the generator's
+        parameters and ``rng`` seed.  The parallel sweep runner relies
+        on this to regenerate identical traces inside pool workers.
+        """
         inter_arrivals = rng.exponential(1.0 / self.rate, size=self.num_queries)
         arrival_times = self.start_time + np.cumsum(inter_arrivals)
         requests = [
             Request(
-                request_id=next_request_id(),
+                request_id=index + 1,
                 arrival_time=float(arrival_times[index]),
                 service_demand=self.service_model.sample(rng),
                 kind=KIND_PHP,

@@ -31,7 +31,15 @@ _request_ids = itertools.count(1)
 
 
 def next_request_id() -> int:
-    """Globally unique request id (monotonically increasing)."""
+    """Globally unique request id (monotonically increasing).
+
+    The built-in workload generators do **not** use this: they number
+    their requests locally (``1..N``) so a trace is fully determined by
+    its seed, which the parallel sweep runner relies on.  The helper
+    remains for hand-built requests that must not collide with each
+    other — but ids it mints live in a different space from generated
+    traces, so never mix the two in one catalog.
+    """
     return next(_request_ids)
 
 

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, WorkloadError
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
@@ -176,6 +176,47 @@ class TestBuildTestbed:
         testbed.run_trace(trace)
         assert len(sampler) > 0
         assert all(len(row) == small_testbed_config.num_servers for row in sampler.samples)
+
+    def test_reattaching_load_sampler_stops_the_previous_task(self, small_testbed_config):
+        """Regression: a second ``attach_load_sampler`` used to leak the
+        first PeriodicTask, which kept rescheduling forever, so the
+        event heap never drained and ``run_trace`` hung."""
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        first = testbed.attach_load_sampler(interval=0.1)
+        second = testbed.attach_load_sampler(interval=0.1)
+        assert second is not first
+        assert testbed.load_sampler is second
+        trace = make_poisson_trace(
+            load_factor=0.3,
+            num_queries=20,
+            saturation_rate=analytic_saturation_rate(small_testbed_config, 0.05),
+            service_mean=0.05,
+            workload_seed=3,
+        )
+        # With the leaked task this call never returned; now the heap
+        # drains, only the second sampler records, and the first stays
+        # frozen where the re-attach stopped it.
+        testbed.run_trace(trace)
+        assert len(second) > 0
+        assert len(first) == 0
+
+    def test_run_trace_rejects_second_trace_with_conflicting_ids(
+        self, small_testbed_config
+    ):
+        """Generated traces number their requests 1..N, so replaying a
+        *different* trace on the same testbed would make servers look up
+        the first trace's CPU demands; the catalog guard rejects it."""
+        saturation = analytic_saturation_rate(small_testbed_config, 0.05)
+        trace_kwargs = dict(
+            load_factor=0.3,
+            num_queries=10,
+            saturation_rate=saturation,
+            service_mean=0.05,
+        )
+        testbed = build_testbed(small_testbed_config, sr_policy(4))
+        testbed.run_trace(make_poisson_trace(workload_seed=3, **trace_kwargs))
+        with pytest.raises(WorkloadError):
+            testbed.run_trace(make_poisson_trace(workload_seed=4, **trace_kwargs))
 
     def test_server_busy_counts_shape(self, small_testbed_config):
         testbed = build_testbed(small_testbed_config, sr_policy(4))

@@ -1,0 +1,311 @@
+"""Tests for the parallel sweep runner and its compact result payloads.
+
+The load-bearing property is the determinism contract documented in
+:mod:`repro.experiments.runner`: ``jobs`` is purely a wall-clock knob,
+so a sweep run with ``jobs=1`` (the historical in-process path) and the
+same sweep run with ``jobs>1`` (the multiprocessing pool plus the
+payload round trip) must produce bit-for-bit identical series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    ChurnEvent,
+    PoissonSweepConfig,
+    ResilienceConfig,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    rr_policy,
+    sr_policy,
+)
+from repro.experiments.poisson_experiment import PoissonSweep
+from repro.experiments.resilience_experiment import run_resilience_comparison
+from repro.experiments.runner import SweepRunner, resolve_jobs
+from repro.experiments.wikipedia_experiment import WikipediaReplay, make_wikipedia_trace
+from repro.metrics.collector import ResponseTimeCollector, ServerLoadSampler
+from repro.workload.client import RequestOutcome
+
+SMALL_TESTBED = TestbedConfig(
+    num_servers=4, workers_per_server=8, cores_per_server=2, backlog_capacity=16
+)
+
+
+def _small_sweep_config(**overrides) -> PoissonSweepConfig:
+    defaults = dict(
+        testbed=SMALL_TESTBED,
+        load_factors=(0.4, 0.75),
+        num_queries=250,
+        policies=(rr_policy(), sr_policy(4)),
+    )
+    defaults.update(overrides)
+    return PoissonSweepConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# SweepRunner mechanics
+# ----------------------------------------------------------------------
+class TestSweepRunner:
+    def test_resolve_jobs_defaults_to_cpu_count(self):
+        import os
+
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(3) == 3
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(jobs=-1)
+
+    def test_serial_runner_runs_in_process(self):
+        runner = SweepRunner(jobs=1)
+        assert runner.serial
+        seen = []
+
+        def worker(task):
+            seen.append(task)
+            return task * 10
+
+        # Closures are not picklable, so this only works in-process —
+        # which is exactly what jobs=1 must guarantee.
+        assert runner.map(worker, [1, 2, 3]) == [10, 20, 30]
+        assert seen == [1, 2, 3]
+
+    def test_parallel_map_preserves_task_order(self):
+        runner = SweepRunner(jobs=2)
+        assert not runner.serial
+        assert runner.map(_square, list(range(8))) == [n * n for n in range(8)]
+
+    def test_single_task_skips_the_pool(self):
+        # A lone task runs in-process even with jobs > 1 (no pickling).
+        assert SweepRunner(jobs=4).map(lambda task: task + 1, [41]) == [42]
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+# ----------------------------------------------------------------------
+# compact payload round trips
+# ----------------------------------------------------------------------
+class TestCollectorPayload:
+    def test_round_trip_preserves_every_series(self):
+        collector = ResponseTimeCollector(name="round-trip")
+        collector.record(
+            RequestOutcome(
+                request_id=1,
+                kind="wiki",
+                url="/w/1",
+                sent_at=0.5,
+                established_at=0.6,
+                completed_at=1.25,
+            )
+        )
+        collector.record(
+            RequestOutcome(
+                request_id=2,
+                kind="static",
+                url="/s/2",
+                sent_at=0.75,
+                completed_at=0.9,
+            )
+        )
+        collector.record(
+            RequestOutcome(
+                request_id=3,
+                kind="wiki",
+                url="/w/3",
+                sent_at=2.0,
+                failed=True,
+                failure_reason="connection reset",
+            )
+        )
+        rebuilt = ResponseTimeCollector.from_payload(collector.export_payload())
+
+        assert rebuilt.name == collector.name
+        assert rebuilt.totals.completed == 2
+        assert rebuilt.totals.failed == 1
+        assert rebuilt.response_times() == collector.response_times()
+        assert rebuilt.response_times(kind="wiki") == collector.response_times(kind="wiki")
+        assert [o.request_id for o in rebuilt.outcomes()] == [1, 2]
+        assert rebuilt.outcomes()[0].established_at == 0.6
+        assert rebuilt.outcomes()[1].established_at is None
+        assert rebuilt.failures()[0].failure_reason == "connection reset"
+        assert rebuilt.failures()[0].response_time is None
+
+    def test_empty_collector_round_trips(self):
+        rebuilt = ResponseTimeCollector.from_payload(
+            ResponseTimeCollector(name="empty").export_payload()
+        )
+        assert len(rebuilt) == 0
+        assert rebuilt.totals.total == 0
+
+    def test_binned_series_survive_the_round_trip(self):
+        collector = ResponseTimeCollector()
+        for index in range(10):
+            collector.record(
+                RequestOutcome(
+                    request_id=index,
+                    kind="wiki",
+                    url="/",
+                    sent_at=index * 1.0,
+                    completed_at=index * 1.0 + 0.2,
+                )
+            )
+        rebuilt = ResponseTimeCollector.from_payload(collector.export_payload())
+        assert (
+            rebuilt.binned(bin_width=2.0).median_series()
+            == collector.binned(bin_width=2.0).median_series()
+        )
+
+
+class TestLoadSamplerPayload:
+    def test_round_trip_preserves_series(self):
+        sampler = ServerLoadSampler(interval=0.25)
+        sampler.sample(0.0, [1, 2, 3])
+        sampler.sample(0.25, [4, 5, 6])
+        rebuilt = ServerLoadSampler.from_payload(sampler.export_payload())
+        assert rebuilt.interval == 0.25
+        assert rebuilt.times == sampler.times
+        assert rebuilt.samples == sampler.samples
+        assert rebuilt.mean_load_series() == sampler.mean_load_series()
+        assert rebuilt.fairness_series() == sampler.fairness_series()
+
+    def test_empty_sampler_round_trips(self):
+        rebuilt = ServerLoadSampler.from_payload(
+            ServerLoadSampler(interval=0.5).export_payload()
+        )
+        assert len(rebuilt) == 0
+
+
+# ----------------------------------------------------------------------
+# determinism contract: jobs never changes results
+# ----------------------------------------------------------------------
+def _sweep_fingerprint(result):
+    """Every figure-facing series of a sweep, as comparable objects."""
+    fingerprint = {}
+    for policy_name, by_load in result.runs.items():
+        for load_factor, run in by_load.items():
+            fingerprint[(policy_name, load_factor)] = (
+                run.response_times(),
+                run.arrival_rate,
+                run.requests_served,
+                run.connections_reset,
+                run.acceptance_counts,
+                run.simulated_duration,
+            )
+    return fingerprint
+
+
+class TestPoissonSweepDeterminism:
+    def test_jobs_do_not_change_results(self):
+        config = _small_sweep_config()
+        serial = PoissonSweep(config).run(jobs=1)
+        parallel = PoissonSweep(config).run(jobs=2)
+        assert _sweep_fingerprint(serial) == _sweep_fingerprint(parallel)
+        for policy in ("RR", "SR4"):
+            assert serial.mean_response_series(policy) == parallel.mean_response_series(
+                policy
+            )
+
+    def test_load_sampler_survives_the_pool(self):
+        config = _small_sweep_config(load_factors=(0.6,))
+        serial = PoissonSweep(config).run(sample_load=True, jobs=1)
+        parallel = PoissonSweep(config).run(sample_load=True, jobs=2)
+        for policy in ("RR", "SR4"):
+            serial_sampler = serial.run(policy, 0.6).load_sampler
+            parallel_sampler = parallel.run(policy, 0.6).load_sampler
+            assert parallel_sampler is not None
+            assert parallel_sampler.times == serial_sampler.times
+            assert parallel_sampler.samples == serial_sampler.samples
+
+    @given(
+        workload_seed=st.integers(min_value=0, max_value=2**16),
+        load_factor=st.sampled_from([0.35, 0.55, 0.8]),
+    )
+    @settings(max_examples=3, deadline=None)
+    def test_property_mean_series_and_cdfs_identical(self, workload_seed, load_factor):
+        """The ISSUE's determinism property: same seed, any jobs value →
+        identical mean-response series and response-time CDFs."""
+        config = _small_sweep_config(
+            load_factors=(load_factor,),
+            num_queries=150,
+            workload_seed=workload_seed,
+        )
+        serial = PoissonSweep(config).run(jobs=1)
+        parallel = PoissonSweep(config).run(jobs=2)
+        for policy in ("RR", "SR4"):
+            assert serial.mean_response_series(policy) == parallel.mean_response_series(
+                policy
+            )
+            serial_cdf = serial.run(policy, load_factor).collector.cdf()
+            parallel_cdf = parallel.run(policy, load_factor).collector.cdf()
+            assert np.array_equal(np.asarray(serial_cdf), np.asarray(parallel_cdf))
+
+
+class TestWikipediaReplayDeterminism:
+    def test_jobs_do_not_change_results(self):
+        config = WikipediaReplayConfig(testbed=SMALL_TESTBED).compressed(duration=60.0)
+        serial = WikipediaReplay(config).run(jobs=1)
+        parallel = WikipediaReplay(config).run(jobs=2)
+        assert serial.trace_summary == parallel.trace_summary
+        for name in serial.policies():
+            serial_run = serial.run(name)
+            parallel_run = parallel.run(name)
+            assert parallel_run.wiki_response_times() == serial_run.wiki_response_times()
+            assert parallel_run.median_series() == serial_run.median_series()
+            assert parallel_run.rate_series() == serial_run.rate_series()
+            assert parallel_run.requests_served == serial_run.requests_served
+
+    def test_explicit_trace_is_shipped_to_workers(self):
+        config = WikipediaReplayConfig(testbed=SMALL_TESTBED).compressed(duration=60.0)
+        trace = make_wikipedia_trace(config).slice_time(0.0, 30.0)
+        serial = WikipediaReplay(config).run(trace=trace, jobs=1)
+        parallel = WikipediaReplay(config).run(trace=trace, jobs=2)
+        for name in serial.policies():
+            assert (
+                parallel.run(name).wiki_response_times()
+                == serial.run(name).wiki_response_times()
+            )
+
+
+class TestResilienceDeterminism:
+    def test_jobs_do_not_change_results(self):
+        config = ResilienceConfig(
+            testbed=TestbedConfig(
+                num_servers=6,
+                workers_per_server=8,
+                num_load_balancers=4,
+                request_spread=1.5,
+                request_chunks=4,
+            ),
+            load_factor=0.6,
+            num_queries=500,
+            service_mean=0.05,
+            churn=(ChurnEvent(at_fraction=0.5),),
+        )
+        serial = run_resilience_comparison(config, jobs=1)
+        parallel = run_resilience_comparison(config, jobs=2)
+        for scheme in serial.schemes():
+            serial_run = serial.run(scheme)
+            parallel_run = parallel.run(scheme)
+            assert parallel_run.broken_flows == serial_run.broken_flows
+            assert parallel_run.in_flight_at_churn == serial_run.in_flight_at_churn
+            assert parallel_run.recovery_hunts == serial_run.recovery_hunts
+            assert parallel_run.steering_misses == serial_run.steering_misses
+            assert (
+                parallel_run.collector.response_times()
+                == serial_run.collector.response_times()
+            )
+            assert [
+                (obs.at_time, obs.instance, obs.in_flight_ids)
+                for obs in parallel_run.observations
+            ] == [
+                (obs.at_time, obs.instance, obs.in_flight_ids)
+                for obs in serial_run.observations
+            ]

@@ -48,6 +48,18 @@ class TestTimeBinner:
         binner.add(5.0, 1.0)
         assert len(binner.bins(through=45.0)) == 5
 
+    def test_constructor_through_binds_a_default_horizon(self):
+        binner = TimeBinner(bin_width=10.0, through=45.0)
+        binner.add(5.0, 1.0)
+        assert len(binner.bins()) == 5
+        assert len(binner.median_series()) == 5
+        # An explicit call-site horizon still overrides the bound one.
+        assert len(binner.bins(through=95.0)) == 10
+
+    def test_constructor_through_alone_materialises_empty_bins(self):
+        binner = TimeBinner(bin_width=10.0, through=25.0)
+        assert [bin_.count for bin_ in binner.bins()] == [0, 0, 0]
+
     def test_rate_series(self):
         binner = TimeBinner(bin_width=10.0)
         for timestamp in (1.0, 2.0, 3.0, 4.0, 5.0):
@@ -132,6 +144,17 @@ class TestResponseTimeCollector:
         collector.record(_outcome(1, 0.0, 0.2, failed=True))
         assert len(collector.failures()) == 1
         assert collector.failures(kind="wiki")[0].request_id == 1
+
+    def test_binned_through_materialises_trailing_empty_bins(self):
+        """Regression: ``binned(through=...)`` used to drop its argument,
+        so direct callers silently lost the trailing empty bins the
+        Wikipedia figures rely on for run-to-run alignment."""
+        collector = ResponseTimeCollector()
+        collector.record(_outcome(1, 5.0, 0.2))
+        binner = collector.binned(bin_width=600.0, through=2_400.0)
+        assert len(binner.bins()) == 5
+        assert [bin_.count for bin_ in binner.bins()] == [1, 0, 0, 0, 0]
+        assert len(binner.median_series()) == 5
 
 
 class TestServerLoadSampler:

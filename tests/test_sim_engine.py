@@ -82,6 +82,39 @@ class TestRunControl:
         simulator.run(max_events=4)
         assert len(fired) == 4
 
+    def test_max_events_after_last_pre_horizon_event_reaches_horizon(self, simulator):
+        """Regression: the ``max_events`` break used to skip the final
+        clock advance even when every event at or before ``until`` had
+        already run, violating ``run(until=T) == T``."""
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append(1))
+        simulator.schedule_at(2.0, lambda: fired.append(2))
+        simulator.schedule_at(10.0, lambda: fired.append(10))
+        final = simulator.run(until=5.0, max_events=2)
+        assert fired == [1, 2]
+        assert final == 5.0
+        assert simulator.now == 5.0
+        # The post-horizon event is still live and fires later.
+        simulator.run()
+        assert fired == [1, 2, 10]
+
+    def test_max_events_with_pre_horizon_work_left_keeps_partial_time(self, simulator):
+        fired = []
+        for index in range(4):
+            simulator.schedule_at(float(index + 1), lambda i=index: fired.append(i))
+        final = simulator.run(until=5.0, max_events=2)
+        # Two of the four pre-horizon events are still pending, so the
+        # clock must not jump past them.
+        assert fired == [0, 1]
+        assert final == 2.0
+        assert simulator.run(until=5.0) == 5.0
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop_after_last_pre_horizon_event_reaches_horizon(self, simulator):
+        simulator.schedule_at(1.0, simulator.stop)
+        simulator.schedule_at(9.0, lambda: None)
+        assert simulator.run(until=5.0) == 5.0
+
     def test_stop_halts_the_run(self, simulator):
         fired = []
         simulator.schedule_at(1.0, lambda: (fired.append(1), simulator.stop()))
