@@ -1,0 +1,48 @@
+"""Flash-crowd scenario — overload absorption per policy.
+
+Beyond the paper: the Poisson workload's rate jumps from a baseline
+below saturation to a spike *above* it and back, and the benchmark
+reports per-phase response times per policy.  The expectation mirrors
+the paper's stationary result: the power of two choices keeps queues
+shorter when the crowd hits, so the SR policies absorb the spike and
+drain back faster than the RR baseline.
+
+Scale knobs: ``REPRO_BENCH_TIME_FACTOR`` multiplies every phase
+duration (default 0.5 — half the scenario's default schedule);
+``REPRO_BENCH_JOBS`` fans the per-policy replays out over a pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once, scale_jobs, write_output
+from repro.experiments.config import FlashCrowdConfig
+from repro.experiments.figures import render_scenario_figure
+from repro.experiments.flash_crowd_experiment import run_flash_crowd
+
+
+def _time_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_FACTOR", 0.5))
+
+
+def bench_flash_crowd_overload(benchmark):
+    config = FlashCrowdConfig().scaled(_time_factor())
+
+    result = run_once(benchmark, lambda: run_flash_crowd(config, jobs=scale_jobs()))
+
+    write_output("flash_crowd_overload", render_scenario_figure("flash-crowd", result))
+
+    # Reproduction checks (shape, not absolute values): the spike is a
+    # real overload for every policy, and two choices beat one while the
+    # crowd lasts.
+    rr_spike = result.run("RR").phase_summary("spike")
+    sr4_spike = result.run("SR4").phase_summary("spike")
+    assert rr_spike is not None and sr4_spike is not None
+    for name in result.keys():
+        run = result.run(name)
+        baseline = run.phase_summary("baseline")
+        spike = run.phase_summary("spike")
+        assert baseline is not None and spike is not None
+        assert spike.mean > baseline.mean
+    assert sr4_spike.mean < rr_spike.mean * 1.05

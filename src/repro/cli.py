@@ -1,7 +1,7 @@
 """Command-line interface for the SRLB reproduction.
 
 Installed as the ``srlb-repro`` console script (also runnable as
-``python -m repro.cli``).  Five sub-commands cover the common workflows:
+``python -m repro.cli``).  The sub-commands cover the common workflows:
 
 ``calibrate``
     Print the testbed's analytic saturation rate λ₀ and, optionally, run
@@ -25,7 +25,20 @@ Installed as the ``srlb-repro`` console script (also runnable as
     instances mid-run, and print the broken-flow fraction per
     candidate-selection scheme (the paper's §II-B resiliency claim).
 
-Every command accepts ``--servers`` / ``--workers`` / ``--cores`` to
+``flash-crowd``
+    Replay a stepped arrival schedule (baseline → overload spike →
+    recovery) under each policy and print per-phase response times.
+
+``heterogeneous-fleet``
+    Split the fleet into fast and slow CPU tiers and print, per policy,
+    response times plus how accepted queries split between the tiers
+    relative to capacity.
+
+``scenarios``
+    List every scenario family registered in
+    :mod:`repro.experiments.registry`.
+
+Most commands accept ``--servers`` / ``--workers`` / ``--cores`` to
 resize the simulated testbed; defaults match the paper's platform.
 """
 
@@ -48,6 +61,8 @@ from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
     LIGHT_LOAD_FACTOR,
     ChurnEvent,
+    FlashCrowdConfig,
+    HeterogeneousFleetConfig,
     PoissonSweepConfig,
     PolicySpec,
     ResilienceConfig,
@@ -58,7 +73,9 @@ from repro.experiments.config import (
     sr_policy,
     srdyn_policy,
 )
-from repro.experiments import figures
+from repro.experiments import figures, registry
+from repro.experiments.flash_crowd_experiment import run_flash_crowd
+from repro.experiments.heterogeneous_experiment import run_heterogeneous_fleet
 from repro.experiments.poisson_experiment import PoissonSweep
 from repro.experiments.resilience_experiment import (
     render_resilience_table,
@@ -100,10 +117,29 @@ def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
 
 
+def _jobs_count(text: str) -> int:
+    """Parse and validate a ``--jobs`` value at the argparse layer.
+
+    Rejecting negatives here yields a clear usage error (exit status 2)
+    instead of a traceback out of the multiprocessing pool.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer number of worker processes, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores, 1 = in-process), got {value}"
+        )
+    return value
+
+
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_count,
         default=1,
         help="worker processes for independent runs "
         "(default 1 = in-process, 0 = all cores); results are identical "
@@ -310,6 +346,55 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_flash_crowd(args: argparse.Namespace) -> int:
+    testbed = _testbed_from_args(args)
+    policy_names = args.policy or ["RR", "SR4", "SRdyn"]
+    config = FlashCrowdConfig(
+        testbed=testbed,
+        baseline_load=args.baseline_rho,
+        spike_load=args.spike_rho,
+        baseline_duration=args.baseline_duration,
+        spike_duration=args.spike_duration,
+        recovery_duration=args.recovery_duration,
+        bin_width=args.bin_width,
+        policies=tuple(_policy_spec_from_name(name) for name in policy_names),
+    )
+    result = run_flash_crowd(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("flash-crowd", result))
+    return 0
+
+
+def _command_heterogeneous_fleet(args: argparse.Namespace) -> int:
+    policy_names = args.policy or ["RR", "SR4", "SRdyn"]
+    config = HeterogeneousFleetConfig(
+        num_fast=args.fast,
+        num_slow=args.slow,
+        fast_speed=args.fast_speed,
+        slow_speed=args.slow_speed,
+        workers_per_server=args.workers,
+        cores_per_server=args.cores,
+        seed=args.seed,
+        load_factors=tuple(dict.fromkeys(args.rho or [0.85])),
+        num_queries=args.queries,
+        policies=tuple(_policy_spec_from_name(name) for name in policy_names),
+    )
+    result = run_heterogeneous_fleet(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("heterogeneous-fleet", result))
+    return 0
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    rows = [[spec.name, spec.title] for spec in registry.specs()]
+    print(
+        format_table(
+            ["scenario", "description"],
+            rows,
+            title="Registered scenario families",
+        )
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -417,6 +502,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(resilience)
     resilience.set_defaults(handler=_command_resilience)
+
+    flash_crowd = subparsers.add_parser(
+        "flash-crowd",
+        help="replay a baseline -> spike -> recovery arrival schedule",
+    )
+    _add_testbed_arguments(flash_crowd)
+    flash_crowd.add_argument(
+        "--policy",
+        action="append",
+        help="policy to run (RR, SR<k>, SRdyn); repeatable; default RR, SR4, SRdyn",
+    )
+    flash_crowd.add_argument(
+        "--baseline-rho", type=float, default=0.5, help="baseline load factor"
+    )
+    flash_crowd.add_argument(
+        "--spike-rho", type=float, default=1.5, help="load factor during the spike"
+    )
+    flash_crowd.add_argument(
+        "--baseline-duration", type=float, default=40.0, help="baseline phase, seconds"
+    )
+    flash_crowd.add_argument(
+        "--spike-duration", type=float, default=15.0, help="spike phase, seconds"
+    )
+    flash_crowd.add_argument(
+        "--recovery-duration", type=float, default=45.0, help="recovery phase, seconds"
+    )
+    flash_crowd.add_argument(
+        "--bin-width", type=float, default=5.0, help="figure time-bin width, seconds"
+    )
+    _add_jobs_argument(flash_crowd)
+    flash_crowd.set_defaults(handler=_command_flash_crowd)
+
+    heterogeneous = subparsers.add_parser(
+        "heterogeneous-fleet",
+        help="run the Poisson workload over mixed fast/slow server tiers",
+    )
+    heterogeneous.add_argument(
+        "--fast", type=int, default=4, help="servers in the fast tier"
+    )
+    heterogeneous.add_argument(
+        "--slow", type=int, default=8, help="servers in the slow tier"
+    )
+    heterogeneous.add_argument(
+        "--fast-speed", type=float, default=2.0, help="fast-tier CPU speed multiplier"
+    )
+    heterogeneous.add_argument(
+        "--slow-speed", type=float, default=0.75, help="slow-tier CPU speed multiplier"
+    )
+    heterogeneous.add_argument(
+        "--workers", type=int, default=32, help="Apache workers per server"
+    )
+    heterogeneous.add_argument(
+        "--cores", type=int, default=2, help="CPU cores per server"
+    )
+    heterogeneous.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
+    heterogeneous.add_argument(
+        "--policy",
+        action="append",
+        help="policy to run (RR, SR<k>, SRdyn); repeatable; default RR, SR4, SRdyn",
+    )
+    heterogeneous.add_argument(
+        "--rho", action="append", type=float, help="load factor; repeatable; default 0.85"
+    )
+    heterogeneous.add_argument("--queries", type=int, default=4_000)
+    _add_jobs_argument(heterogeneous)
+    heterogeneous.set_defaults(handler=_command_heterogeneous_fleet)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list every registered scenario family"
+    )
+    scenarios.set_defaults(handler=_command_scenarios)
 
     return parser
 

@@ -16,7 +16,7 @@ paper ("incurs no system calls or synchronization").
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 
 class ScoreboardView(Protocol):

@@ -23,7 +23,7 @@ and exercised directly by the ablation benchmark on selection schemes.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+from typing import Dict, Generic, List, Sequence, Tuple, TypeVar
 
 from repro.errors import SelectionError
 

@@ -17,7 +17,7 @@ a capacity with oldest-idle eviction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FlowTableError

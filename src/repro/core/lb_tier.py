@@ -32,7 +32,7 @@ two mechanisms that make SRLB work anyway:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.candidate_selection import CandidateSelector

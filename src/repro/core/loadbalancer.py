@@ -28,7 +28,7 @@ from repro.core.candidate_selection import CandidateSelector
 from repro.core.flow_table import FlowTable
 from repro.errors import LoadBalancerError
 from repro.net.addressing import IPv6Address
-from repro.net.packet import FlowKey, Packet, TCPFlag, TCPSegment, make_reset
+from repro.net.packet import Packet, TCPFlag, make_reset
 from repro.net.router import NetworkNode
 from repro.net.srh import SegmentRoutingHeader
 from repro.sim.engine import PeriodicTask, Simulator

@@ -6,6 +6,13 @@ saturation rate λ₀, and runs the Poisson sweep (Figures 2–5) and the
 Wikipedia replay (Figures 6–8) under each load-balancing configuration.
 The :mod:`repro.experiments.figures` module extracts and renders the
 exact series each figure plots.
+
+Every experiment family is a declarative
+:class:`~repro.experiments.scenario.ScenarioSpec` registered in
+:mod:`repro.experiments.registry`; :func:`~repro.experiments.scenario.run_scenario`
+is the single driver (and the single home of ``jobs=`` dispatch).  On
+top of the paper's three families, the harness ships the ``flash-crowd``
+and ``heterogeneous-fleet`` scenarios.
 """
 
 from repro.experiments.calibration import (
@@ -19,6 +26,8 @@ from repro.experiments.config import (
     LIGHT_LOAD_FACTOR,
     PAPER_LOAD_FACTORS,
     ChurnEvent,
+    FlashCrowdConfig,
+    HeterogeneousFleetConfig,
     PoissonSweepConfig,
     PolicySpec,
     ResilienceConfig,
@@ -28,6 +37,14 @@ from repro.experiments.config import (
     rr_policy,
     sr_policy,
     srdyn_policy,
+)
+from repro.experiments import registry
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioTask,
+    run_scenario,
 )
 from repro.experiments.platform import Testbed, build_testbed
 from repro.experiments.poisson_experiment import (
@@ -53,6 +70,18 @@ from repro.experiments.wikipedia_experiment import (
     WikipediaReplayResult,
     WikipediaRunResult,
     make_wikipedia_trace,
+)
+from repro.experiments.flash_crowd_experiment import (
+    FlashCrowdRunResult,
+    make_flash_crowd_trace,
+    render_flash_crowd,
+    run_flash_crowd,
+)
+from repro.experiments.heterogeneous_experiment import (
+    make_heterogeneous_trace,
+    render_heterogeneous_fleet,
+    run_heterogeneous_fleet,
+    tier_acceptance_shares,
 )
 from repro.experiments import figures
 
@@ -95,5 +124,21 @@ __all__ = [
     "resilience_saturation_rate",
     "run_resilience_comparison",
     "run_resilience_once",
+    "registry",
+    "run_scenario",
+    "ScenarioCell",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioTask",
+    "FlashCrowdConfig",
+    "FlashCrowdRunResult",
+    "make_flash_crowd_trace",
+    "render_flash_crowd",
+    "run_flash_crowd",
+    "HeterogeneousFleetConfig",
+    "make_heterogeneous_trace",
+    "render_heterogeneous_fleet",
+    "run_heterogeneous_fleet",
+    "tier_acceptance_shares",
     "figures",
 ]

@@ -20,10 +20,9 @@ Two estimators are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.analysis.queueing import saturation_rate as _analytic_rate
-from repro.errors import CalibrationError
 from repro.experiments.config import PolicySpec, TestbedConfig, rr_policy
 from repro.experiments.platform import build_testbed
 from repro.workload.poisson import PoissonWorkload
@@ -36,8 +35,14 @@ import numpy as np
 def analytic_saturation_rate(
     config: TestbedConfig, service_mean: float = 0.1
 ) -> float:
-    """CPU-capacity estimate of λ₀ (queries per second)."""
-    return _analytic_rate(config.total_cores, service_mean)
+    """CPU-capacity estimate of λ₀ (queries per second).
+
+    Uses the speed-weighted core capacity, so heterogeneous fleets
+    (``server_speed_factors``) normalise against what the mixed fleet
+    can actually sustain; for homogeneous fleets this is exactly the
+    core count.
+    """
+    return _analytic_rate(config.total_capacity, service_mean)
 
 
 @dataclass

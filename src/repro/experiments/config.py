@@ -60,6 +60,12 @@ class TestbedConfig:
     #: reset after this long.  Long-lived-flow scenarios (request_spread
     #: > 0) need it so abandoned flows do not pin workers forever.
     request_timeout: float = 0.0
+    #: Per-server CPU speed multipliers for heterogeneous fleets: server
+    #: ``i`` executes CPU demand at ``server_speed_factors[i]`` times the
+    #: nominal rate.  Empty (the default) means a homogeneous fleet at
+    #: speed 1.0, the paper's platform.  When non-empty the tuple must
+    #: name every server.
+    server_speed_factors: Tuple[float, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -99,11 +105,42 @@ class TestbedConfig:
             raise ExperimentError(
                 f"backlog_capacity must be positive, got {self.backlog_capacity!r}"
             )
+        if self.server_speed_factors:
+            if len(self.server_speed_factors) != self.num_servers:
+                raise ExperimentError(
+                    f"server_speed_factors names {len(self.server_speed_factors)} "
+                    f"servers but the fleet has {self.num_servers}"
+                )
+            for speed in self.server_speed_factors:
+                if speed <= 0:
+                    raise ExperimentError(
+                        f"server speed factors must be positive, got {speed!r}"
+                    )
 
     @property
     def total_cores(self) -> int:
         """Aggregate CPU capacity of the server fleet."""
         return self.num_servers * self.cores_per_server
+
+    def speed_of(self, server_index: int) -> float:
+        """CPU speed multiplier of one server (1.0 when homogeneous)."""
+        if not self.server_speed_factors:
+            return 1.0
+        return self.server_speed_factors[server_index]
+
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate speed-weighted core capacity of the fleet.
+
+        Equal to :attr:`total_cores` for homogeneous fleets; the
+        saturation-rate calibration uses this so heterogeneous fleets
+        normalise load factors against their true capacity.
+        """
+        if not self.server_speed_factors:
+            return float(self.total_cores)
+        return float(
+            sum(self.cores_per_server * speed for speed in self.server_speed_factors)
+        )
 
     @property
     def total_workers(self) -> int:
@@ -352,3 +389,190 @@ class ResilienceConfig:
             num_candidates=self.num_candidates,
             selector=scheme,
         )
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Configuration of the flash-crowd scenario family.
+
+    The workload is a step schedule of Poisson arrival rates over the
+    paper's testbed: a baseline phase, a sudden overload spike (a flash
+    crowd arriving), and a recovery phase back at the baseline rate.
+    Every policy replays the same trace, so the comparison isolates how
+    well the power-of-two-choices policies absorb the sudden overload
+    (and how quickly response times drain back down afterwards).
+    """
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    #: Load factors (relative to the analytic saturation rate) of the
+    #: three phases.  The spike deliberately exceeds 1.0: the paper's
+    #: Service Hunting claim is most interesting when the fleet is
+    #: transiently oversubscribed.
+    baseline_load: float = 0.5
+    spike_load: float = 1.5
+    #: Durations of the three phases, in seconds.
+    baseline_duration: float = 40.0
+    spike_duration: float = 15.0
+    recovery_duration: float = 45.0
+    service_mean: float = 0.1
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: (rr_policy(), sr_policy(4), srdyn_policy())
+    )
+    #: Width of the time bins used by the per-bin figure series.
+    bin_width: float = 5.0
+    saturation_rate: Optional[float] = None
+    workload_seed: int = 77_777
+
+    def __post_init__(self) -> None:
+        if self.baseline_load <= 0 or self.spike_load <= 0:
+            raise ExperimentError(
+                "flash-crowd load factors must be positive, got "
+                f"baseline={self.baseline_load!r}, spike={self.spike_load!r}"
+            )
+        if self.spike_load <= self.baseline_load:
+            raise ExperimentError(
+                "the spike must exceed the baseline load, got "
+                f"baseline={self.baseline_load!r} >= spike={self.spike_load!r}"
+            )
+        for name, duration in (
+            ("baseline_duration", self.baseline_duration),
+            ("spike_duration", self.spike_duration),
+            ("recovery_duration", self.recovery_duration),
+        ):
+            if duration <= 0:
+                raise ExperimentError(
+                    f"{name} must be positive, got {duration!r}"
+                )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if self.bin_width <= 0:
+            raise ExperimentError(
+                f"bin_width must be positive, got {self.bin_width!r}"
+            )
+        if not self.policies:
+            raise ExperimentError("at least one policy is required")
+
+    @property
+    def total_duration(self) -> float:
+        """Arrival-phase length of the generated trace, in seconds."""
+        return self.baseline_duration + self.spike_duration + self.recovery_duration
+
+    @property
+    def spike_window(self) -> Tuple[float, float]:
+        """``(start, end)`` of the overload phase, in trace time."""
+        return (
+            self.baseline_duration,
+            self.baseline_duration + self.spike_duration,
+        )
+
+    def scaled(self, time_factor: float) -> "FlashCrowdConfig":
+        """A copy with every phase duration multiplied by ``time_factor``."""
+        if time_factor <= 0:
+            raise ExperimentError(
+                f"time_factor must be positive, got {time_factor!r}"
+            )
+        return replace(
+            self,
+            baseline_duration=self.baseline_duration * time_factor,
+            spike_duration=self.spike_duration * time_factor,
+            recovery_duration=self.recovery_duration * time_factor,
+            bin_width=self.bin_width * time_factor,
+        )
+
+
+@dataclass(frozen=True)
+class HeterogeneousFleetConfig:
+    """Configuration of the heterogeneous-fleet scenario family.
+
+    The fleet is split into a *fast* tier and a *slow* tier of servers
+    whose CPUs run at different speed multipliers (the cores-per-server
+    count stays uniform, as does the worker pool).  The same Poisson
+    workload — normalised against the fleet's speed-weighted capacity —
+    is replayed under each policy; the scenario reports, next to the
+    response-time comparison, how each policy shares the accepted
+    queries between the tiers relative to the capacity each tier brings.
+    This stresses Service Hunting's fairness: busy-thread thresholds see
+    queue *length*, not server speed, so slow servers refuse later than
+    they should and a bad policy overloads them.
+    """
+
+    num_fast: int = 4
+    num_slow: int = 8
+    fast_speed: float = 2.0
+    slow_speed: float = 0.75
+    workers_per_server: int = 32
+    cores_per_server: int = 2
+    backlog_capacity: int = 128
+    seed: int = 0
+    load_factors: Tuple[float, ...] = (0.85,)
+    num_queries: int = 6_000
+    service_mean: float = 0.1
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: (rr_policy(), sr_policy(4), srdyn_policy())
+    )
+    saturation_rate: Optional[float] = None
+    load_sample_interval: float = 0.5
+    workload_seed: int = 24_242
+
+    def __post_init__(self) -> None:
+        if self.num_fast <= 0 or self.num_slow <= 0:
+            raise ExperimentError(
+                "a heterogeneous fleet needs both tiers populated, got "
+                f"num_fast={self.num_fast!r}, num_slow={self.num_slow!r}"
+            )
+        if self.fast_speed <= self.slow_speed:
+            raise ExperimentError(
+                "the fast tier must be faster than the slow tier, got "
+                f"fast_speed={self.fast_speed!r} <= slow_speed={self.slow_speed!r}"
+            )
+        if self.slow_speed <= 0:
+            raise ExperimentError(
+                f"slow_speed must be positive, got {self.slow_speed!r}"
+            )
+        if not self.load_factors:
+            raise ExperimentError("at least one load factor is required")
+        for load_factor in self.load_factors:
+            if load_factor <= 0:
+                raise ExperimentError(
+                    f"load factors must be positive, got {load_factor!r}"
+                )
+        if self.num_queries <= 0:
+            raise ExperimentError(
+                f"num_queries must be positive, got {self.num_queries!r}"
+            )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if not self.policies:
+            raise ExperimentError("at least one policy is required")
+
+    @property
+    def num_servers(self) -> int:
+        """Total fleet size (fast tier first, then slow tier)."""
+        return self.num_fast + self.num_slow
+
+    @property
+    def testbed(self) -> TestbedConfig:
+        """The mixed-speed testbed described by this configuration."""
+        return TestbedConfig(
+            num_servers=self.num_servers,
+            workers_per_server=self.workers_per_server,
+            cores_per_server=self.cores_per_server,
+            backlog_capacity=self.backlog_capacity,
+            server_speed_factors=(
+                (self.fast_speed,) * self.num_fast
+                + (self.slow_speed,) * self.num_slow
+            ),
+            seed=self.seed,
+        )
+
+    def fast_server_names(self) -> Tuple[str, ...]:
+        """Node names of the fast tier (the builder numbers servers 0..N-1)."""
+        return tuple(f"server-{index}" for index in range(self.num_fast))
+
+    def scaled(self, num_queries: int) -> "HeterogeneousFleetConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(self, num_queries=num_queries)

@@ -34,6 +34,21 @@ from repro.metrics.stats import cdf_at, empirical_cdf
 
 
 # ----------------------------------------------------------------------
+# Registry-driven dispatch — any scenario family's headline figure
+# ----------------------------------------------------------------------
+def render_scenario_figure(scenario_name: str, result) -> str:
+    """The headline figure of any registered scenario, as a text table.
+
+    Dispatches through :mod:`repro.experiments.registry`, so figure code
+    for a new workload family ships with its spec and is reachable here
+    without touching this module.
+    """
+    from repro.experiments import registry
+
+    return registry.get(scenario_name).render(result)
+
+
+# ----------------------------------------------------------------------
 # Figure 2 — mean response time vs load factor
 # ----------------------------------------------------------------------
 def figure2_series(sweep: PoissonSweepResult) -> Dict[str, List[Tuple[float, float]]]:

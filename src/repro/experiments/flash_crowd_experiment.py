@@ -1,0 +1,334 @@
+"""Flash-crowd experiments: a sudden overload spike over the testbed.
+
+The paper evaluates Service Hunting under *stationary* Poisson load;
+this family asks what the power of two choices buys when the load is
+anything but stationary — a flash crowd.  The workload is a stepped
+Poisson schedule (:mod:`repro.workload.flash_crowd`): a baseline phase
+below saturation, a spike phase *above* saturation (ρ > 1 — the fleet
+cannot drain the offered load while the crowd lasts), and a recovery
+phase back at the baseline rate.  Every policy replays the same trace.
+
+Reported per policy:
+
+* per-phase response-time summaries (baseline / spike / recovery), so
+  the overload penalty and the drain-back are separately visible;
+* per-bin median and 90th-percentile series across the whole run (the
+  scenario's figure), showing how the spike propagates;
+* reset counts — under overload the backlog tips over, and how many
+  connections a policy sacrifices is part of the comparison.
+
+The family is registered as the ``flash-crowd`` scenario and aggregates
+into a generic :class:`~repro.experiments.scenario.ScenarioResult` keyed
+by policy name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import FlashCrowdConfig, PolicySpec, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioResult,
+    ScenarioSpec,
+    TraceProvider,
+)
+from repro.metrics.binning import TimeBinner
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.workload.flash_crowd import RatePhase, SteppedPoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+#: Phase labels, in schedule order.
+PHASES: Tuple[str, ...] = ("baseline", "spike", "recovery")
+
+
+def flash_crowd_saturation_rate(config: FlashCrowdConfig) -> float:
+    """The λ₀ the phase load factors are normalised against."""
+    if config.saturation_rate is not None:
+        return config.saturation_rate
+    return analytic_saturation_rate(config.testbed, config.service_mean)
+
+
+def make_flash_crowd_trace(config: FlashCrowdConfig) -> Trace:
+    """The stepped trace shared by every policy of a comparison."""
+    saturation = flash_crowd_saturation_rate(config)
+    workload = SteppedPoissonWorkload(
+        phases=(
+            RatePhase(config.baseline_duration, config.baseline_load * saturation),
+            RatePhase(config.spike_duration, config.spike_load * saturation),
+            RatePhase(config.recovery_duration, config.baseline_load * saturation),
+        ),
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+    rng = np.random.default_rng([config.workload_seed, len(workload.phases)])
+    return workload.generate(rng)
+
+
+@dataclass
+class FlashCrowdRunResult:
+    """Outcome of replaying the flash-crowd trace under one policy."""
+
+    policy: PolicySpec
+    collector: ResponseTimeCollector
+    bin_width: float
+    total_duration: float
+    spike_window: Tuple[float, float]
+    requests_served: int
+    connections_reset: int
+    simulated_duration: float
+
+    def binned(self) -> TimeBinner:
+        """Response times binned by arrival time across the whole run."""
+        return self.collector.binned(bin_width=self.bin_width)
+
+    def median_series(self) -> List[Tuple[float, float]]:
+        """Per-bin median response time (the figure's middle panel)."""
+        return self.binned().median_series(through=self.total_duration)
+
+    def p90_series(self) -> List[Tuple[float, float]]:
+        """Per-bin 90th-percentile response time (9th decile per bin)."""
+        return [
+            (center, deciles[-1])
+            for center, deciles in self.binned().decile_series(
+                through=self.total_duration
+            )
+        ]
+
+    def phase_window(self, phase: str) -> Tuple[float, float]:
+        """``(start, end)`` of one phase, in trace time."""
+        spike_start, spike_end = self.spike_window
+        if phase == "baseline":
+            return (0.0, spike_start)
+        if phase == "spike":
+            return (spike_start, spike_end)
+        if phase == "recovery":
+            return (spike_end, float("inf"))
+        from repro.errors import ExperimentError
+
+        raise ExperimentError(
+            f"unknown phase {phase!r}: expected one of {', '.join(PHASES)}"
+        )
+
+    def phase_response_times(self, phase: str) -> List[float]:
+        """Response times of the queries *sent* during one phase."""
+        start, end = self.phase_window(phase)
+        return [
+            outcome.response_time
+            for outcome in self.collector.outcomes()
+            if start <= outcome.sent_at < end
+        ]
+
+    def phase_summary(self, phase: str) -> Optional[SummaryStatistics]:
+        """Response-time summary of one phase's queries.
+
+        ``None`` when no query sent during the phase completed (a heavy
+        enough spike can reset every one of them).
+        """
+        from repro.metrics.stats import summarize
+
+        times = self.phase_response_times(phase)
+        if not times:
+            return None
+        return summarize(times)
+
+    def export_payload(self) -> "FlashCrowdRunPayload":
+        """Compact, picklable export of this run (for the scenario runner)."""
+        return FlashCrowdRunPayload(
+            policy=self.policy,
+            collector=self.collector.export_payload(),
+            bin_width=self.bin_width,
+            total_duration=self.total_duration,
+            spike_window=self.spike_window,
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class FlashCrowdRunPayload:
+    """Picklable compact form of a :class:`FlashCrowdRunResult`."""
+
+    policy: PolicySpec
+    collector: CollectorPayload
+    bin_width: float
+    total_duration: float
+    spike_window: Tuple[float, float]
+    requests_served: int
+    connections_reset: int
+    simulated_duration: float
+
+    def to_result(self) -> FlashCrowdRunResult:
+        """Rebuild the full result object in the parent process."""
+        return FlashCrowdRunResult(
+            policy=self.policy,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            bin_width=self.bin_width,
+            total_duration=self.total_duration,
+            spike_window=self.spike_window,
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+class FlashCrowdScenario(ScenarioSpec):
+    """The flash-crowd comparison as a declarative scenario."""
+
+    name = "flash-crowd"
+    title = "Step/spike arrival schedule: overload absorption per policy"
+
+    def default_config(self) -> FlashCrowdConfig:
+        return FlashCrowdConfig()
+
+    def smoke_config(self) -> FlashCrowdConfig:
+        from repro.experiments.config import rr_policy, sr_policy
+
+        return FlashCrowdConfig(
+            testbed=TestbedConfig(
+                num_servers=4, workers_per_server=8, backlog_capacity=16
+            ),
+            policies=(rr_policy(), sr_policy(4)),
+        ).scaled(0.25)
+
+    def cells(self, config: FlashCrowdConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=policy.name, params={"policy": policy})
+            for policy in config.policies
+        ]
+
+    # trace_key: the default (one shared trace for every policy).
+
+    def make_trace(self, config: FlashCrowdConfig, cell: ScenarioCell) -> Trace:
+        return make_flash_crowd_trace(config)
+
+    def build_platform(
+        self, config: FlashCrowdConfig, cell: ScenarioCell
+    ) -> Testbed:
+        policy = cell.param("policy")
+        return build_testbed(
+            config.testbed,
+            policy,
+            catalog=RequestCatalog(),
+            run_name=f"flash-crowd-{policy.name}",
+        )
+
+    def run_once(
+        self, config: FlashCrowdConfig, cell: ScenarioCell, trace: Trace
+    ) -> FlashCrowdRunPayload:
+        testbed = self.build_platform(config, cell)
+        duration = testbed.run_trace(trace)
+        result = FlashCrowdRunResult(
+            policy=cell.param("policy"),
+            collector=testbed.collector,
+            bin_width=config.bin_width,
+            total_duration=config.total_duration,
+            spike_window=config.spike_window,
+            requests_served=testbed.total_requests_served(),
+            connections_reset=testbed.total_resets(),
+            simulated_duration=duration,
+        )
+        return result.export_payload()
+
+    def aggregate(
+        self,
+        config: FlashCrowdConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[FlashCrowdRunPayload],
+        trace_for: TraceProvider,
+    ) -> ScenarioResult:
+        result = ScenarioResult(
+            scenario=self.name,
+            config=config,
+            meta={
+                "saturation_rate": flash_crowd_saturation_rate(config),
+                "spike_window": config.spike_window,
+                "total_duration": config.total_duration,
+            },
+        )
+        for payload in payloads:
+            result.runs[payload.policy.name] = payload.to_result()
+        return result
+
+    def render(self, result: ScenarioResult) -> str:
+        return render_flash_crowd(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+FLASH_CROWD_SCENARIO = registry.register(FlashCrowdScenario())
+
+
+def run_flash_crowd(
+    config: Optional[FlashCrowdConfig] = None, jobs: Optional[int] = 1
+) -> ScenarioResult:
+    """Replay the flash-crowd trace under every configured policy."""
+    from repro.experiments.scenario import run_scenario
+
+    return run_scenario(FLASH_CROWD_SCENARIO, config, jobs=jobs)
+
+
+def render_flash_crowd(result: ScenarioResult) -> str:
+    """Per-phase summary table plus the per-bin median/p90 series."""
+    config: FlashCrowdConfig = result.config
+    summary_rows: List[List[object]] = []
+    for name in result.keys():
+        run: FlashCrowdRunResult = result.run(name)
+        row: List[object] = [name]
+        for phase in PHASES:
+            summary = run.phase_summary(phase)
+            if summary is None:
+                row.extend([float("nan"), float("nan")])
+            else:
+                row.extend([summary.mean, summary.p90])
+        row.append(run.connections_reset)
+        summary_rows.append(row)
+    headers = ["policy"]
+    for phase in PHASES:
+        headers.extend([f"{phase} mean (s)", f"{phase} p90 (s)"])
+    headers.append("resets")
+    spike_start, spike_end = config.spike_window
+    summary_table = format_table(
+        headers,
+        summary_rows,
+        title=(
+            f"Flash crowd: rho {config.baseline_load:g} -> {config.spike_load:g} "
+            f"during [{spike_start:g}s, {spike_end:g}s), "
+            f"{config.total_duration:g}s total"
+        ),
+    )
+
+    series: Dict[str, List[Tuple[float, float]]] = {
+        name: result.run(name).median_series() for name in result.keys()
+    }
+    p90s: Dict[str, List[Tuple[float, float]]] = {
+        name: result.run(name).p90_series() for name in result.keys()
+    }
+    reference = next(iter(series.values()))
+    bin_headers = ["time (s)"]
+    for name in series:
+        bin_headers.extend([f"{name} median (s)", f"{name} p90 (s)"])
+    bin_rows: List[List[object]] = []
+    for index, (center, _) in enumerate(reference):
+        row = [center]
+        for name in series:
+            row.append(
+                series[name][index][1] if index < len(series[name]) else float("nan")
+            )
+            row.append(
+                p90s[name][index][1] if index < len(p90s[name]) else float("nan")
+            )
+        bin_rows.append(row)
+    bin_table = format_table(
+        bin_headers, bin_rows, title="Flash crowd: per-bin response time"
+    )
+    return summary_table + "\n\n" + bin_table

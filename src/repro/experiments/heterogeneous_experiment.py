@@ -1,0 +1,262 @@
+"""Heterogeneous-fleet experiments: mixed server service-rate tiers.
+
+The paper's platform is twelve identical servers; real fleets are not.
+This family splits the fleet into a *fast* tier and a *slow* tier of
+CPU speed multipliers (:attr:`TestbedConfig.server_speed_factors`) and
+replays the same Poisson workload — normalised against the fleet's
+speed-weighted capacity — under each policy.
+
+What it stresses: Service Hunting's acceptance policies observe the
+local busy-*thread* count, not the local service *rate*.  A slow server
+with c-1 busy threads looks exactly as acceptable as a fast one, yet
+will hold its queries far longer — so queue-length-blind policies pile
+work onto the slow tier.  The scenario reports, next to response times,
+how each policy's accepted queries split between the tiers relative to
+the capacity each tier brings (a share ratio of 1.0 means
+capacity-proportional, i.e. perfectly fair), plus Jain's fairness index
+over per-capacity acceptance rates.
+
+The family is registered as the ``heterogeneous-fleet`` scenario; cells
+are (policy, load factor) pairs and the per-cell payload reuses the
+Poisson family's compact payload (the measured quantities coincide).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import HeterogeneousFleetConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioResult,
+    ScenarioSpec,
+    TraceProvider,
+)
+from repro.metrics.fairness import jain_fairness_index
+from repro.metrics.reporting import format_table
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+
+def heterogeneous_saturation_rate(config: HeterogeneousFleetConfig) -> float:
+    """The λ₀ the load factors are normalised against (speed-weighted)."""
+    if config.saturation_rate is not None:
+        return config.saturation_rate
+    return analytic_saturation_rate(config.testbed, config.service_mean)
+
+
+def make_heterogeneous_trace(
+    config: HeterogeneousFleetConfig, load_factor: float
+) -> Trace:
+    """The trace replayed by every policy at one load factor."""
+    workload = PoissonWorkload.from_load_factor(
+        rho=load_factor,
+        saturation_rate=heterogeneous_saturation_rate(config),
+        num_queries=config.num_queries,
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+    rng = np.random.default_rng(
+        [config.workload_seed, int(round(load_factor * 1_000_000))]
+    )
+    return workload.generate(rng)
+
+
+def tier_acceptance_shares(
+    config: HeterogeneousFleetConfig, acceptance_counts: Dict[str, int]
+) -> Tuple[float, float]:
+    """``(fast share ratio, slow share ratio)`` of accepted queries.
+
+    Each ratio is the tier's share of accepted queries divided by its
+    share of fleet capacity; 1.0 on both sides means the policy feeds
+    each tier exactly in proportion to what it can digest.
+    """
+    fast_names = set(config.fast_server_names())
+    accepted_fast = sum(
+        count for name, count in acceptance_counts.items() if name in fast_names
+    )
+    accepted_total = sum(acceptance_counts.values())
+    if accepted_total == 0:
+        return (0.0, 0.0)
+    capacity_fast = config.num_fast * config.fast_speed
+    capacity_total = capacity_fast + config.num_slow * config.slow_speed
+    fast_share = (accepted_fast / accepted_total) / (capacity_fast / capacity_total)
+    slow_share = ((accepted_total - accepted_fast) / accepted_total) / (
+        (capacity_total - capacity_fast) / capacity_total
+    )
+    return (fast_share, slow_share)
+
+
+def capacity_fairness_index(
+    config: HeterogeneousFleetConfig, acceptance_counts: Dict[str, int]
+) -> float:
+    """Jain's index over per-server accepted queries per unit capacity."""
+    speeds = config.testbed.server_speed_factors
+    loads = [
+        acceptance_counts.get(f"server-{index}", 0) / speeds[index]
+        for index in range(config.num_servers)
+    ]
+    return jain_fairness_index(loads)
+
+
+class HeterogeneousFleetScenario(ScenarioSpec):
+    """The mixed-speed-fleet comparison as a declarative scenario."""
+
+    name = "heterogeneous-fleet"
+    title = "Mixed fast/slow server tiers: SR fairness per unit capacity"
+
+    def default_config(self) -> HeterogeneousFleetConfig:
+        return HeterogeneousFleetConfig()
+
+    def smoke_config(self) -> HeterogeneousFleetConfig:
+        from repro.experiments.config import rr_policy, sr_policy
+
+        return HeterogeneousFleetConfig(
+            num_fast=2,
+            num_slow=3,
+            workers_per_server=8,
+            backlog_capacity=16,
+            load_factors=(0.7,),
+            num_queries=200,
+            policies=(rr_policy(), sr_policy(4)),
+        )
+
+    def cells(self, config: HeterogeneousFleetConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(
+                key=(policy.name, load_factor),
+                params={"policy": policy, "load_factor": load_factor},
+            )
+            for load_factor in config.load_factors
+            for policy in config.policies
+        ]
+
+    def trace_key(
+        self, config: HeterogeneousFleetConfig, cell: ScenarioCell
+    ) -> float:
+        return cell.param("load_factor")
+
+    def make_trace(
+        self, config: HeterogeneousFleetConfig, cell: ScenarioCell
+    ) -> Trace:
+        return make_heterogeneous_trace(config, cell.param("load_factor"))
+
+    def build_platform(
+        self, config: HeterogeneousFleetConfig, cell: ScenarioCell
+    ) -> Testbed:
+        policy = cell.param("policy")
+        return build_testbed(
+            config.testbed,
+            policy,
+            catalog=RequestCatalog(),
+            run_name=f"heterogeneous-{policy.name}-rho{cell.param('load_factor'):g}",
+        )
+
+    def run_once(
+        self, config: HeterogeneousFleetConfig, cell: ScenarioCell, trace: Trace
+    ):
+        # The measured quantities coincide with the Poisson family's, so
+        # the compact payload is shared rather than re-invented.
+        from repro.experiments.poisson_experiment import PoissonRunResult
+
+        testbed = self.build_platform(config, cell)
+        duration = testbed.run_trace(trace)
+        result = PoissonRunResult(
+            policy=cell.param("policy"),
+            load_factor=cell.param("load_factor"),
+            arrival_rate=cell.param("load_factor")
+            * heterogeneous_saturation_rate(config),
+            collector=testbed.collector,
+            load_sampler=None,
+            requests_served=testbed.total_requests_served(),
+            connections_reset=testbed.total_resets(),
+            acceptance_counts=testbed.acceptance_counts(),
+            simulated_duration=duration,
+        )
+        return result.export_payload()
+
+    def aggregate(
+        self,
+        config: HeterogeneousFleetConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence,
+        trace_for: TraceProvider,
+    ) -> ScenarioResult:
+        result = ScenarioResult(
+            scenario=self.name,
+            config=config,
+            meta={
+                "saturation_rate": heterogeneous_saturation_rate(config),
+                "fast_servers": list(config.fast_server_names()),
+            },
+        )
+        for payload in payloads:
+            result.runs[(payload.policy.name, payload.load_factor)] = (
+                payload.to_result()
+            )
+        return result
+
+    def render(self, result: ScenarioResult) -> str:
+        return render_heterogeneous_fleet(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+HETEROGENEOUS_SCENARIO = registry.register(HeterogeneousFleetScenario())
+
+
+def run_heterogeneous_fleet(
+    config: Optional[HeterogeneousFleetConfig] = None, jobs: Optional[int] = 1
+) -> ScenarioResult:
+    """Replay the capacity-normalised workload under every policy."""
+    from repro.experiments.scenario import run_scenario
+
+    return run_scenario(HETEROGENEOUS_SCENARIO, config, jobs=jobs)
+
+
+def render_heterogeneous_fleet(result: ScenarioResult) -> str:
+    """Response times plus tier shares and fairness, per (policy, ρ)."""
+    config: HeterogeneousFleetConfig = result.config
+    rows: List[List[object]] = []
+    for key in result.keys():
+        policy_name, load_factor = key
+        run = result.run(key)
+        summary = run.summary
+        fast_share, slow_share = tier_acceptance_shares(
+            config, run.acceptance_counts
+        )
+        rows.append(
+            [
+                load_factor,
+                policy_name,
+                summary.mean,
+                summary.p90,
+                f"{fast_share:.2f}",
+                f"{slow_share:.2f}",
+                f"{capacity_fairness_index(config, run.acceptance_counts):.3f}",
+                run.connections_reset,
+            ]
+        )
+    return format_table(
+        [
+            "rho",
+            "policy",
+            "mean (s)",
+            "p90 (s)",
+            "fast share",
+            "slow share",
+            "fairness",
+            "resets",
+        ],
+        rows,
+        title=(
+            f"Heterogeneous fleet: {config.num_fast} fast (x{config.fast_speed:g}) "
+            f"+ {config.num_slow} slow (x{config.slow_speed:g}) servers, "
+            f"{config.num_queries} queries per run"
+        ),
+    )

@@ -249,6 +249,7 @@ def build_testbed(
             num_cores=config.cores_per_server,
             model=config.cpu_model,
             name=f"cpu-{index}",
+            speed=config.speed_of(index),
         )
         app = HTTPServerInstance(
             simulator=simulator,

@@ -7,20 +7,30 @@ Figure 4.  The *same* workload trace — same arrival times, same
 per-request CPU demands — is replayed under every policy of a
 comparison, so differences between policies are differences in load
 balancing, not in workload randomness.
+
+The sweep is expressed as a :class:`~repro.experiments.scenario.ScenarioSpec`
+(one cell per (policy, load factor)); :class:`PoissonSweep` and
+:func:`run_poisson_once` are thin entry points over that spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.experiments import registry
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import PoissonSweepConfig, PolicySpec, TestbedConfig
 from repro.experiments.platform import Testbed, build_testbed
-from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
 from repro.metrics.collector import (
     CollectorPayload,
     LoadSamplerPayload,
@@ -63,7 +73,7 @@ class PoissonRunResult:
         return self.collector.response_times()
 
     def export_payload(self) -> "PoissonRunPayload":
-        """Compact, picklable export of this run (for the sweep runner)."""
+        """Compact, picklable export of this run (for the scenario runner)."""
         return PoissonRunPayload(
             policy=self.policy,
             load_factor=self.load_factor,
@@ -143,90 +153,6 @@ def make_poisson_trace(
     return workload.generate(rng)
 
 
-def run_poisson_once(
-    testbed_config: TestbedConfig,
-    policy: PolicySpec,
-    load_factor: float,
-    num_queries: int = 20_000,
-    service_mean: float = 0.1,
-    saturation_rate: Optional[float] = None,
-    workload_seed: int = 12_345,
-    sample_load: bool = False,
-    load_sample_interval: float = 0.5,
-    trace: Optional[Trace] = None,
-) -> PoissonRunResult:
-    """Run one (policy, load factor) experiment and return its results.
-
-    A pre-generated ``trace`` may be passed to share the workload across
-    several runs (the sweep does this); otherwise one is generated from
-    ``workload_seed``.
-    """
-    if saturation_rate is None:
-        saturation_rate = analytic_saturation_rate(testbed_config, service_mean)
-    if trace is None:
-        trace = make_poisson_trace(
-            load_factor, num_queries, saturation_rate, service_mean, workload_seed
-        )
-
-    testbed = build_testbed(
-        testbed_config,
-        policy,
-        catalog=RequestCatalog(),
-        run_name=f"{policy.name}-rho{load_factor:g}",
-    )
-    if sample_load:
-        testbed.attach_load_sampler(interval=load_sample_interval)
-    duration = testbed.run_trace(trace)
-
-    return PoissonRunResult(
-        policy=policy,
-        load_factor=load_factor,
-        arrival_rate=load_factor * saturation_rate,
-        collector=testbed.collector,
-        load_sampler=testbed.load_sampler,
-        requests_served=testbed.total_requests_served(),
-        connections_reset=testbed.total_resets(),
-        acceptance_counts=testbed.acceptance_counts(),
-        simulated_duration=duration,
-    )
-
-
-@dataclass(frozen=True)
-class PoissonCellTask:
-    """Self-contained, picklable description of one (policy, ρ) run.
-
-    The workload trace is *not* carried along: the worker regenerates it
-    from ``(workload_seed, load_factor)``, which is exactly how the
-    serial sweep seeds it, so both paths replay identical workloads.
-    """
-
-    testbed: TestbedConfig
-    policy: PolicySpec
-    load_factor: float
-    num_queries: int
-    service_mean: float
-    saturation_rate: float
-    workload_seed: int
-    sample_load: bool
-    load_sample_interval: float
-
-
-def _run_poisson_cell(task: PoissonCellTask) -> PoissonRunPayload:
-    """Pool worker: run one sweep cell and export its compact payload."""
-    result = run_poisson_once(
-        task.testbed,
-        task.policy,
-        task.load_factor,
-        num_queries=task.num_queries,
-        service_mean=task.service_mean,
-        saturation_rate=task.saturation_rate,
-        workload_seed=task.workload_seed,
-        sample_load=task.sample_load,
-        load_sample_interval=task.load_sample_interval,
-    )
-    return result.export_payload()
-
-
 @dataclass
 class PoissonSweepResult:
     """All runs of a load-factor sweep, indexed by policy then load factor."""
@@ -259,6 +185,159 @@ class PoissonSweepResult:
             ) from exc
 
 
+class PoissonScenario(ScenarioSpec):
+    """The load-factor sweep as a declarative scenario (Figure 2)."""
+
+    name = "poisson"
+    title = "Poisson load-factor sweep across policies (paper §V, Figures 2–5)"
+
+    def default_config(self) -> PoissonSweepConfig:
+        return PoissonSweepConfig()
+
+    def smoke_config(self) -> PoissonSweepConfig:
+        from repro.experiments.config import rr_policy, sr_policy
+
+        return PoissonSweepConfig(
+            testbed=TestbedConfig(
+                num_servers=4, workers_per_server=8, backlog_capacity=16
+            ),
+            load_factors=(0.5,),
+            num_queries=150,
+            policies=(rr_policy(), sr_policy(4)),
+        )
+
+    def _saturation(self, config: PoissonSweepConfig) -> float:
+        if config.saturation_rate is not None:
+            return config.saturation_rate
+        return analytic_saturation_rate(config.testbed, config.service_mean)
+
+    def cells(
+        self, config: PoissonSweepConfig, sample_load: bool = False
+    ) -> List[ScenarioCell]:
+        saturation = self._saturation(config)
+        return [
+            ScenarioCell(
+                key=(policy.name, load_factor),
+                params={
+                    "policy": policy,
+                    "load_factor": load_factor,
+                    "saturation_rate": saturation,
+                    "sample_load": sample_load,
+                },
+            )
+            for load_factor in config.load_factors
+            for policy in config.policies
+        ]
+
+    def trace_key(self, config: PoissonSweepConfig, cell: ScenarioCell) -> float:
+        # Every policy replays the same trace at a given load factor.
+        return cell.param("load_factor")
+
+    def make_trace(self, config: PoissonSweepConfig, cell: ScenarioCell) -> Trace:
+        return make_poisson_trace(
+            cell.param("load_factor"),
+            config.num_queries,
+            cell.param("saturation_rate"),
+            config.service_mean,
+            config.workload_seed,
+        )
+
+    def build_platform(
+        self, config: PoissonSweepConfig, cell: ScenarioCell
+    ) -> Testbed:
+        policy = cell.param("policy")
+        return build_testbed(
+            config.testbed,
+            policy,
+            catalog=RequestCatalog(),
+            run_name=f"{policy.name}-rho{cell.param('load_factor'):g}",
+        )
+
+    def run_once(
+        self, config: PoissonSweepConfig, cell: ScenarioCell, trace: Trace
+    ) -> PoissonRunPayload:
+        testbed = self.build_platform(config, cell)
+        if cell.param("sample_load"):
+            testbed.attach_load_sampler(interval=config.load_sample_interval)
+        duration = testbed.run_trace(trace)
+        result = PoissonRunResult(
+            policy=cell.param("policy"),
+            load_factor=cell.param("load_factor"),
+            arrival_rate=cell.param("load_factor") * cell.param("saturation_rate"),
+            collector=testbed.collector,
+            load_sampler=testbed.load_sampler,
+            requests_served=testbed.total_requests_served(),
+            connections_reset=testbed.total_resets(),
+            acceptance_counts=testbed.acceptance_counts(),
+            simulated_duration=duration,
+        )
+        return result.export_payload()
+
+    def aggregate(
+        self,
+        config: PoissonSweepConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[PoissonRunPayload],
+        trace_for: TraceProvider,
+    ) -> PoissonSweepResult:
+        result = PoissonSweepResult(
+            config=config, saturation_rate=cells[0].param("saturation_rate")
+        )
+        for payload in payloads:
+            result.runs.setdefault(payload.policy.name, {})[
+                payload.load_factor
+            ] = payload.to_result()
+        return result
+
+    def render(self, result: PoissonSweepResult) -> str:
+        from repro.experiments import figures
+
+        return figures.render_figure2(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+POISSON_SCENARIO = registry.register(PoissonScenario())
+
+
+def run_poisson_once(
+    testbed_config: TestbedConfig,
+    policy: PolicySpec,
+    load_factor: float,
+    num_queries: int = 20_000,
+    service_mean: float = 0.1,
+    saturation_rate: Optional[float] = None,
+    workload_seed: int = 12_345,
+    sample_load: bool = False,
+    load_sample_interval: float = 0.5,
+    trace: Optional[Trace] = None,
+) -> PoissonRunResult:
+    """Run one (policy, load factor) experiment and return its results.
+
+    A pre-generated ``trace`` may be passed to share the workload across
+    several runs (the sweep does this); otherwise one is generated from
+    ``workload_seed``.  This is a convenience front over a one-cell
+    :class:`PoissonScenario` run.
+    """
+    if load_factor <= 0:
+        raise ExperimentError(f"load factor must be positive, got {load_factor!r}")
+    if saturation_rate is None:
+        saturation_rate = analytic_saturation_rate(testbed_config, service_mean)
+    config = PoissonSweepConfig(
+        testbed=testbed_config,
+        load_factors=(load_factor,),
+        num_queries=num_queries,
+        service_mean=service_mean,
+        policies=(policy,),
+        saturation_rate=saturation_rate,
+        load_sample_interval=load_sample_interval,
+        workload_seed=workload_seed,
+    )
+    (cell,) = POISSON_SCENARIO.cells(config, sample_load=sample_load)
+    if trace is None:
+        trace = POISSON_SCENARIO.make_trace(config, cell)
+    return POISSON_SCENARIO.run_once(config, cell, trace).to_result()
+
+
 class PoissonSweep:
     """Full load-factor sweep across the configured policies (Figure 2)."""
 
@@ -275,55 +354,6 @@ class PoissonSweep:
         in-process path.  Results are identical for any value — see
         :mod:`repro.experiments.runner` for the determinism contract.
         """
-        config = self.config
-        saturation = (
-            config.saturation_rate
-            if config.saturation_rate is not None
-            else analytic_saturation_rate(config.testbed, config.service_mean)
+        return run_scenario(
+            POISSON_SCENARIO, self.config, jobs=jobs, sample_load=sample_load
         )
-        result = PoissonSweepResult(config=config, saturation_rate=saturation)
-        runner = SweepRunner(jobs=jobs)
-        if runner.serial:
-            for load_factor in config.load_factors:
-                trace = make_poisson_trace(
-                    load_factor,
-                    config.num_queries,
-                    saturation,
-                    config.service_mean,
-                    config.workload_seed,
-                )
-                for policy in config.policies:
-                    run = run_poisson_once(
-                        config.testbed,
-                        policy,
-                        load_factor,
-                        num_queries=config.num_queries,
-                        service_mean=config.service_mean,
-                        saturation_rate=saturation,
-                        workload_seed=config.workload_seed,
-                        sample_load=sample_load,
-                        load_sample_interval=config.load_sample_interval,
-                        trace=trace,
-                    )
-                    result.runs.setdefault(policy.name, {})[load_factor] = run
-            return result
-        tasks = [
-            PoissonCellTask(
-                testbed=config.testbed,
-                policy=policy,
-                load_factor=load_factor,
-                num_queries=config.num_queries,
-                service_mean=config.service_mean,
-                saturation_rate=saturation,
-                workload_seed=config.workload_seed,
-                sample_load=sample_load,
-                load_sample_interval=config.load_sample_interval,
-            )
-            for load_factor in config.load_factors
-            for policy in config.policies
-        ]
-        for task, payload in zip(tasks, runner.map(_run_poisson_cell, tasks)):
-            result.runs.setdefault(task.policy.name, {})[
-                task.load_factor
-            ] = payload.to_result()
-        return result

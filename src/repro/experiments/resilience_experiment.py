@@ -20,20 +20,31 @@ the difference between ``random`` (steering state is unrecoverable, the
 victim's flows are reset) and ``consistent-hash`` (stateless recovery
 re-derives the chain and flows survive) is attributable to the scheme
 alone.
+
+The comparison is expressed as a
+:class:`~repro.experiments.scenario.ScenarioSpec` (one cell per
+selection scheme, one shared trace); :func:`run_resilience_comparison`
+is a thin entry point over that spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.experiments import registry
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import ChurnEvent, ResilienceConfig, TestbedConfig
 from repro.experiments.platform import Testbed, build_testbed
-from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
 from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
 from repro.metrics.reporting import format_table
 from repro.metrics.stats import SummaryStatistics
@@ -116,7 +127,7 @@ class ResilienceRunResult:
         return self.collector.summary()
 
     def export_payload(self) -> "ResilienceRunPayload":
-        """Compact, picklable export of this run (for the sweep runner)."""
+        """Compact, picklable export of this run (for the scenario runner)."""
         return ResilienceRunPayload(
             scheme=self.scheme,
             config=self.config,
@@ -173,24 +184,6 @@ class ResilienceRunPayload:
         )
 
 
-@dataclass(frozen=True)
-class ResilienceCellTask:
-    """Picklable description of one scheme's churn run.
-
-    The trace is regenerated in the worker from the config's workload
-    seed (:func:`make_resilience_trace` is deterministic), matching the
-    trace the serial comparison shares across schemes.
-    """
-
-    config: ResilienceConfig
-    scheme: str
-
-
-def _run_resilience_cell(task: ResilienceCellTask) -> ResilienceRunPayload:
-    """Pool worker: run one scheme's churn run and export the payload."""
-    return run_resilience_once(task.config, task.scheme).export_payload()
-
-
 def _resolve_victim(tier, event: ChurnEvent):
     """The instance a kill event targets.
 
@@ -204,6 +197,17 @@ def _resolve_victim(tier, event: ChurnEvent):
     return max(tier.alive_instances(), key=lambda lb: len(lb.flow_table))
 
 
+def _build_resilience_platform(config: ResilienceConfig, scheme: str) -> Testbed:
+    """A fresh tier-fronted testbed for one scheme's churn run."""
+    policy = config.policy_for(scheme)
+    return build_testbed(
+        config.testbed,
+        policy,
+        catalog=RequestCatalog(),
+        run_name=f"resilience-{scheme}",
+    )
+
+
 def run_resilience_once(
     config: ResilienceConfig,
     scheme: str,
@@ -215,13 +219,7 @@ def run_resilience_once(
     if trace is None:
         trace = make_resilience_trace(config)
 
-    policy = config.policy_for(scheme)
-    testbed = build_testbed(
-        config.testbed,
-        policy,
-        catalog=RequestCatalog(),
-        run_name=f"resilience-{scheme}",
-    )
+    testbed = _build_resilience_platform(config, scheme)
     tier = testbed.lb_tier
     if tier is None:
         raise ExperimentError(
@@ -302,6 +300,72 @@ class ResilienceComparison:
             raise ExperimentError(f"no run for scheme {scheme!r}") from exc
 
 
+class ResilienceScenario(ScenarioSpec):
+    """The LB-churn comparison as a declarative scenario."""
+
+    name = "resilience"
+    title = "Broken flows under load-balancer churn, per selection scheme (§II-B)"
+
+    def default_config(self) -> ResilienceConfig:
+        return ResilienceConfig()
+
+    def smoke_config(self) -> ResilienceConfig:
+        return ResilienceConfig(
+            testbed=TestbedConfig(
+                num_servers=6,
+                workers_per_server=8,
+                num_load_balancers=4,
+                request_spread=1.0,
+                request_chunks=3,
+                request_timeout=3.0,
+            ),
+            num_queries=400,
+            service_mean=0.05,
+        )
+
+    def cells(self, config: ResilienceConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=scheme, params={"scheme": scheme})
+            for scheme in config.selection_schemes
+        ]
+
+    # trace_key: the default (one shared trace for every scheme).
+
+    def make_trace(self, config: ResilienceConfig, cell: ScenarioCell) -> Trace:
+        return make_resilience_trace(config)
+
+    def build_platform(
+        self, config: ResilienceConfig, cell: ScenarioCell
+    ) -> Testbed:
+        return _build_resilience_platform(config, cell.param("scheme"))
+
+    def run_once(
+        self, config: ResilienceConfig, cell: ScenarioCell, trace: Trace
+    ) -> ResilienceRunPayload:
+        return run_resilience_once(
+            config, cell.param("scheme"), trace=trace
+        ).export_payload()
+
+    def aggregate(
+        self,
+        config: ResilienceConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[ResilienceRunPayload],
+        trace_for: TraceProvider,
+    ) -> ResilienceComparison:
+        comparison = ResilienceComparison(config=config)
+        for payload in payloads:
+            comparison.runs[payload.scheme] = payload.to_result()
+        return comparison
+
+    def render(self, result: ResilienceComparison) -> str:
+        return render_resilience_table(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+RESILIENCE_SCENARIO = registry.register(ResilienceScenario())
+
+
 def run_resilience_comparison(
     config: ResilienceConfig, jobs: Optional[int] = 1
 ) -> ResilienceComparison:
@@ -312,20 +376,7 @@ def run_resilience_comparison(
     in-process path.  Results are identical for any value — see
     :mod:`repro.experiments.runner` for the determinism contract.
     """
-    comparison = ResilienceComparison(config=config)
-    runner = SweepRunner(jobs=jobs)
-    if runner.serial:
-        trace = make_resilience_trace(config)
-        for scheme in config.selection_schemes:
-            comparison.runs[scheme] = run_resilience_once(config, scheme, trace=trace)
-        return comparison
-    tasks = [
-        ResilienceCellTask(config=config, scheme=scheme)
-        for scheme in config.selection_schemes
-    ]
-    for task, payload in zip(tasks, runner.map(_run_resilience_cell, tasks)):
-        comparison.runs[task.scheme] = payload.to_result()
-    return comparison
+    return run_scenario(RESILIENCE_SCENARIO, config, jobs=jobs)
 
 
 def render_resilience_table(comparison: ResilienceComparison) -> str:

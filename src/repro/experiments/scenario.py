@@ -1,0 +1,288 @@
+"""Declarative scenario framework: one experiment pipeline, many families.
+
+The paper's evaluation — and every workload family grown on top of it —
+is structurally the same experiment: *build a trace, replay it against a
+fresh testbed per cell, collect response-time/load metrics, aggregate
+into figures*.  This module captures that pipeline once, so a scenario
+family is a small declarative spec instead of ~300 lines of bespoke
+sweep plumbing.
+
+A family subclasses :class:`ScenarioSpec` and provides:
+
+* ``cells(config, **options)`` — the grid of independent runs, each a
+  picklable :class:`ScenarioCell` (e.g. one per (policy, load factor));
+* ``make_trace(config, cell)`` — the deterministic workload trace of a
+  cell (cells may share a trace, see :meth:`ScenarioSpec.trace_key`);
+* ``build_platform(config, cell)`` — a fresh simulated testbed;
+* ``run_once(config, cell, trace)`` — replay the trace on the platform
+  and return a compact, picklable payload;
+* ``aggregate(config, cells, payloads, trace_for)`` — fold the payloads
+  into the family's result object (often a :class:`ScenarioResult`).
+
+:func:`run_scenario` is the single driver: it resolves the spec (by name
+through :mod:`repro.experiments.registry`), enumerates the cells, and
+fans them out through :class:`~repro.experiments.runner.SweepRunner`.
+``jobs=`` dispatch lives *here and only here* — the per-family entry
+points (``PoissonSweep.run``, ``WikipediaReplay.run``,
+``run_resilience_comparison``, and every new family's CLI sub-command)
+are thin shims over this function.
+
+Determinism contract
+--------------------
+The framework inherits the runner's contract: ``jobs`` never changes
+results.  A serial run shares each trace across the cells that declare
+the same :meth:`~ScenarioSpec.trace_key`; a parallel run regenerates the
+trace inside the worker from ``(config, cell)`` — which must be (and for
+every built-in family is) bit-for-bit the same trace.  An explicit
+``trace=`` handed to :func:`run_scenario` is shipped to the workers
+verbatim instead.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import SweepRunner
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One independent run of a scenario.
+
+    ``key`` identifies the cell inside its family's result (e.g.
+    ``("SR4", 0.75)`` for a Poisson sweep cell, ``"consistent-hash"``
+    for a resilience cell); ``params`` carries whatever the spec's
+    ``make_trace``/``run_once`` need to execute the cell.  Both must be
+    picklable — cells cross the process boundary when ``jobs > 1``.
+    """
+
+    key: Any
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str) -> Any:
+        """A required parameter of the cell (loud when missing)."""
+        try:
+            return self.params[name]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"scenario cell {self.key!r} has no parameter {name!r}"
+            ) from exc
+
+
+#: ``aggregate`` receives this callable to obtain the parent-side trace
+#: of a cell on demand (cached per trace key, generated lazily so a
+#: parallel run does not regenerate traces it never reads).
+TraceProvider = Callable[[ScenarioCell], Trace]
+
+
+@dataclass
+class ScenarioResult:
+    """Generic aggregate of a scenario run: one entry per cell key.
+
+    Families with bespoke result classes (the three paper families keep
+    theirs for API stability) aggregate into those instead; new families
+    can use this container directly and hang scenario-wide figures off
+    ``meta``.
+    """
+
+    scenario: str
+    config: Any
+    runs: Dict[Any, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, key: Any) -> Any:
+        """The run recorded under ``key``."""
+        try:
+            return self.runs[key]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"scenario {self.scenario!r} has no run for key {key!r}"
+            ) from exc
+
+    def keys(self) -> List[Any]:
+        """Cell keys, in execution order."""
+        return list(self.runs)
+
+
+class ScenarioSpec(ABC):
+    """Declarative description of one experiment family.
+
+    Subclasses set :attr:`name` (the registry key, also the CLI-facing
+    identifier) and :attr:`title`, implement the abstract pipeline
+    methods, and register themselves via
+    :func:`repro.experiments.registry.register`.
+    """
+
+    #: Registry key; stable, CLI-facing (e.g. ``"flash-crowd"``).
+    name: str = ""
+    #: One-line human description shown by ``srlb-repro scenarios``.
+    title: str = ""
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def default_config(self) -> Any:
+        """The family's paper-faithful default configuration."""
+
+    @abstractmethod
+    def smoke_config(self) -> Any:
+        """A deliberately tiny configuration for tests and smoke runs."""
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def cells(self, config: Any, **options: Any) -> List[ScenarioCell]:
+        """The grid of independent runs described by ``config``.
+
+        ``options`` are family-specific run-time switches (e.g. the
+        Poisson sweep's ``sample_load``); they must round-trip into the
+        cells' ``params`` because workers only see the cells.
+        """
+
+    @abstractmethod
+    def make_trace(self, config: Any, cell: ScenarioCell) -> Trace:
+        """The cell's workload trace.
+
+        Must be a pure, deterministic function of ``(config, cell)`` —
+        pool workers regenerate the trace from exactly these arguments,
+        and the determinism contract requires both paths to agree.
+        """
+
+    def trace_key(self, config: Any, cell: ScenarioCell) -> Hashable:
+        """Cells with equal trace keys share one trace in a serial run.
+
+        The default (a single shared key) matches families that replay
+        one trace under every cell; the Poisson sweep keys by load
+        factor instead.
+        """
+        return None
+
+    @abstractmethod
+    def build_platform(self, config: Any, cell: ScenarioCell) -> Any:
+        """A fresh simulated testbed for one cell."""
+
+    @abstractmethod
+    def run_once(self, config: Any, cell: ScenarioCell, trace: Trace) -> Any:
+        """Replay ``trace`` for one cell and return a picklable payload."""
+
+    @abstractmethod
+    def aggregate(
+        self,
+        config: Any,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[Any],
+        trace_for: TraceProvider,
+    ) -> Any:
+        """Fold per-cell payloads (in cell order) into the family result."""
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def render(self, result: Any) -> str:
+        """The family's headline figure, as a text table."""
+        raise ExperimentError(f"scenario {self.name!r} defines no figure")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """Picklable description of one cell's run, shipped to pool workers.
+
+    Only the scenario *name* crosses the boundary; the worker re-resolves
+    the spec through the registry (built-in families are imported on
+    demand, so this works under any multiprocessing start method).
+    """
+
+    scenario: str
+    config: Any
+    cell: ScenarioCell
+    trace: Optional[Trace] = None
+
+
+def _run_scenario_cell(task: ScenarioTask) -> Any:
+    """Pool worker: resolve the spec, rebuild the trace, run one cell."""
+    from repro.experiments import registry
+
+    spec = registry.get(task.scenario)
+    trace = (
+        task.trace
+        if task.trace is not None
+        else spec.make_trace(task.config, task.cell)
+    )
+    return spec.run_once(task.config, task.cell, trace)
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    config: Any = None,
+    jobs: Optional[int] = 1,
+    trace: Optional[Trace] = None,
+    **options: Any,
+) -> Any:
+    """Run a scenario end to end and return its aggregated result.
+
+    Parameters
+    ----------
+    scenario:
+        A registered scenario name or a :class:`ScenarioSpec` instance.
+    config:
+        The family's configuration; ``None`` uses its default.
+    jobs:
+        Worker processes for the independent cells (``1`` = in-process,
+        ``None``/``0`` = all cores).  Results are identical for any
+        value — see :mod:`repro.experiments.runner`.
+    trace:
+        Optional explicit workload trace replayed by *every* cell
+        (shipped to workers verbatim); ``None`` lets the spec generate
+        per-cell traces.
+    options:
+        Family-specific switches forwarded to
+        :meth:`ScenarioSpec.cells`.
+    """
+    from repro.experiments import registry
+
+    spec = scenario if isinstance(scenario, ScenarioSpec) else registry.get(scenario)
+    if config is None:
+        config = spec.default_config()
+    cells = list(spec.cells(config, **options))
+    if not cells:
+        raise ExperimentError(f"scenario {spec.name!r} produced no cells to run")
+
+    trace_cache: Dict[Hashable, Trace] = {}
+
+    def trace_for(cell: ScenarioCell) -> Trace:
+        key = spec.trace_key(config, cell)
+        if key not in trace_cache:
+            trace_cache[key] = (
+                trace if trace is not None else spec.make_trace(config, cell)
+            )
+        return trace_cache[key]
+
+    runner = SweepRunner(jobs=jobs)
+    if runner.serial:
+        payloads = [spec.run_once(config, cell, trace_for(cell)) for cell in cells]
+    else:
+        tasks = [
+            ScenarioTask(scenario=spec.name, config=config, cell=cell, trace=trace)
+            for cell in cells
+        ]
+        payloads = runner.map(_run_scenario_cell, tasks)
+    return spec.aggregate(config, cells, payloads, trace_for)

@@ -11,19 +11,30 @@ Results are reported exactly as the paper does:
 * Figure 7 — per-bin deciles 1–9 of the wiki-page load time;
 * Figure 8 — whole-day CDF of wiki-page load times (plus the quartile
   comparison quoted in the text).
+
+The replay is expressed as a
+:class:`~repro.experiments.scenario.ScenarioSpec` (one cell per policy,
+one shared trace); :class:`WikipediaReplay` is a thin entry point over
+that spec.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ExperimentError
-from repro.experiments.config import PolicySpec, WikipediaReplayConfig
-from repro.experiments.platform import build_testbed
-from repro.experiments.runner import SweepRunner
+from repro.experiments import registry
+from repro.experiments.config import PolicySpec, TestbedConfig, WikipediaReplayConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
 from repro.metrics.binning import TimeBinner
 from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
 from repro.metrics.stats import quartiles
@@ -89,7 +100,7 @@ class WikipediaRunResult:
         return quartiles(self.wiki_response_times())
 
     def export_payload(self) -> "WikipediaRunPayload":
-        """Compact, picklable export of this run (for the sweep runner)."""
+        """Compact, picklable export of this run (for the scenario runner)."""
         return WikipediaRunPayload(
             policy=self.policy,
             collector=self.collector.export_payload(),
@@ -123,48 +134,6 @@ class WikipediaRunPayload:
         )
 
 
-@dataclass(frozen=True)
-class WikipediaCellTask:
-    """Picklable description of one policy's replay.
-
-    A pre-generated trace (when the caller supplied one) rides along so
-    the worker replays exactly it; otherwise the worker regenerates the
-    trace from the config's workload seed, which yields the same trace
-    the serial path would generate.
-    """
-
-    config: WikipediaReplayConfig
-    policy: PolicySpec
-    trace: Optional[Trace] = None
-
-
-def _replay_one_policy(
-    config: WikipediaReplayConfig, policy: PolicySpec, trace: Trace
-) -> WikipediaRunResult:
-    """Replay ``trace`` under one policy (shared by both sweep paths)."""
-    testbed = build_testbed(
-        config.testbed,
-        policy,
-        catalog=RequestCatalog(),
-        run_name=f"wikipedia-{policy.name}",
-    )
-    testbed.run_trace(trace)
-    return WikipediaRunResult(
-        policy=policy,
-        collector=testbed.collector,
-        bin_width=config.bin_width,
-        trace_duration=trace.duration,
-        requests_served=testbed.total_requests_served(),
-        connections_reset=testbed.total_resets(),
-    )
-
-
-def _run_wikipedia_cell(task: WikipediaCellTask) -> WikipediaRunPayload:
-    """Pool worker: replay under one policy and export the payload."""
-    trace = task.trace if task.trace is not None else make_wikipedia_trace(task.config)
-    return _replay_one_policy(task.config, task.policy, trace).export_payload()
-
-
 @dataclass
 class WikipediaReplayResult:
     """Results of the replay under every configured policy."""
@@ -185,6 +154,95 @@ class WikipediaReplayResult:
         return list(self.runs)
 
 
+class WikipediaScenario(ScenarioSpec):
+    """The synthetic Wikipedia replay as a declarative scenario."""
+
+    name = "wikipedia"
+    title = "Synthetic Wikipedia-day replay, RR vs SR4 (paper §VI, Figures 6–8)"
+
+    def default_config(self) -> WikipediaReplayConfig:
+        return WikipediaReplayConfig()
+
+    def smoke_config(self) -> WikipediaReplayConfig:
+        return replace(
+            WikipediaReplayConfig(
+                testbed=TestbedConfig(
+                    num_servers=4, workers_per_server=8, backlog_capacity=16
+                )
+            ),
+            static_per_wiki=0.2,
+        ).compressed(duration=40.0)
+
+    def cells(self, config: WikipediaReplayConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=policy.name, params={"policy": policy})
+            for policy in config.policies
+        ]
+
+    # trace_key: the default (one shared trace for every policy).
+
+    def make_trace(
+        self, config: WikipediaReplayConfig, cell: ScenarioCell
+    ) -> Trace:
+        return make_wikipedia_trace(config)
+
+    def build_platform(
+        self, config: WikipediaReplayConfig, cell: ScenarioCell
+    ) -> Testbed:
+        policy = cell.param("policy")
+        return build_testbed(
+            config.testbed,
+            policy,
+            catalog=RequestCatalog(),
+            run_name=f"wikipedia-{policy.name}",
+        )
+
+    def run_once(
+        self, config: WikipediaReplayConfig, cell: ScenarioCell, trace: Trace
+    ) -> WikipediaRunPayload:
+        testbed = self.build_platform(config, cell)
+        testbed.run_trace(trace)
+        result = WikipediaRunResult(
+            policy=cell.param("policy"),
+            collector=testbed.collector,
+            bin_width=config.bin_width,
+            trace_duration=trace.duration,
+            requests_served=testbed.total_requests_served(),
+            connections_reset=testbed.total_resets(),
+        )
+        return result.export_payload()
+
+    def aggregate(
+        self,
+        config: WikipediaReplayConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[WikipediaRunPayload],
+        trace_for: TraceProvider,
+    ) -> WikipediaReplayResult:
+        summary = trace_for(cells[0]).summary()
+        result = WikipediaReplayResult(
+            config=config,
+            trace_summary={
+                "requests": float(summary.num_requests),
+                "duration": summary.duration,
+                "mean_rate": summary.mean_rate,
+                "mean_demand": summary.mean_demand,
+            },
+        )
+        for payload in payloads:
+            result.runs[payload.policy.name] = payload.to_result()
+        return result
+
+    def render(self, result: WikipediaReplayResult) -> str:
+        from repro.experiments import figures
+
+        return figures.render_figure6(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+WIKIPEDIA_SCENARIO = registry.register(WikipediaScenario())
+
+
 class WikipediaReplay:
     """Replay the synthetic Wikipedia trace under each configured policy."""
 
@@ -200,33 +258,8 @@ class WikipediaReplay:
         (``None``/``0`` = all cores); ``jobs=1`` keeps the historical
         in-process path.  Results are identical for any value — see
         :mod:`repro.experiments.runner` for the determinism contract.
+        An explicit ``trace`` is shipped to the workers verbatim; a
+        config-generated trace is cheaper to regenerate from the seed
+        than to pickle across the pool.
         """
-        config = self.config
-        explicit_trace = trace
-        if trace is None:
-            trace = make_wikipedia_trace(config)
-        summary = trace.summary()
-        result = WikipediaReplayResult(
-            config=config,
-            trace_summary={
-                "requests": float(summary.num_requests),
-                "duration": summary.duration,
-                "mean_rate": summary.mean_rate,
-                "mean_demand": summary.mean_demand,
-            },
-        )
-        runner = SweepRunner(jobs=jobs)
-        if runner.serial:
-            for policy in config.policies:
-                result.runs[policy.name] = _replay_one_policy(config, policy, trace)
-            return result
-        # Only ship the trace to the workers when the caller supplied
-        # one; a config-generated trace is cheaper to regenerate from
-        # the seed than to pickle across the pool.
-        tasks = [
-            WikipediaCellTask(config=config, policy=policy, trace=explicit_trace)
-            for policy in config.policies
-        ]
-        for task, payload in zip(tasks, runner.map(_run_wikipedia_cell, tasks)):
-            result.runs[task.policy.name] = payload.to_result()
-        return result
+        return run_scenario(WIKIPEDIA_SCENARIO, self.config, jobs=jobs, trace=trace)

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import ReproError
 from repro.metrics.stats import deciles, median_or_nan

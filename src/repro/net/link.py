@@ -14,7 +14,7 @@ queue (tail-drop) per direction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 from repro.errors import NetworkError

@@ -21,7 +21,7 @@ and server endpoints; the endpoints themselves live in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import TCPError

@@ -23,7 +23,7 @@ experiments can report CPU utilization.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional
 
 from repro.errors import ServerError
@@ -47,13 +47,28 @@ class _Job:
 
 
 class CPUModel:
-    """Common bookkeeping shared by the CPU scheduling models."""
+    """Common bookkeeping shared by the CPU scheduling models.
 
-    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
+    ``speed`` is a multiplier on execution rate: a job with demand ``d``
+    seconds finishes in ``d / speed`` seconds of dedicated core time.
+    The default of 1.0 is the paper's homogeneous fleet; the
+    heterogeneous-fleet scenario mixes speed tiers.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_cores: int,
+        name: str = "cpu",
+        speed: float = 1.0,
+    ) -> None:
         if num_cores <= 0:
             raise ServerError(f"number of cores must be positive, got {num_cores!r}")
+        if speed <= 0:
+            raise ServerError(f"CPU speed must be positive, got {speed!r}")
         self.simulator = simulator
         self.num_cores = num_cores
+        self.speed = speed
         self.name = name
         self.jobs_completed = 0
         self.busy_core_seconds = 0.0
@@ -100,8 +115,14 @@ class ProcessorSharingCPU(CPUModel):
     keeps a single scheduled event for the earliest completion.
     """
 
-    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
-        super().__init__(simulator, num_cores, name)
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_cores: int,
+        name: str = "cpu",
+        speed: float = 1.0,
+    ) -> None:
+        super().__init__(simulator, num_cores, name, speed)
         self._jobs: Dict[int, _Job] = {}
         self._last_progress = simulator.now
         self._completion_event: Optional[EventHandle] = None
@@ -113,7 +134,7 @@ class ProcessorSharingCPU(CPUModel):
     def _per_job_rate(self) -> float:
         if not self._jobs:
             return 0.0
-        return min(1.0, self.num_cores / len(self._jobs))
+        return self.speed * min(1.0, self.num_cores / len(self._jobs))
 
     def _advance_progress(self) -> None:
         """Charge elapsed CPU progress to every active job."""
@@ -185,8 +206,14 @@ class FIFOCPU(CPUModel):
     the CPU scheduling assumption.
     """
 
-    def __init__(self, simulator: Simulator, num_cores: int, name: str = "cpu") -> None:
-        super().__init__(simulator, num_cores, name)
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_cores: int,
+        name: str = "cpu",
+        speed: float = 1.0,
+    ) -> None:
+        super().__init__(simulator, num_cores, name, speed)
         self._running: Dict[int, _Job] = {}
         self._running_events: Dict[int, EventHandle] = {}
         self._queue: Deque[int] = deque()
@@ -219,7 +246,7 @@ class FIFOCPU(CPUModel):
     def _start(self, job_id: int, job: _Job) -> None:
         self._running[job_id] = job
         handle = self.simulator.schedule_in(
-            job.remaining,
+            job.remaining / self.speed,
             lambda: self._complete(job_id),
             label=f"{self.name}-completion",
         )
@@ -260,10 +287,11 @@ def make_cpu(
     num_cores: int,
     model: str = "processor-sharing",
     name: str = "cpu",
+    speed: float = 1.0,
 ) -> CPUModel:
     """Factory for CPU models, keyed by a configuration string."""
     if model in ("processor-sharing", "ps"):
-        return ProcessorSharingCPU(simulator, num_cores, name)
+        return ProcessorSharingCPU(simulator, num_cores, name, speed)
     if model in ("fifo", "run-to-completion"):
-        return FIFOCPU(simulator, num_cores, name)
+        return FIFOCPU(simulator, num_cores, name, speed)
     raise ServerError(f"unknown CPU model {model!r}")

@@ -25,7 +25,7 @@ testbed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol
 
 from repro.errors import ServerError

@@ -19,7 +19,7 @@ Apache server agent.  :class:`ServerNode` plays that role here:
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from repro.core.agent import ApplicationAgent
 from repro.core.policies import ConnectionAcceptancePolicy

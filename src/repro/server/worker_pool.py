@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import WorkerPoolError
-from repro.server.scoreboard import Scoreboard, WorkerState
+from repro.server.scoreboard import Scoreboard
 
 
 class WorkerPool:

@@ -14,7 +14,12 @@ Design points
   property-based tests rely on.
 * **Cancellation without heap surgery.**  :meth:`EventHandle.cancel`
   marks the event dead; the main loop skips dead events when they are
-  popped.  This is O(1) and keeps the heap simple.
+  popped.  This is O(1) and keeps the heap simple.  When dead entries
+  come to dominate — more than half of a non-trivial heap, which
+  happens in long replays that churn timers (re-attached samplers, LB
+  kill/add recovery retries) — the heap is compacted in one O(n) pass,
+  so cancelled events cannot pin memory until their timestamp is
+  finally popped.
 * **No wall-clock coupling.**  The engine never sleeps; a 24-hour
   Wikipedia replay runs as fast as Python can drain the event heap.
 """
@@ -24,13 +29,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.clock import SimulationClock
 from repro.sim.random_streams import RandomStreams
 
 EventCallback = Callable[[], None]
+
+#: Heaps smaller than this are never compacted — a linear sweep of a
+#: few dozen entries costs more bookkeeping than the dead entries do.
+_COMPACTION_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -42,15 +51,21 @@ class _ScheduledEvent:
     callback: EventCallback = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Set once the event has left the heap (executed or discarded), so
+    #: a late ``cancel()`` does not count toward the compaction trigger.
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(
+        self, event: _ScheduledEvent, simulator: Optional["Simulator"] = None
+    ) -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -69,7 +84,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is a no-op."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._simulator is not None and not self._event.done:
+            self._simulator._note_cancelled()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -96,6 +115,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._cancelled_on_heap = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -131,7 +151,7 @@ class Simulator:
             label=label,
         )
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_in(
         self, delay: float, callback: EventCallback, label: str = ""
@@ -142,6 +162,37 @@ class Simulator:
                 f"cannot schedule event {label!r} with negative delay {delay!r}"
             )
         return self.schedule_at(self.clock.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    # heap hygiene
+    # ------------------------------------------------------------------
+    def _discard(self, event: _ScheduledEvent) -> None:
+        """Bookkeeping for an event that just left the heap."""
+        event.done = True
+        if event.cancelled:
+            self._cancelled_on_heap -= 1
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` for an on-heap event."""
+        self._cancelled_on_heap += 1
+        self._maybe_compact_heap()
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild the heap once cancelled entries exceed half of it.
+
+        Long replays that churn timers (re-attached samplers, LB
+        kill/add recovery) otherwise keep dead events on the heap until
+        their timestamp is popped; the rebuild is one O(n) pass and
+        preserves the (time, sequence) order of every live event, so it
+        never changes simulation results.
+        """
+        if len(self._heap) < _COMPACTION_MIN_HEAP:
+            return
+        if self._cancelled_on_heap * 2 <= len(self._heap):
+            return
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_on_heap = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -185,11 +236,11 @@ class Simulator:
                     break
                 event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    self._discard(heapq.heappop(self._heap))
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                self._discard(heapq.heappop(self._heap))
                 self.clock.advance(event.time)
                 event.callback()
                 self._events_executed += 1
@@ -214,6 +265,7 @@ class Simulator:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            self._discard(event)
             if event.cancelled:
                 continue
             self.clock.advance(event.time)
@@ -229,15 +281,20 @@ class Simulator:
     def peek_next_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if none are pending."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._discard(heapq.heappop(self._heap))
         if not self._heap:
             return None
         return self._heap[0].time
 
     def drain(self) -> int:
         """Discard all pending events; returns how many were discarded."""
-        count = sum(1 for event in self._heap if not event.cancelled)
+        count = 0
+        for event in self._heap:
+            event.done = True
+            if not event.cancelled:
+                count += 1
         self._heap.clear()
+        self._cancelled_on_heap = 0
         return count
 
     def __repr__(self) -> str:

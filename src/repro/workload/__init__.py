@@ -12,6 +12,7 @@ from repro.workload.client import (
     RequestOutcome,
     TrafficGeneratorNode,
 )
+from repro.workload.flash_crowd import RatePhase, SteppedPoissonWorkload
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.requests import (
     KIND_PHP,
@@ -58,6 +59,8 @@ __all__ = [
     "Trace",
     "TraceSummary",
     "PoissonWorkload",
+    "RatePhase",
+    "SteppedPoissonWorkload",
     "DiurnalRateCurve",
     "SyntheticWikipediaWorkload",
     "SECONDS_PER_DAY",

@@ -17,7 +17,7 @@ of CPU in both runs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import WorkloadError

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
 
 import numpy as np
 

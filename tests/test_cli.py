@@ -119,3 +119,86 @@ class TestCommands:
         assert "LB-churn resilience" in captured.out
         assert "consistent-hash" in captured.out
         assert "kill lb-" in captured.out
+
+
+class TestJobsValidation:
+    def test_negative_jobs_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["poisson", "--jobs", "-2"])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "--jobs" in captured.err
+        assert "must be >= 0" in captured.err
+
+    def test_non_integer_jobs_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["wikipedia", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_zero_and_positive_jobs_are_accepted(self):
+        assert build_parser().parse_args(["poisson", "--jobs", "0"]).jobs == 0
+        assert build_parser().parse_args(["poisson", "--jobs", "4"]).jobs == 4
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_the_registry(self, capsys):
+        exit_code = main(["scenarios"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in (
+            "poisson",
+            "wikipedia",
+            "resilience",
+            "flash-crowd",
+            "heterogeneous-fleet",
+        ):
+            assert name in captured.out
+
+    def test_flash_crowd_small_run(self, capsys):
+        exit_code = main(
+            [
+                "flash-crowd",
+                "--servers", "4",
+                "--workers", "8",
+                "--policy", "RR",
+                "--policy", "SR4",
+                "--baseline-duration", "6",
+                "--spike-duration", "3",
+                "--recovery-duration", "6",
+                "--bin-width", "3",
+                "--jobs", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Flash crowd" in captured.out
+        assert "spike mean (s)" in captured.out
+        assert "RR" in captured.out and "SR4" in captured.out
+
+    def test_heterogeneous_fleet_small_run(self, capsys):
+        exit_code = main(
+            [
+                "heterogeneous-fleet",
+                "--fast", "2",
+                "--slow", "3",
+                "--workers", "8",
+                "--queries", "200",
+                "--rho", "0.7",
+                "--policy", "RR",
+                "--policy", "SR4",
+                "--jobs", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Heterogeneous fleet" in captured.out
+        assert "fast share" in captured.out and "fairness" in captured.out
+
+    def test_heterogeneous_fleet_bad_tier_is_an_error(self, capsys):
+        exit_code = main(
+            ["heterogeneous-fleet", "--fast", "0", "--queries", "10"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err

@@ -8,7 +8,7 @@ covered by the integration tests).
 
 import pytest
 
-from repro.core.candidate_selection import RandomCandidateSelector, RoundRobinCandidateSelector
+from repro.core.candidate_selection import RoundRobinCandidateSelector
 from repro.core.loadbalancer import LoadBalancerNode
 from repro.errors import LoadBalancerError
 from repro.net.addressing import IPv6Address

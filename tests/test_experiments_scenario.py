@@ -1,0 +1,346 @@
+"""Tests for the declarative scenario framework, registry, and the two
+new workload families (flash-crowd and heterogeneous-fleet)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.config import (
+    FlashCrowdConfig,
+    HeterogeneousFleetConfig,
+    TestbedConfig,
+)
+from repro.experiments.flash_crowd_experiment import (
+    FLASH_CROWD_SCENARIO,
+    make_flash_crowd_trace,
+    run_flash_crowd,
+)
+from repro.experiments.heterogeneous_experiment import (
+    HETEROGENEOUS_SCENARIO,
+    capacity_fairness_index,
+    make_heterogeneous_trace,
+    run_heterogeneous_fleet,
+    tier_acceptance_shares,
+)
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioTask,
+    run_scenario,
+)
+from repro.workload.flash_crowd import RatePhase, SteppedPoissonWorkload
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_families_are_registered(self):
+        names = registry.names()
+        for expected in (
+            "poisson",
+            "wikipedia",
+            "resilience",
+            "flash-crowd",
+            "heterogeneous-fleet",
+        ):
+            assert expected in names
+
+    def test_get_unknown_scenario_is_loud(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            registry.get("nope")
+
+    def test_reregistering_the_same_spec_is_idempotent(self):
+        spec = registry.get("poisson")
+        assert registry.register(spec) is spec
+
+    def test_conflicting_name_is_rejected(self):
+        class Impostor(ScenarioSpec):
+            name = "poisson"
+
+            def default_config(self):
+                raise NotImplementedError
+
+            def smoke_config(self):
+                raise NotImplementedError
+
+            def cells(self, config, **options):
+                raise NotImplementedError
+
+            def make_trace(self, config, cell):
+                raise NotImplementedError
+
+            def build_platform(self, config, cell):
+                raise NotImplementedError
+
+            def run_once(self, config, cell, trace):
+                raise NotImplementedError
+
+            def aggregate(self, config, cells, payloads, trace_for):
+                raise NotImplementedError
+
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register(Impostor())
+
+    def test_every_spec_has_name_title_and_smoke_config(self):
+        for spec in registry.specs():
+            assert spec.name
+            assert spec.title
+            assert spec.smoke_config() is not None
+            assert spec.default_config() is not None
+
+
+# ----------------------------------------------------------------------
+# framework plumbing
+# ----------------------------------------------------------------------
+class TestScenarioCell:
+    def test_param_lookup(self):
+        cell = ScenarioCell(key="x", params={"policy": "RR"})
+        assert cell.param("policy") == "RR"
+
+    def test_missing_param_is_loud(self):
+        with pytest.raises(ExperimentError, match="no parameter"):
+            ScenarioCell(key="x").param("absent")
+
+    def test_cells_and_tasks_are_picklable(self):
+        spec = registry.get("poisson")
+        config = spec.smoke_config()
+        for cell in spec.cells(config):
+            task = ScenarioTask(scenario=spec.name, config=config, cell=cell)
+            restored = pickle.loads(pickle.dumps(task))
+            assert restored.cell.key == cell.key
+
+
+class TestScenarioResult:
+    def test_run_lookup_and_keys(self):
+        result = ScenarioResult(scenario="s", config=None, runs={"a": 1, "b": 2})
+        assert result.run("a") == 1
+        assert result.keys() == ["a", "b"]
+
+    def test_missing_key_is_loud(self):
+        with pytest.raises(ExperimentError, match="no run"):
+            ScenarioResult(scenario="s", config=None).run("missing")
+
+
+class TestRunScenario:
+    def test_unknown_name_is_loud(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            run_scenario("not-a-scenario")
+
+    def test_serial_path_shares_traces_per_key(self):
+        """Cells with equal trace keys see the identical Trace object."""
+        spec = registry.get("poisson")
+        config = spec.smoke_config()
+        seen = []
+        original = type(spec).run_once
+
+        def spy(self, config, cell, trace):
+            seen.append(trace)
+            return original(self, config, cell, trace)
+
+        type(spec).run_once = spy
+        try:
+            run_scenario(spec, config, jobs=1)
+        finally:
+            type(spec).run_once = original
+        # One load factor, two policies -> both cells share one trace.
+        assert len(seen) == 2
+        assert seen[0] is seen[1]
+
+
+# ----------------------------------------------------------------------
+# stepped workload generator
+# ----------------------------------------------------------------------
+class TestSteppedPoissonWorkload:
+    def test_phase_validation(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            RatePhase(duration=0.0, rate=10.0)
+        with pytest.raises(WorkloadError):
+            RatePhase(duration=1.0, rate=0.0)
+        with pytest.raises(WorkloadError):
+            SteppedPoissonWorkload(phases=())
+
+    def test_generation_is_deterministic(self):
+        workload = SteppedPoissonWorkload(
+            phases=(RatePhase(10.0, 50.0), RatePhase(5.0, 200.0))
+        )
+        first = workload.generate(np.random.default_rng(9))
+        second = workload.generate(np.random.default_rng(9))
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+        assert [r.service_demand for r in first] == [r.service_demand for r in second]
+
+    def test_requests_are_numbered_trace_locally(self):
+        workload = SteppedPoissonWorkload(phases=(RatePhase(5.0, 100.0),))
+        trace = workload.generate(np.random.default_rng(1))
+        assert [r.request_id for r in trace] == list(range(1, len(trace) + 1))
+
+    def test_spike_phase_is_denser(self):
+        workload = SteppedPoissonWorkload(
+            phases=(RatePhase(20.0, 20.0), RatePhase(20.0, 200.0))
+        )
+        trace = workload.generate(np.random.default_rng(3))
+        first = sum(1 for r in trace if r.arrival_time < 20.0)
+        second = len(trace) - first
+        assert second > 5 * first
+
+    def test_arrivals_stay_inside_their_phases(self):
+        workload = SteppedPoissonWorkload(phases=(RatePhase(4.0, 30.0),))
+        trace = workload.generate(np.random.default_rng(11))
+        assert all(0.0 < r.arrival_time < 4.0 for r in trace)
+
+    def test_expected_queries(self):
+        workload = SteppedPoissonWorkload(
+            phases=(RatePhase(10.0, 50.0), RatePhase(2.0, 100.0))
+        )
+        assert workload.expected_queries() == pytest.approx(700.0)
+        assert workload.total_duration == pytest.approx(12.0)
+        assert workload.phase_boundaries() == pytest.approx([0.0, 10.0, 12.0])
+
+
+# ----------------------------------------------------------------------
+# flash-crowd family
+# ----------------------------------------------------------------------
+class TestFlashCrowdScenario:
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError, match="spike must exceed"):
+            FlashCrowdConfig(baseline_load=0.8, spike_load=0.5)
+        with pytest.raises(ExperimentError, match="must be positive"):
+            FlashCrowdConfig(spike_duration=0.0)
+
+    def test_trace_matches_schedule(self):
+        config = FLASH_CROWD_SCENARIO.smoke_config()
+        trace = make_flash_crowd_trace(config)
+        assert trace.duration <= config.total_duration
+        spike_start, spike_end = config.spike_window
+        spike = sum(
+            1 for r in trace if spike_start <= r.arrival_time < spike_end
+        )
+        baseline = sum(1 for r in trace if r.arrival_time < spike_start)
+        # The spike runs at 3x the baseline rate on a shorter window;
+        # per-second density must be clearly higher.
+        assert spike / config.spike_duration > (
+            1.5 * baseline / config.baseline_duration
+        )
+
+    def test_end_to_end_jobs_deterministic(self):
+        config = FLASH_CROWD_SCENARIO.smoke_config()
+        serial = run_flash_crowd(config, jobs=1)
+        parallel = run_flash_crowd(config, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial.keys():
+            assert (
+                serial.run(key).collector.response_times()
+                == parallel.run(key).collector.response_times()
+            )
+            # Empty bins yield nan medians; compare nan-aware but exact.
+            assert np.array_equal(
+                np.asarray(serial.run(key).median_series()),
+                np.asarray(parallel.run(key).median_series()),
+                equal_nan=True,
+            )
+
+    def test_phase_summaries_show_the_overload(self):
+        config = FLASH_CROWD_SCENARIO.smoke_config()
+        result = run_flash_crowd(config, jobs=1)
+        for key in result.keys():
+            run = result.run(key)
+            baseline = run.phase_summary("baseline")
+            spike = run.phase_summary("spike")
+            assert baseline is not None and spike is not None
+            assert spike.mean > baseline.mean
+
+    def test_unknown_phase_is_loud(self):
+        config = FLASH_CROWD_SCENARIO.smoke_config()
+        result = run_flash_crowd(config, jobs=1)
+        run = result.run(result.keys()[0])
+        with pytest.raises(ExperimentError, match="unknown phase"):
+            run.phase_window("rush-hour")
+
+
+# ----------------------------------------------------------------------
+# heterogeneous-fleet family
+# ----------------------------------------------------------------------
+class TestHeterogeneousFleetScenario:
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError, match="faster than"):
+            HeterogeneousFleetConfig(fast_speed=1.0, slow_speed=1.0)
+        with pytest.raises(ExperimentError, match="both tiers"):
+            HeterogeneousFleetConfig(num_fast=0)
+
+    def test_testbed_speed_factors(self):
+        config = HeterogeneousFleetConfig(num_fast=2, num_slow=3)
+        testbed = config.testbed
+        assert testbed.server_speed_factors == (2.0, 2.0, 0.75, 0.75, 0.75)
+        assert testbed.total_capacity == pytest.approx(2 * (2 * 2.0 + 3 * 0.75))
+
+    def test_speed_factor_validation_on_testbed(self):
+        with pytest.raises(ExperimentError, match="names 2 servers"):
+            TestbedConfig(num_servers=3, server_speed_factors=(1.0, 2.0))
+        with pytest.raises(ExperimentError, match="must be positive"):
+            TestbedConfig(num_servers=2, server_speed_factors=(1.0, -1.0))
+
+    def test_fast_servers_really_run_faster(self):
+        """A fast server drains the same demand sooner than a slow one."""
+        from repro.server.cpu import ProcessorSharingCPU
+        from repro.sim.engine import Simulator
+
+        done = {}
+        simulator = Simulator(seed=0)
+        fast = ProcessorSharingCPU(simulator, num_cores=1, name="fast", speed=2.0)
+        slow = ProcessorSharingCPU(simulator, num_cores=1, name="slow", speed=0.5)
+        fast.add_job(1, 1.0, lambda _job: done.setdefault("fast", simulator.now))
+        slow.add_job(2, 1.0, lambda _job: done.setdefault("slow", simulator.now))
+        simulator.run()
+        assert done["fast"] == pytest.approx(0.5)
+        assert done["slow"] == pytest.approx(2.0)
+
+    def test_trace_is_shared_across_policies(self):
+        config = HETEROGENEOUS_SCENARIO.smoke_config()
+        (load_factor,) = config.load_factors
+        first = make_heterogeneous_trace(config, load_factor)
+        second = make_heterogeneous_trace(config, load_factor)
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+
+    def test_end_to_end_jobs_deterministic(self):
+        config = HETEROGENEOUS_SCENARIO.smoke_config()
+        serial = run_heterogeneous_fleet(config, jobs=1)
+        parallel = run_heterogeneous_fleet(config, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial.keys():
+            assert (
+                serial.run(key).response_times()
+                == parallel.run(key).response_times()
+            )
+            assert (
+                serial.run(key).acceptance_counts
+                == parallel.run(key).acceptance_counts
+            )
+
+    def test_service_hunting_beats_rr_on_fairness(self):
+        config = HETEROGENEOUS_SCENARIO.smoke_config()
+        result = run_heterogeneous_fleet(config, jobs=1)
+        (rho,) = config.load_factors
+        rr = result.run(("RR", rho))
+        sr4 = result.run(("SR4", rho))
+        assert capacity_fairness_index(config, sr4.acceptance_counts) > (
+            capacity_fairness_index(config, rr.acceptance_counts)
+        )
+
+    def test_tier_shares_are_capacity_normalised(self):
+        config = HeterogeneousFleetConfig(num_fast=2, num_slow=2, slow_speed=1.0, fast_speed=3.0)
+        # Perfectly capacity-proportional acceptance -> both ratios 1.0.
+        counts = {"server-0": 30, "server-1": 30, "server-2": 10, "server-3": 10}
+        fast, slow = tier_acceptance_shares(config, counts)
+        assert fast == pytest.approx(1.0)
+        assert slow == pytest.approx(1.0)
+        # Nothing accepted -> degenerate but defined.
+        assert tier_acceptance_shares(config, {}) == (0.0, 0.0)

@@ -9,9 +9,8 @@ the request, and direct return of the response.
 
 import pytest
 
-from repro.experiments.config import TestbedConfig, sr_policy
+from repro.experiments.config import sr_policy
 from repro.experiments.platform import build_testbed
-from repro.net.packet import TCPFlag
 from repro.net.tcp import classify_segment
 from repro.workload.requests import Request
 from repro.workload.trace import Trace

@@ -6,9 +6,8 @@ from repro.errors import NetworkError, RoutingError
 from repro.net.addressing import IPv6Address, IPv6Prefix
 from repro.net.fabric import LANFabric
 from repro.net.link import Link
-from repro.net.packet import Packet, TCPSegment, TCPFlag, make_syn
+from repro.net.packet import make_syn
 from repro.net.router import LocalSIDTable, NetworkNode, RoutingTable
-from repro.sim.engine import Simulator
 
 
 class RecordingNode(NetworkNode):

@@ -1,8 +1,7 @@
 """Property-based tests for the SRLB core and the metrics pipeline."""
 
-import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.agent import ApplicationAgent, StaticLoadView

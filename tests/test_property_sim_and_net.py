@@ -1,6 +1,5 @@
 """Property-based tests for the simulation engine and network substrate."""
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

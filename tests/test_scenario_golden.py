@@ -1,0 +1,148 @@
+"""Golden bit-identity tests for the scenario-framework port.
+
+``tests/data/scenario_golden.json`` holds fingerprints (full-precision
+float reprs and SHA-256 hashes of float64 series) captured from the
+*pre-refactor* experiment code — the bespoke per-family sweep drivers
+that predate :mod:`repro.experiments.scenario`.  These tests re-run the
+same configurations through the framework, with ``jobs=1`` and
+``jobs=2``, and require byte-for-byte identical mean-response series,
+CDFs, and churn observations.
+
+If one of these fails, the scenario port (or a later change to the
+shared pipeline) altered experiment *results*, not just structure —
+which the refactor explicitly promises never to do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    ChurnEvent,
+    PoissonSweepConfig,
+    ResilienceConfig,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    rr_policy,
+    sr_policy,
+)
+from repro.experiments.poisson_experiment import PoissonSweep
+from repro.experiments.resilience_experiment import run_resilience_comparison
+from repro.experiments.wikipedia_experiment import WikipediaReplay
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "scenario_golden.json"
+
+#: The exact testbed the fingerprints were captured on.
+SMALL_TESTBED = TestbedConfig(
+    num_servers=4, workers_per_server=8, cores_per_server=2, backlog_capacity=16
+)
+
+JOBS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _series_hash(values) -> str:
+    """SHA-256 of the float64 byte representation — bitwise, not approx."""
+    return hashlib.sha256(
+        np.asarray(values, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+class TestPoissonGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def sweep(self, request):
+        config = PoissonSweepConfig(
+            testbed=SMALL_TESTBED,
+            load_factors=(0.4, 0.75),
+            num_queries=250,
+            policies=(rr_policy(), sr_policy(4)),
+        )
+        return PoissonSweep(config).run(jobs=request.param)
+
+    @pytest.mark.parametrize("policy", ["RR", "SR4"])
+    def test_mean_response_series_bitwise(self, golden, sweep, policy):
+        expected = golden["poisson"][policy]["mean_series"]
+        got = [[rho, repr(mean)] for rho, mean in sweep.mean_response_series(policy)]
+        assert got == expected
+
+    @pytest.mark.parametrize("policy", ["RR", "SR4"])
+    @pytest.mark.parametrize("rho", [0.4, 0.75])
+    def test_response_times_and_cdf_bitwise(self, golden, sweep, policy, rho):
+        expected = golden["poisson"][policy]
+        run = sweep.run(policy, rho)
+        assert _series_hash(run.response_times()) == expected["response_times"][repr(rho)]
+        cdf = np.asarray(run.collector.cdf()).ravel()
+        assert _series_hash(cdf) == expected["cdf"][repr(rho)]
+
+
+class TestWikipediaGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def replay(self, request):
+        config = WikipediaReplayConfig(testbed=SMALL_TESTBED).compressed(
+            duration=60.0
+        )
+        return WikipediaReplay(config).run(jobs=request.param)
+
+    def test_trace_summary_bitwise(self, golden, replay):
+        expected = golden["wikipedia"]["trace_summary"]
+        got = {key: repr(value) for key, value in replay.trace_summary.items()}
+        assert got == expected
+
+    @pytest.mark.parametrize("policy", ["RR", "SR4"])
+    def test_series_bitwise(self, golden, replay, policy):
+        expected = golden["wikipedia"][policy]
+        run = replay.run(policy)
+        assert _series_hash(run.wiki_response_times()) == expected["wiki_response_times"]
+        assert (
+            _series_hash([v for pair in run.median_series() for v in pair])
+            == expected["median_series"]
+        )
+        assert (
+            _series_hash([v for pair in run.rate_series() for v in pair])
+            == expected["rate_series"]
+        )
+        assert run.requests_served == expected["requests_served"]
+        assert run.connections_reset == expected["connections_reset"]
+
+
+class TestResilienceGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def comparison(self, request):
+        config = ResilienceConfig(
+            testbed=TestbedConfig(
+                num_servers=6,
+                workers_per_server=8,
+                num_load_balancers=4,
+                request_spread=1.5,
+                request_chunks=4,
+            ),
+            load_factor=0.6,
+            num_queries=500,
+            service_mean=0.05,
+            churn=(ChurnEvent(at_fraction=0.5),),
+        )
+        return run_resilience_comparison(config, jobs=request.param)
+
+    @pytest.mark.parametrize("scheme", ["random", "consistent-hash"])
+    def test_churn_results_bitwise(self, golden, comparison, scheme):
+        expected = golden["resilience"][scheme]
+        run = comparison.run(scheme)
+        assert run.broken_flows == expected["broken_flows"]
+        assert run.in_flight_at_churn == expected["in_flight_at_churn"]
+        assert run.recovery_hunts == expected["recovery_hunts"]
+        assert run.steering_misses == expected["steering_misses"]
+        assert _series_hash(run.collector.response_times()) == expected["response_times"]
+        observations = [
+            [repr(obs.at_time), obs.instance, sorted(obs.in_flight_ids)]
+            for obs in run.observations
+        ]
+        assert observations == expected["observations"]

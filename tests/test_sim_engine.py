@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.engine import PeriodicTask, Simulator, exponential_delay
+from repro.sim.engine import PeriodicTask, exponential_delay
 
 
 class TestScheduling:
@@ -229,3 +229,68 @@ class TestExponentialDelay:
         rng = simulator.streams.stream("test")
         with pytest.raises(SimulationError):
             exponential_delay(rng, 0.0)
+
+
+class TestHeapCompaction:
+    """Cancelled entries must not pin the heap once they dominate it."""
+
+    def test_mass_cancellation_compacts_the_heap(self, simulator):
+        handles = [
+            simulator.schedule_at(float(index + 1), lambda: None)
+            for index in range(1_000)
+        ]
+        assert simulator.pending_events == 1_000
+        # Cancel 90% of the events; the compaction threshold (more than
+        # half the heap dead) must have kicked in along the way.
+        for handle in handles[100:]:
+            handle.cancel()
+        assert simulator.pending_events < 1_000
+        # Only live events remain countable, and they still all fire.
+        fired = []
+        for index in range(100):
+            handles[index]._event.callback = lambda index=index: fired.append(index)
+        simulator.run()
+        assert fired == list(range(100))
+
+    def test_compaction_preserves_event_order(self, simulator):
+        fired = []
+        keep = []
+        for index in range(500):
+            handle = simulator.schedule_at(
+                float(index % 7), lambda index=index: fired.append(index)
+            )
+            if index % 5 == 0:
+                keep.append(index)
+            else:
+                handle.cancel()
+
+        simulator.run()
+        # Survivors fire in (time, scheduling order): sort by (time, index).
+        assert fired == sorted(keep, key=lambda index: (index % 7, index))
+
+    def test_small_heaps_are_left_alone(self, simulator):
+        handles = [simulator.schedule_at(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the compaction minimum the dead entries stay until popped.
+        assert simulator.pending_events == 10
+        simulator.run()
+        assert simulator.pending_events == 0
+
+    def test_cancel_after_firing_does_not_corrupt_accounting(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        handle.cancel()  # late cancel of an already-executed event
+        assert simulator._cancelled_on_heap == 0
+        # The simulator still schedules and runs normally afterwards.
+        fired = []
+        simulator.schedule_at(2.0, lambda: fired.append(True))
+        simulator.run()
+        assert fired == [True]
+
+    def test_cancelling_twice_counts_once(self, simulator):
+        handles = [simulator.schedule_at(1.0, lambda: None) for _ in range(5)]
+        for handle in handles:
+            handle.cancel()
+            handle.cancel()
+        assert simulator._cancelled_on_heap == 5
