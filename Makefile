@@ -6,15 +6,19 @@
 #   make bench-smoke         - one fast benchmark per scenario family, reduced scale
 #   make bench-smoke-parallel - one tiny Figure-2 sweep through the multiprocessing
 #                              runner (jobs=2), so CI exercises the pool path
-#   make docs-check          - doc-vs-CLI consistency tests only
+#   make docs-check          - doc-vs-code consistency tests (CLI + performance docs)
 #   make bench               - the full benchmark suite at default (reduced) scale
+#   make perf                - hot-path throughput cells (events/sec), full profile;
+#                              updates the `latest` slot of BENCH_PERF.json
+#   make perf-smoke          - reduced perf profile (< 2 min) checked against the
+#                              committed BENCH_PERF.json baseline (±30% tolerance)
 
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test lint bench bench-smoke bench-smoke-parallel docs-check
+.PHONY: test lint bench bench-smoke bench-smoke-parallel docs-check perf perf-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,7 +36,17 @@ lint:
 	fi
 
 docs-check:
-	$(PYTHON) -m pytest -q tests/test_docs_cli.py
+	$(PYTHON) -m pytest -q tests/test_docs_cli.py tests/test_docs_performance.py
+
+# Simulator-throughput measurement (see docs/performance.md).  The full
+# profile reports events/sec per cell and records the run in the
+# `latest` slot of BENCH_PERF.json; the smoke profile is the CI
+# regression gate against the committed baseline.
+perf:
+	$(PYTHON) benchmarks/bench_perf_hotpath.py --profile full
+
+perf-smoke:
+	$(PYTHON) benchmarks/bench_perf_hotpath.py --profile smoke --check --tolerance 0.30 --no-save
 
 # One representative benchmark per scenario family (figures, ablations,
 # resilience) at a deliberately small scale: a smoke signal, not a

@@ -1,0 +1,281 @@
+"""Hot-path perf benchmark: events/sec on three representative cells.
+
+Unlike the figure benchmarks, this file measures *simulator throughput*,
+not experiment outputs.  Three fixed-seed cells cover the hot paths the
+engine and packet layers are optimised for:
+
+* ``poisson-high-load`` — a ρ=0.9 Poisson cell on the paper's testbed:
+  the steady-state packet/event churn every experiment is built from
+  (this is the cell the ≥1.4× PR acceptance criterion is measured on);
+* ``wikipedia-slice`` — a compressed slice of the synthetic Wikipedia
+  day: mixed wiki/static requests, diurnal rates, long replay;
+* ``resilience-churn`` — an ECMP tier with spread uploads and a
+  mid-run instance kill: SRH relays, recovery hunts and timer churn.
+
+Timed section = ``Testbed.run_trace`` only; trace generation and testbed
+construction happen outside the timer (see :mod:`repro.bench`).
+
+Run it via ``make perf`` (full profile, writes the ``latest`` slot of
+``BENCH_PERF.json``) or ``make perf-smoke`` (reduced profile, compares
+against the committed ``baseline`` slot with a generous tolerance — the
+CI regression gate).  ``--write baseline`` / ``--write pre_pr`` pin the
+current numbers as the reference records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.bench import (
+    CellMeasurement,
+    PerfCell,
+    PerfReport,
+    compare_to_baseline,
+    format_report,
+    time_cell,
+)
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import (
+    ResilienceConfig,
+    TestbedConfig,
+    WikipediaReplayConfig,
+    sr_policy,
+)
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.resilience_experiment import make_resilience_trace
+from repro.experiments.wikipedia_experiment import make_wikipedia_trace
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+#: The committed perf trajectory (repo root).
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PERF.json"
+
+METHODOLOGY = (
+    "Each cell replays a fixed-seed trace on a fresh testbed; the timed "
+    "section is Testbed.run_trace only (trace generation and testbed "
+    "construction are excluded). events_per_sec = Simulator.events_executed "
+    "/ wall-clock seconds of the timed section, best of --repeats runs. "
+    "Slots: pre_pr = the last numbers measured on the code before a "
+    "hot-path PR (same harness, same machine as its baseline), baseline = "
+    "the committed reference the CI perf-smoke job checks against "
+    "(tolerance 30%, because CI machines vary), latest = the most recent "
+    "`make perf` on whatever machine ran it. Absolute numbers are only "
+    "comparable within one machine; ratios are the portable signal."
+)
+
+#: Per-profile workload sizes, chosen so smoke finishes well under two
+#: minutes and full stays in the single-digit-minute range.
+PROFILES = {
+    "full": {
+        "poisson_queries": 30_000,
+        "wiki_duration": 480.0,
+        "resilience_queries": 8_000,
+    },
+    "smoke": {
+        "poisson_queries": 6_000,
+        "wiki_duration": 120.0,
+        "resilience_queries": 2_000,
+    },
+}
+
+
+def _timed_replay(testbed: Testbed, trace: Trace):
+    """The timed body shared by all cells: replay and report counters."""
+
+    def body():
+        testbed.run_trace(trace)
+        return (
+            testbed.simulator.events_executed,
+            testbed.simulator.now,
+            len(testbed.collector),
+        )
+
+    return body
+
+
+def _poisson_high_load_cell(num_queries: int) -> PerfCell:
+    testbed_config = TestbedConfig(seed=7)
+    service_mean = 0.1
+
+    def prepare():
+        workload = PoissonWorkload.from_load_factor(
+            rho=0.9,
+            saturation_rate=analytic_saturation_rate(testbed_config, service_mean),
+            num_queries=num_queries,
+            service_model=ExponentialServiceTime(service_mean),
+        )
+        trace = workload.generate(np.random.default_rng(424_242))
+        testbed = build_testbed(testbed_config, sr_policy(4), run_name="perf-poisson")
+        return _timed_replay(testbed, trace)
+
+    return PerfCell(
+        name="poisson-high-load",
+        description=f"rho=0.9 Poisson, {num_queries} queries, SR4, 12 servers",
+        prepare=prepare,
+    )
+
+
+def _wikipedia_slice_cell(duration: float) -> PerfCell:
+    config = WikipediaReplayConfig(testbed=TestbedConfig(seed=7)).compressed(
+        duration=duration
+    )
+
+    def prepare():
+        trace = make_wikipedia_trace(config)
+        testbed = build_testbed(config.testbed, sr_policy(4), run_name="perf-wiki")
+        return _timed_replay(testbed, trace)
+
+    return PerfCell(
+        name="wikipedia-slice",
+        description=f"synthetic Wikipedia day compressed to {duration:g}s, SR4",
+        prepare=prepare,
+    )
+
+
+def _resilience_churn_cell(num_queries: int) -> PerfCell:
+    config = ResilienceConfig(
+        testbed=TestbedConfig(
+            seed=7,
+            num_load_balancers=4,
+            request_spread=2.0,
+            request_chunks=5,
+            request_timeout=5.0,
+        )
+    ).scaled(num_queries)
+    scheme = "consistent-hash"
+
+    def prepare():
+        trace = make_resilience_trace(config)
+        testbed = build_testbed(
+            config.testbed, config.policy_for(scheme), run_name="perf-resilience"
+        )
+        tier = testbed.lb_tier
+        assert tier is not None
+
+        def kill_busiest() -> None:
+            victim = max(tier.alive_instances(), key=lambda lb: len(lb.flow_table))
+            tier.kill_instance(victim.name)
+
+        testbed.simulator.schedule_at(
+            trace.duration * 0.5, kill_busiest, label="perf-churn-kill"
+        )
+        return _timed_replay(testbed, trace)
+
+    return PerfCell(
+        name="resilience-churn",
+        description=(
+            f"4-instance ECMP tier, {num_queries} spread-upload queries, "
+            f"{scheme}, one mid-run kill"
+        ),
+        prepare=prepare,
+    )
+
+
+def profile_cells(profile: str):
+    """The three perf cells at one profile's scale."""
+    sizes = PROFILES[profile]
+    return (
+        _poisson_high_load_cell(sizes["poisson_queries"]),
+        _wikipedia_slice_cell(sizes["wiki_duration"]),
+        _resilience_churn_cell(sizes["resilience_queries"]),
+    )
+
+
+def run_profile(profile: str, repeats: int = 1) -> Dict[str, CellMeasurement]:
+    """Measure every cell of one profile."""
+    measurements: Dict[str, CellMeasurement] = {}
+    for cell in profile_cells(profile):
+        print(f"[{profile}] {cell.name}: {cell.description} ...", flush=True)
+        measurements[cell.name] = time_cell(cell, repeats=repeats)
+    return measurements
+
+
+def bench_perf_hotpath_smoke() -> None:
+    """`make bench` entry point: the smoke profile must complete sanely.
+
+    No timing assertion here — shared CI runners are too noisy for a
+    hard gate inside the functional benchmark suite; the perf-smoke CI
+    job owns the (tolerant) regression check.
+    """
+    measurements = run_profile("smoke")
+    print(format_report(measurements))
+    for measurement in measurements.values():
+        assert measurement.queries > 0
+        assert measurement.events > measurement.queries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when a cell is slower than (1 - tolerance) x baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed events/sec regression vs the baseline slot (default 0.30)",
+    )
+    parser.add_argument(
+        "--write",
+        choices=("pre_pr", "baseline"),
+        help="additionally pin the measured numbers as this reference slot",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=REPORT_PATH, help="BENCH_PERF.json path"
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="measure and print only"
+    )
+    args = parser.parse_args(argv)
+
+    report = PerfReport.load(args.report)
+    report.methodology = METHODOLOGY
+    measurements = run_profile(args.profile, repeats=args.repeats)
+
+    print()
+    print(
+        format_report(
+            measurements,
+            pre_pr=report.records(args.profile, "pre_pr"),
+            baseline=report.records(args.profile, "baseline"),
+        )
+    )
+
+    failed = False
+    if args.check:
+        rows = compare_to_baseline(
+            measurements, report.records(args.profile, "baseline"), args.tolerance
+        )
+        if not rows:
+            print("\nno committed baseline for this profile; nothing to check")
+        for row in rows:
+            status = "ok" if row.ok else "REGRESSION"
+            print(
+                f"check {row.cell}: {row.current:,.0f} vs baseline "
+                f"{row.reference:,.0f} events/s ({row.ratio:.2f}x) -> {status}"
+            )
+            failed = failed or not row.ok
+
+    if not args.no_save:
+        report.store(args.profile, "latest", measurements)
+        if args.write:
+            report.store(args.profile, args.write, measurements)
+        report.save(args.report)
+        print(f"\nwrote {args.report}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Performance-tracking harness utilities.
+
+The repository's functional benchmarks (``benchmarks/bench_*.py``) check
+*what* the simulator computes; this module is about *how fast* it
+computes it.  It provides the small pieces the perf benchmark driver
+(``benchmarks/bench_perf_hotpath.py``, ``make perf``) is built from:
+
+* :func:`time_cell` — run one simulation cell under a wall-clock timer
+  and return a :class:`CellMeasurement` (events/sec is the headline
+  metric: it is workload-independent enough to compare across PRs as
+  long as the cell definition and seeds stay fixed);
+* :class:`PerfReport` — load/store ``BENCH_PERF.json``, the committed
+  perf trajectory.  Each (profile, cell) slot keeps up to three records:
+  ``pre_pr`` (the last measured numbers *before* a hot-path PR, captured
+  with the same harness), ``baseline`` (the committed reference the CI
+  perf-smoke job compares against) and ``latest`` (whatever ``make
+  perf`` measured most recently);
+* :func:`compare_to_baseline` — the tolerance check used by the CI
+  perf-smoke job (generous, because CI machines vary widely).
+
+Timings exclude trace generation and testbed construction: the timed
+section is exactly the event-loop replay, which is what the hot-path
+optimisations target.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Fields round-tripped through ``BENCH_PERF.json`` for one measurement.
+_RECORD_FIELDS = (
+    "events_per_sec",
+    "wall_seconds",
+    "events",
+    "simulated_seconds",
+    "queries",
+)
+
+
+@dataclass(frozen=True)
+class CellMeasurement:
+    """One timed run of one benchmark cell."""
+
+    name: str
+    wall_seconds: float
+    #: Simulator events executed inside the timed section.
+    events: int
+    simulated_seconds: float
+    #: Workload queries finished (sanity check that the cell did real work).
+    queries: int
+
+    @property
+    def events_per_sec(self) -> float:
+        """The headline throughput metric."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def to_record(self) -> Dict[str, float]:
+        """JSON-ready representation (plain floats/ints only)."""
+        return {
+            "events_per_sec": round(self.events_per_sec, 1),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events": self.events,
+            "simulated_seconds": round(self.simulated_seconds, 3),
+            "queries": self.queries,
+        }
+
+
+#: A cell body: builds its platform, replays its workload, and returns
+#: ``(events_executed, simulated_seconds, queries_finished)``.  Only the
+#: call itself is timed, so the body must do its expensive setup in the
+#: enclosing ``prepare`` step (see :class:`PerfCell`).
+CellBody = Callable[[], Tuple[int, float, int]]
+
+
+@dataclass(frozen=True)
+class PerfCell:
+    """One named perf-benchmark cell.
+
+    ``prepare`` does the untimed setup (trace generation, testbed
+    construction) and returns the :data:`CellBody` that ``time_cell``
+    measures.  A fresh body is prepared for every repeat so repeats do
+    not share simulator state.
+    """
+
+    name: str
+    description: str
+    prepare: Callable[[], CellBody]
+
+
+def time_cell(cell: PerfCell, repeats: int = 1) -> CellMeasurement:
+    """Measure ``cell``, returning the best (highest events/sec) repeat.
+
+    Garbage is collected before each timed section so earlier cells'
+    litter is not charged to this one; the collector stays enabled
+    during the run because the hot paths' allocation behaviour *is*
+    part of what is being measured.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+    best: Optional[CellMeasurement] = None
+    for _ in range(repeats):
+        body = cell.prepare()
+        gc.collect()
+        started = time.perf_counter()
+        events, simulated, queries = body()
+        wall = time.perf_counter() - started
+        measurement = CellMeasurement(
+            name=cell.name,
+            wall_seconds=wall,
+            events=events,
+            simulated_seconds=simulated,
+            queries=queries,
+        )
+        if best is None or measurement.events_per_sec > best.events_per_sec:
+            best = measurement
+    assert best is not None
+    return best
+
+
+@dataclass
+class ComparisonRow:
+    """Outcome of comparing one cell against a stored record."""
+
+    cell: str
+    current: float
+    reference: float
+    #: current / reference; > 1.0 means faster than the reference.
+    ratio: float
+    ok: bool
+
+
+def compare_to_baseline(
+    measurements: Dict[str, CellMeasurement],
+    baseline: Dict[str, Dict[str, float]],
+    tolerance: float,
+) -> List[ComparisonRow]:
+    """Check measurements against stored baseline records.
+
+    A cell fails when its events/sec drops below ``(1 - tolerance)``
+    times the baseline.  Cells missing from the baseline are skipped
+    (they are new; the next ``--write baseline`` run will pin them).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    rows: List[ComparisonRow] = []
+    for name, measurement in measurements.items():
+        record = baseline.get(name)
+        if record is None:
+            continue
+        reference = float(record["events_per_sec"])
+        current = measurement.events_per_sec
+        ratio = current / reference if reference > 0 else float("inf")
+        rows.append(
+            ComparisonRow(
+                cell=name,
+                current=current,
+                reference=reference,
+                ratio=ratio,
+                ok=ratio >= 1.0 - tolerance,
+            )
+        )
+    return rows
+
+
+@dataclass
+class PerfReport:
+    """The persistent perf trajectory behind ``BENCH_PERF.json``."""
+
+    methodology: str = ""
+    #: profile -> cell -> slot ("pre_pr" | "baseline" | "latest") -> record.
+    profiles: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = field(
+        default_factory=dict
+    )
+
+    SLOTS = ("pre_pr", "baseline", "latest")
+
+    @classmethod
+    def load(cls, path: Path) -> "PerfReport":
+        """Load a report, returning an empty one when the file is absent."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(
+            methodology=data.get("methodology", ""),
+            profiles=data.get("profiles", {}),
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the report back out (stable key order, human-diffable)."""
+        payload = {
+            "schema": 1,
+            "metric": "events_per_sec",
+            "methodology": self.methodology,
+            "profiles": {
+                profile: {
+                    cell: {
+                        slot: dict(records[slot])
+                        for slot in self.SLOTS
+                        if slot in records
+                    }
+                    for cell, records in sorted(cells.items())
+                }
+                for profile, cells in sorted(self.profiles.items())
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def records(self, profile: str, slot: str) -> Dict[str, Dict[str, float]]:
+        """All cells' records in one slot of one profile."""
+        cells = self.profiles.get(profile, {})
+        return {
+            cell: records[slot] for cell, records in cells.items() if slot in records
+        }
+
+    def store(
+        self, profile: str, slot: str, measurements: Dict[str, CellMeasurement]
+    ) -> None:
+        """Store measurements into one slot, creating levels as needed."""
+        if slot not in self.SLOTS:
+            raise ValueError(f"unknown slot {slot!r}: expected one of {self.SLOTS}")
+        cells = self.profiles.setdefault(profile, {})
+        for name, measurement in measurements.items():
+            record = measurement.to_record()
+            assert set(record) == set(_RECORD_FIELDS)
+            cells.setdefault(name, {})[slot] = record
+
+
+def format_report(
+    measurements: Dict[str, CellMeasurement],
+    pre_pr: Optional[Dict[str, Dict[str, float]]] = None,
+    baseline: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """Human-readable results table with optional speedup columns."""
+    lines = [
+        f"{'cell':<24} {'events/s':>12} {'wall s':>9} {'events':>10} "
+        f"{'vs pre-PR':>10} {'vs base':>9}"
+    ]
+    for name, m in measurements.items():
+        def _ratio(records: Optional[Dict[str, Dict[str, float]]]) -> str:
+            if not records or name not in records:
+                return "-"
+            reference = float(records[name]["events_per_sec"])
+            if reference <= 0:
+                return "-"
+            return f"{m.events_per_sec / reference:.2f}x"
+
+        lines.append(
+            f"{name:<24} {m.events_per_sec:>12,.0f} {m.wall_seconds:>9.3f} "
+            f"{m.events:>10,} {_ratio(pre_pr):>10} {_ratio(baseline):>9}"
+        )
+    return "\n".join(lines)

@@ -86,6 +86,9 @@ class ECMPRouterNode(NetworkNode):
         self._instances: List[LoadBalancerNode] = []
         self._vips: List[IPv6Address] = []
         self._table: Optional[MaglevTable[str]] = None
+        #: Interned per-instance event labels (one f-string per member,
+        #: not per forwarded packet).
+        self._forward_labels: Dict[str, str] = {}
         self.stats = ECMPStats()
 
     # ------------------------------------------------------------------
@@ -173,13 +176,15 @@ class ECMPRouterNode(NetworkNode):
             self.stats.steering_signals_forwarded += 1
         else:
             self.stats.packets_forwarded += 1
-        self.stats.per_instance[instance.name] = (
-            self.stats.per_instance.get(instance.name, 0) + 1
-        )
+        name = instance.name
+        self.stats.per_instance[name] = self.stats.per_instance.get(name, 0) + 1
+        label = self._forward_labels.get(name)
+        if label is None:
+            label = self._forward_labels[name] = f"ecmp->{name}"
         # Hand the packet to the chosen instance after one switching hop.
         latency = self.fabric.latency if self.fabric is not None else 0.0
         self.simulator.schedule_in(
-            latency, lambda: instance.receive(packet), label=f"ecmp->{instance.name}"
+            latency, lambda: instance.receive(packet), label=label
         )
 
     def instance_share(self) -> Dict[str, float]:

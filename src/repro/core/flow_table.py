@@ -25,9 +25,9 @@ from repro.net.addressing import IPv6Address
 from repro.net.packet import FlowKey
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowEntry:
-    """Steering state for one flow."""
+    """Steering state for one flow (slotted: one per tracked flow)."""
 
     flow_key: FlowKey
     server: IPv6Address

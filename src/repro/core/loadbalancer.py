@@ -291,9 +291,14 @@ class LoadBalancerNode(NetworkNode):
         cross-instance relay relies on.
         """
         srh = packet.srh
-        accepting_server = srh.traversal_order()[0]
+        # The first traversed segment is the last of the RFC-ordered
+        # list; indexing it directly avoids materialising the full
+        # traversal tuple on every acceptance.
+        accepting_server = srh.segments[-1]
         # The SYN-ACK travels in the server->client direction; the flow
-        # table is keyed by the client->VIP direction.
+        # table is keyed by the client->VIP direction.  Both the packet's
+        # key and its reverse are cached, so tier deployments that
+        # already derived this key for the ownership check reuse it here.
         forward_key = packet.flow_key().reversed()
         self.flow_table.learn(forward_key, accepting_server, self.simulator.now)
         self.stats.acceptances_learned += 1

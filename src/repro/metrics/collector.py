@@ -138,11 +138,18 @@ class ResponseTimeCollector:
         return [outcome for outcome in self._failed if outcome.kind == kind]
 
     def response_times(self, kind: Optional[str] = None) -> List[float]:
-        """Response times (seconds) of successful queries."""
+        """Response times (seconds) of successful queries.
+
+        Iterates the stored outcomes directly instead of materialising
+        the intermediate :meth:`outcomes` copy — the summary/CDF paths
+        call this once per figure series over runs with tens of
+        thousands of outcomes.
+        """
         return [
             outcome.response_time
-            for outcome in self.outcomes(kind)
+            for outcome in self._outcomes
             if outcome.response_time is not None
+            and (kind is None or outcome.kind == kind)
         ]
 
     def summary(self, kind: Optional[str] = None) -> SummaryStatistics:
@@ -172,8 +179,10 @@ class ResponseTimeCollector:
         caller never passes a horizon to :meth:`TimeBinner.bins` itself.
         """
         binner = TimeBinner(bin_width=bin_width, through=through)
-        for outcome in self.outcomes(kind):
-            if outcome.response_time is not None:
+        for outcome in self._outcomes:
+            if outcome.response_time is not None and (
+                kind is None or outcome.kind == kind
+            ):
                 binner.add(outcome.sent_at, outcome.response_time)
         return binner
 

@@ -15,6 +15,7 @@ forwards hundreds of thousands of packets per run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Optional
 
 from repro.errors import AddressError
@@ -52,8 +53,16 @@ def _parse_ipv6(text: str) -> int:
     return value
 
 
+@lru_cache(maxsize=None)
 def _format_ipv6(value: int) -> str:
-    """Format a 128-bit integer as a compressed IPv6 address string."""
+    """Format a 128-bit integer as a compressed IPv6 address string.
+
+    Memoized: the simulator formats the same few hundred topology
+    addresses over and over (ECMP 5-tuple keys, consistent-hash flow
+    keys), so the cache is small and permanently hot.  The key is the
+    128-bit integer value, and the universe of values is bounded by the
+    testbed's address plan, not by traffic volume.
+    """
     groups = [(value >> (16 * (7 - i))) & 0xFFFF for i in range(8)]
     # Find the longest run of zero groups to compress with '::'.
     best_start, best_len = -1, 0
@@ -75,15 +84,30 @@ def _format_ipv6(value: int) -> str:
     return f"{head}::{tail}"
 
 
-@dataclass(frozen=True, order=True)
 class IPv6Address:
-    """Immutable IPv6 address backed by a 128-bit integer."""
+    """Immutable IPv6 address backed by a 128-bit integer.
 
-    value: int
+    Slotted and hand-written: addresses key the fabric's address map,
+    the load balancer's backend pools and every flow key, so they are
+    hashed on essentially every packet hop.  The hash is computed once
+    at construction, with the same ``hash((value,))`` formula the
+    earlier frozen dataclass generated, keeping hash values identical.
+    """
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.value, int) or not 0 <= self.value <= _MAX_IPV6:
-            raise AddressError(f"IPv6 address value out of range: {self.value!r}")
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: int) -> None:
+        if not isinstance(value, int) or not 0 <= value <= _MAX_IPV6:
+            raise AddressError(f"IPv6 address value out of range: {value!r}")
+        _set = object.__setattr__
+        _set(self, "value", value)
+        _set(self, "_hash", hash((value,)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # The cached hash makes mutation unsafe (hash/equality would
+        # disagree for dict keys), so enforce the immutability the
+        # frozen dataclass this replaced provided.
+        raise AttributeError(f"IPv6Address is immutable (cannot set {name!r})")
 
     @classmethod
     def parse(cls, text: str) -> "IPv6Address":
@@ -100,6 +124,37 @@ class IPv6Address:
 
     def __repr__(self) -> str:
         return f"IPv6Address('{self}')"
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is IPv6Address:
+            return self.value == other.value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv6Address"):
+        if other.__class__ is IPv6Address:
+            return self.value < other.value
+        return NotImplemented
+
+    def __le__(self, other: "IPv6Address"):
+        if other.__class__ is IPv6Address:
+            return self.value <= other.value
+        return NotImplemented
+
+    def __gt__(self, other: "IPv6Address"):
+        if other.__class__ is IPv6Address:
+            return self.value > other.value
+        return NotImplemented
+
+    def __ge__(self, other: "IPv6Address"):
+        if other.__class__ is IPv6Address:
+            return self.value >= other.value
+        return NotImplemented
+
+    def __reduce__(self):
+        return (IPv6Address, (self.value,))
 
     def __add__(self, offset: int) -> "IPv6Address":
         result = self.value + offset

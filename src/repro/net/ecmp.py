@@ -109,6 +109,16 @@ class EcmpEdgeRouter(NetworkNode):
         self.hash_scheme = hash_scheme
         self._next_hops: List[NetworkNode] = []
         self._vips: List[IPv6Address] = []
+        #: Memoized flow-to-hop decisions.  Both schemes are pure
+        #: functions of (flow key, next-hop set), so the cache is
+        #: behaviour-neutral; it is dropped wholesale on membership
+        #: change, exactly like a real router reprogramming its ECMP
+        #: group.  Bounded by the number of distinct 5-tuples seen
+        #: between membership changes.
+        self._hop_cache: Dict[FlowKey, NetworkNode] = {}
+        #: Interned per-hop event labels (one f-string per hop, not per
+        #: packet).
+        self._spread_labels: Dict[str, str] = {}
         self.stats = EcmpEdgeStats()
 
     # ------------------------------------------------------------------
@@ -120,6 +130,7 @@ class EcmpEdgeRouter(NetworkNode):
             raise RoutingError(f"next hop {node.name!r} is already in the ECMP group")
         self._next_hops.append(node)
         self._next_hops.sort(key=lambda hop: hop.name)
+        self._hop_cache.clear()
         self.stats.membership_changes += 1
 
     def remove_next_hop(self, name: str) -> bool:
@@ -127,6 +138,7 @@ class EcmpEdgeRouter(NetworkNode):
         before = len(self._next_hops)
         self._next_hops = [hop for hop in self._next_hops if hop.name != name]
         if len(self._next_hops) != before:
+            self._hop_cache.clear()
             self.stats.membership_changes += 1
             return True
         return False
@@ -161,14 +173,20 @@ class EcmpEdgeRouter(NetworkNode):
         """The ECMP group member the given 5-tuple hashes to."""
         if not self._next_hops:
             raise RoutingError("the ECMP group has no next hops")
+        hop = self._hop_cache.get(flow_key)
+        if hop is not None:
+            return hop
         key = five_tuple_key(flow_key)
         if self.hash_scheme == "modulo":
-            return self._next_hops[_hash64(key, "ecmp-modulo") % len(self._next_hops)]
-        # Rendezvous (HRW): every hop scores the key; the highest wins.
-        return max(
-            self._next_hops,
-            key=lambda hop: _hash64(key, f"ecmp-hrw:{hop.name}"),
-        )
+            hop = self._next_hops[_hash64(key, "ecmp-modulo") % len(self._next_hops)]
+        else:
+            # Rendezvous (HRW): every hop scores the key; the highest wins.
+            hop = max(
+                self._next_hops,
+                key=lambda hop: _hash64(key, f"ecmp-hrw:{hop.name}"),
+            )
+        self._hop_cache[flow_key] = hop
+        return hop
 
     def owner_of_forward_flow(self, forward_key: FlowKey) -> Optional[NetworkNode]:
         """The hop that client-to-VIP packets of ``forward_key`` reach.
@@ -206,10 +224,15 @@ class EcmpEdgeRouter(NetworkNode):
             self.stats.return_packets += 1
         else:
             self.stats.forward_packets += 1
-        self.stats.per_next_hop[hop.name] = self.stats.per_next_hop.get(hop.name, 0) + 1
+        name = hop.name
+        per_hop = self.stats.per_next_hop
+        per_hop[name] = per_hop.get(name, 0) + 1
+        label = self._spread_labels.get(name)
+        if label is None:
+            label = self._spread_labels[name] = f"ecmp->{name}"
         latency = self.fabric.latency if self.fabric is not None else 0.0
         self.simulator.schedule_in(
-            latency, lambda: hop.receive(packet), label=f"ecmp->{hop.name}"
+            latency, lambda: hop.receive(packet), label=label
         )
 
     def next_hop_share(self) -> Dict[str, float]:

@@ -74,6 +74,9 @@ class LANFabric:
         self._address_map: Dict[IPv6Address, "NetworkNode"] = {}
         self._prefix_routes: RoutingTable["NetworkNode"] = RoutingTable()
         self._taps: List[PacketTap] = []
+        #: Interned per-destination event labels: one f-string per node
+        #: ever delivered to, instead of one per delivered packet.
+        self._deliver_labels: Dict[str, str] = {}
         self.stats = FabricStats()
 
     # ------------------------------------------------------------------
@@ -139,7 +142,13 @@ class LANFabric:
         ``False`` if it was dropped (no route or hop limit exhausted) and
         the fabric is not strict.
         """
-        destination = self.resolve(packet.dst)
+        # Inlined resolve(): exact binding first, prefix fallback second.
+        # This runs once per packet hop, so the extra method call is
+        # worth skipping.
+        dst = packet.dst
+        destination = self._address_map.get(dst)
+        if destination is None:
+            destination = self._prefix_routes.lookup_or_none(dst)
         origin_name = origin.name if origin is not None else "<external>"
         if destination is None:
             self.stats.packets_dropped_no_route += 1
@@ -160,14 +169,19 @@ class LANFabric:
         for tap in self._taps:
             tap(packet, origin_name, destination.name)
 
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size_bytes()
-        per_node = self.stats.deliveries_per_node
-        per_node[destination.name] = per_node.get(destination.name, 0) + 1
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size_bytes()
+        name = destination.name
+        per_node = stats.deliveries_per_node
+        per_node[name] = per_node.get(name, 0) + 1
 
+        label = self._deliver_labels.get(name)
+        if label is None:
+            label = self._deliver_labels[name] = f"deliver->{name}"
         self.simulator.schedule_in(
             self.latency,
             lambda: destination.receive(packet),
-            label=f"deliver->{destination.name}",
+            label=label,
         )
         return True

@@ -6,13 +6,23 @@ overload), and the Service Hunting logic manipulates the Segment Routing
 header carried by individual packets.  The classes here are deliberately
 small value objects; behaviour lives in the nodes that send and receive
 them.
+
+Every class is slotted and hand-written: the simulator creates a handful
+of packets per query and reads their flow identity at every hop, so the
+dataclass machinery this replaced (generated ``__init__``/``__eq__``
+plus per-call flow-key construction) was measurable across a full
+replay.  :meth:`Packet.flow_key` is cached on the packet and invalidated
+by exactly the mutations that can change the flow identity — attaching
+or detaching an SRH, or assigning :attr:`Packet.dst` — while SRH
+*advancement* (``advance_srh``/``set_segments_left``) keeps the cache,
+because it can only move the active segment along a fixed segment list
+whose final segment (the flow's true destination) never changes.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import NetworkError
@@ -45,27 +55,83 @@ class TCPFlag(enum.Flag):
         return "|".join(flag.name for flag in TCPFlag if flag and flag in self)
 
 
-@dataclass(frozen=True)
 class FlowKey:
     """The 4-tuple identifying a TCP flow towards a VIP.
 
     The protocol is implicitly TCP, so only source/destination address
     and port are carried.  The load balancer's flow table and the
-    consistent-hashing selection scheme are keyed by this value.
+    consistent-hashing selection scheme are keyed by this value, so the
+    hash is computed once at construction (with the same tuple formula
+    the earlier frozen dataclass used, keeping hash values identical).
     """
 
-    src_address: IPv6Address
-    src_port: int
-    dst_address: IPv6Address
-    dst_port: int
+    __slots__ = ("src_address", "src_port", "dst_address", "dst_port", "_hash", "_rev")
+
+    def __init__(
+        self,
+        src_address: IPv6Address,
+        src_port: int,
+        dst_address: IPv6Address,
+        dst_port: int,
+    ) -> None:
+        _set = object.__setattr__
+        _set(self, "src_address", src_address)
+        _set(self, "src_port", src_port)
+        _set(self, "dst_address", dst_address)
+        _set(self, "dst_port", dst_port)
+        _set(self, "_hash", hash((src_address, src_port, dst_address, dst_port)))
+        _set(self, "_rev", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # The cached hash (and reverse-key link) make mutation unsafe
+        # for a dict key, so enforce the immutability the frozen
+        # dataclass this replaced provided.
+        raise AttributeError(f"FlowKey is immutable (cannot set {name!r})")
 
     def reversed(self) -> "FlowKey":
-        """The key of the reverse direction of the flow."""
-        return FlowKey(
-            src_address=self.dst_address,
-            src_port=self.dst_port,
-            dst_address=self.src_address,
-            dst_port=self.src_port,
+        """The key of the reverse direction of the flow (cached).
+
+        Steering-signal handling derives the forward key from a
+        SYN-ACK's reverse direction at least twice per acceptance
+        (ownership check, then learning); keys are immutable, so the
+        two directions can simply point at each other.
+        """
+        rev = self._rev
+        if rev is None:
+            rev = FlowKey(
+                src_address=self.dst_address,
+                src_port=self.dst_port,
+                dst_address=self.src_address,
+                dst_port=self.src_port,
+            )
+            object.__setattr__(rev, "_rev", self)
+            object.__setattr__(self, "_rev", rev)
+        return rev
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is FlowKey:
+            return (
+                self.src_address == other.src_address
+                and self.src_port == other.src_port
+                and self.dst_address == other.dst_address
+                and self.dst_port == other.dst_port
+            )
+        return NotImplemented
+
+    def __reduce__(self):
+        return (
+            FlowKey,
+            (self.src_address, self.src_port, self.dst_address, self.dst_port),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowKey(src_address={self.src_address!r}, "
+            f"src_port={self.src_port!r}, dst_address={self.dst_address!r}, "
+            f"dst_port={self.dst_port!r})"
         )
 
     def __str__(self) -> str:
@@ -75,7 +141,6 @@ class FlowKey:
         )
 
 
-@dataclass
 class TCPSegment:
     """A (simplified) TCP segment.
 
@@ -85,29 +150,58 @@ class TCPSegment:
     the flow 5-tuple, which is also available via :class:`FlowKey`.
     """
 
-    src_port: int
-    dst_port: int
-    flags: TCPFlag = TCPFlag.NONE
-    payload_size: int = 0
-    request_id: Optional[int] = None
+    __slots__ = ("src_port", "dst_port", "flags", "payload_size", "request_id")
 
-    def __post_init__(self) -> None:
-        for port in (self.src_port, self.dst_port):
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        flags: TCPFlag = TCPFlag.NONE,
+        payload_size: int = 0,
+        request_id: Optional[int] = None,
+    ) -> None:
+        for port in (src_port, dst_port):
             if not 0 < port <= 0xFFFF:
                 raise NetworkError(f"invalid TCP port {port!r}")
-        if self.payload_size < 0:
-            raise NetworkError(f"negative TCP payload size {self.payload_size!r}")
+        if payload_size < 0:
+            raise NetworkError(f"negative TCP payload size {payload_size!r}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.flags = flags
+        self.payload_size = payload_size
+        self.request_id = request_id
 
     def has(self, flag: TCPFlag) -> bool:
         """Whether the given flag is set."""
-        return bool(self.flags & flag)
+        # Integer masking on the members' stored value sidesteps both
+        # enum.Flag.__and__ (which constructs a Flag member per call)
+        # and the .value descriptor; this runs several times per packet
+        # at every hop.
+        return bool(self.flags._value_ & flag._value_)
 
     def size_bytes(self) -> int:
         """Wire size of the segment."""
         return TCP_HEADER_SIZE + self.payload_size
 
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is TCPSegment:
+            return (
+                self.src_port == other.src_port
+                and self.dst_port == other.dst_port
+                and self.flags == other.flags
+                and self.payload_size == other.payload_size
+                and self.request_id == other.request_id
+            )
+        return NotImplemented
 
-@dataclass
+    def __repr__(self) -> str:
+        return (
+            f"TCPSegment(src_port={self.src_port!r}, dst_port={self.dst_port!r}, "
+            f"flags={self.flags!r}, payload_size={self.payload_size!r}, "
+            f"request_id={self.request_id!r})"
+        )
+
+
 class Packet:
     """An IPv6 packet, optionally carrying a Segment Routing header.
 
@@ -117,41 +211,81 @@ class Packet:
     :meth:`attach_srh` and :meth:`advance_srh`).
     """
 
-    src: IPv6Address
-    dst: IPv6Address
-    tcp: TCPSegment
-    srh: Optional[SegmentRoutingHeader] = None
-    hop_limit: int = DEFAULT_HOP_LIMIT
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    created_at: float = 0.0
+    __slots__ = (
+        "src",
+        "_dst",
+        "tcp",
+        "srh",
+        "hop_limit",
+        "packet_id",
+        "created_at",
+        "_flow_key",
+    )
 
-    def __post_init__(self) -> None:
-        if self.hop_limit <= 0:
-            raise NetworkError(f"invalid hop limit {self.hop_limit!r}")
-        if self.srh is not None and self.srh.active_segment != self.dst:
+    def __init__(
+        self,
+        src: IPv6Address,
+        dst: IPv6Address,
+        tcp: TCPSegment,
+        srh: Optional[SegmentRoutingHeader] = None,
+        hop_limit: int = DEFAULT_HOP_LIMIT,
+        packet_id: Optional[int] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        if hop_limit <= 0:
+            raise NetworkError(f"invalid hop limit {hop_limit!r}")
+        if srh is not None and srh.active_segment != dst:
             raise NetworkError(
                 "packet destination must equal the SRH active segment "
-                f"(dst={self.dst}, active={self.srh.active_segment})"
+                f"(dst={dst}, active={srh.active_segment})"
             )
+        self.src = src
+        self._dst = dst
+        self.tcp = tcp
+        self.srh = srh
+        self.hop_limit = hop_limit
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.created_at = created_at
+        self._flow_key: Optional[FlowKey] = None
+
+    # ------------------------------------------------------------------
+    # destination (flow-key cache invalidation point)
+    # ------------------------------------------------------------------
+    @property
+    def dst(self) -> IPv6Address:
+        """Current IPv6 destination address."""
+        return self._dst
+
+    @dst.setter
+    def dst(self, value: IPv6Address) -> None:
+        self._dst = value
+        # Without an SRH the destination *is* the flow's destination, so
+        # any assignment may change the flow identity.
+        self._flow_key = None
 
     # ------------------------------------------------------------------
     # flow identity
     # ------------------------------------------------------------------
     def flow_key(self) -> FlowKey:
-        """Forward-direction flow key of this packet."""
-        return FlowKey(
-            src_address=self.src,
-            src_port=self.tcp.src_port,
-            dst_address=self.final_destination,
-            dst_port=self.tcp.dst_port,
-        )
+        """Forward-direction flow key of this packet (cached)."""
+        key = self._flow_key
+        if key is None:
+            tcp = self.tcp
+            srh = self.srh
+            key = self._flow_key = FlowKey(
+                self.src,
+                tcp.src_port,
+                self._dst if srh is None else srh.segments[0],
+                tcp.dst_port,
+            )
+        return key
 
     @property
     def final_destination(self) -> IPv6Address:
         """Where the packet is ultimately headed (last SRH segment if any)."""
         if self.srh is not None:
             return self.srh.final_segment
-        return self.dst
+        return self._dst
 
     # ------------------------------------------------------------------
     # segment routing helpers
@@ -159,25 +293,36 @@ class Packet:
     def attach_srh(self, srh: SegmentRoutingHeader) -> None:
         """Attach an SRH and point the destination at its active segment."""
         self.srh = srh
-        self.dst = srh.active_segment
+        self._dst = srh.active_segment
+        self._flow_key = None
 
     def detach_srh(self) -> None:
         """Remove the SRH, keeping the current destination address."""
         self.srh = None
+        self._flow_key = None
 
     def advance_srh(self) -> IPv6Address:
-        """Advance the SRH by one segment and update the destination."""
+        """Advance the SRH by one segment and update the destination.
+
+        The cached flow key survives: advancing only decrements
+        ``SegmentsLeft``, and the flow key is built from the *final*
+        segment, which never moves.
+        """
         if self.srh is None:
             raise NetworkError("packet has no SRH to advance")
-        self.dst = self.srh.advance()
-        return self.dst
+        self._dst = self.srh.advance()
+        return self._dst
 
     def set_segments_left(self, value: int) -> IPv6Address:
-        """Set SegmentsLeft (Service Hunting semantics) and update dst."""
+        """Set SegmentsLeft (Service Hunting semantics) and update dst.
+
+        Keeps the cached flow key, for the same reason as
+        :meth:`advance_srh`.
+        """
         if self.srh is None:
             raise NetworkError("packet has no SRH")
-        self.dst = self.srh.set_segments_left(value)
-        return self.dst
+        self._dst = self.srh.set_segments_left(value)
+        return self._dst
 
     # ------------------------------------------------------------------
     # forwarding helpers
@@ -196,11 +341,42 @@ class Packet:
         return size
 
     def copy(self) -> "Packet":
-        """Deep-enough copy for retransmission (new packet id)."""
-        return replace(
-            self,
-            srh=self.srh.copy() if self.srh is not None else None,
-            packet_id=next(_packet_ids),
+        """Deep-enough copy for retransmission (new packet id).
+
+        An internal fast path: the source packet already satisfies the
+        constructor invariants, so they are not re-validated.  The TCP
+        segment is shared (it is never mutated in place); the SRH is
+        copied because advancement mutates it.
+        """
+        clone = Packet.__new__(Packet)
+        clone.src = self.src
+        clone._dst = self._dst
+        clone.tcp = self.tcp
+        clone.srh = self.srh.copy() if self.srh is not None else None
+        clone.hop_limit = self.hop_limit
+        clone.packet_id = next(_packet_ids)
+        clone.created_at = self.created_at
+        clone._flow_key = self._flow_key
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Packet:
+            return (
+                self.packet_id == other.packet_id
+                and self.src == other.src
+                and self._dst == other._dst
+                and self.tcp == other.tcp
+                and self.srh == other.srh
+                and self.hop_limit == other.hop_limit
+                and self.created_at == other.created_at
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(src={self.src!r}, dst={self._dst!r}, tcp={self.tcp!r}, "
+            f"srh={self.srh!r}, hop_limit={self.hop_limit!r}, "
+            f"packet_id={self.packet_id!r}, created_at={self.created_at!r})"
         )
 
     def describe(self) -> str:
@@ -208,7 +384,7 @@ class Packet:
         srh_text = f" {self.srh}" if self.srh is not None else ""
         return (
             f"pkt#{self.packet_id} [{self.tcp.flags}] "
-            f"{self.src}:{self.tcp.src_port} -> {self.dst}:{self.tcp.dst_port}"
+            f"{self.src}:{self.tcp.src_port} -> {self._dst}:{self.tcp.dst_port}"
             f"{srh_text}"
         )
 

@@ -24,8 +24,7 @@ Service Hunting (paper §II) uses the SRH in two places:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SegmentRoutingError
 from repro.net.addressing import IPv6Address
@@ -36,9 +35,12 @@ SRH_FIXED_SIZE = 8
 SRH_SEGMENT_SIZE = 16
 
 
-@dataclass
 class SegmentRoutingHeader:
     """IPv6 Segment Routing extension header.
+
+    Slotted and hand-written: one header is built per hop decision on
+    the packet hot path, and the generated dataclass machinery showed up
+    in replay profiles.
 
     Attributes
     ----------
@@ -49,17 +51,22 @@ class SegmentRoutingHeader:
         active and the source route is exhausted once it is consumed.
     """
 
-    segments: List[IPv6Address] = field(default_factory=list)
-    segments_left: int = 0
+    __slots__ = ("segments", "segments_left")
 
-    def __post_init__(self) -> None:
-        if not self.segments:
+    def __init__(
+        self,
+        segments: Optional[List[IPv6Address]] = None,
+        segments_left: int = 0,
+    ) -> None:
+        if not segments:
             raise SegmentRoutingError("an SRH must contain at least one segment")
-        if not 0 <= self.segments_left < len(self.segments):
+        if not 0 <= segments_left < len(segments):
             raise SegmentRoutingError(
-                f"SegmentsLeft={self.segments_left} out of range for "
-                f"{len(self.segments)} segments"
+                f"SegmentsLeft={segments_left} out of range for "
+                f"{len(segments)} segments"
             )
+        self.segments = segments
+        self.segments_left = segments_left
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -72,14 +79,23 @@ class SegmentRoutingHeader:
         """
         if not path:
             raise SegmentRoutingError("cannot build an SRH from an empty path")
-        segments = list(reversed(list(path)))
-        return cls(segments=segments, segments_left=len(segments) - 1)
+        segments = list(path)
+        segments.reverse()
+        srh = cls.__new__(cls)
+        srh.segments = segments
+        srh.segments_left = len(segments) - 1
+        return srh
 
     def copy(self) -> "SegmentRoutingHeader":
-        """Independent copy (packets are duplicated when retransmitted)."""
-        return SegmentRoutingHeader(
-            segments=list(self.segments), segments_left=self.segments_left
-        )
+        """Independent copy (packets are duplicated when retransmitted).
+
+        Internal fast path: the source header is already valid, so the
+        constructor checks are skipped.
+        """
+        clone = SegmentRoutingHeader.__new__(SegmentRoutingHeader)
+        clone.segments = list(self.segments)
+        clone.segments_left = self.segments_left
+        return clone
 
     # ------------------------------------------------------------------
     # inspection
@@ -154,6 +170,20 @@ class SegmentRoutingHeader:
     def size_bytes(self) -> int:
         """Wire size of the header, used for overhead accounting."""
         return SRH_FIXED_SIZE + SRH_SEGMENT_SIZE * len(self.segments)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is SegmentRoutingHeader:
+            return (
+                self.segments == other.segments
+                and self.segments_left == other.segments_left
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentRoutingHeader(segments={self.segments!r}, "
+            f"segments_left={self.segments_left!r})"
+        )
 
     def __str__(self) -> str:
         path = " -> ".join(str(segment) for segment in self.traversal_order())

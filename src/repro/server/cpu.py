@@ -36,7 +36,7 @@ JobCompletionCallback = Callable[[int], None]
 _REMAINING_EPSILON = 1e-12
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     """Internal per-job state."""
 
@@ -70,6 +70,10 @@ class CPUModel:
         self.num_cores = num_cores
         self.speed = speed
         self.name = name
+        #: Event label shared by every completion this CPU schedules
+        #: (completions are rescheduled on every job arrival, so the
+        #: label is formatted once, not once per reschedule).
+        self._completion_label = f"{name}-completion"
         self.jobs_completed = 0
         self.busy_core_seconds = 0.0
         self._last_accounting = simulator.now
@@ -157,7 +161,7 @@ class ProcessorSharingCPU(CPUModel):
         rate = self._per_job_rate()
         delay = max(0.0, min_remaining) / rate
         self._completion_event = self.simulator.schedule_in(
-            delay, self._fire_completions, label=f"{self.name}-completion"
+            delay, self._fire_completions, label=self._completion_label
         )
 
     def _fire_completions(self) -> None:
@@ -248,7 +252,7 @@ class FIFOCPU(CPUModel):
         handle = self.simulator.schedule_in(
             job.remaining / self.speed,
             lambda: self._complete(job_id),
-            label=f"{self.name}-completion",
+            label=self._completion_label,
         )
         self._running_events[job_id] = handle
 

@@ -55,9 +55,10 @@ class ServerTransport(Protocol):
         """Send the HTTP response to the client."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerConnection:
-    """Server-side state of one client connection."""
+    """Server-side state of one client connection (slotted: one per
+    admitted connection, allocated on the packet hot path)."""
 
     connection_id: int
     flow_key: FlowKey
@@ -152,6 +153,8 @@ class HTTPServerInstance:
         self.stats = ServerAppStats()
         self._connections: Dict[int, ServerConnection] = {}
         self._by_flow: Dict[FlowKey, int] = {}
+        #: Shared label for request-timeout events (formatted once).
+        self._timeout_label = f"{name}-req-timeout"
 
     # ------------------------------------------------------------------
     # wiring
@@ -239,7 +242,7 @@ class HTTPServerInstance:
                 self.simulator.schedule_in(
                     self.request_timeout,
                     lambda cid=connection_id: self._check_request_timeout(cid),
-                    label=f"{self.name}-req-timeout",
+                    label=self._timeout_label,
                 )
 
     def _check_request_timeout(self, connection_id: int) -> None:

@@ -172,8 +172,8 @@ class ServerNode(NetworkNode):
                 self.stray_data_resets += 1
                 self.send(
                     make_reset(
-                        packet.flow_key(),
-                        request_id=packet.tcp.request_id,
+                        flow_key,
+                        request_id=tcp.request_id,
                         created_at=self.simulator.now,
                     )
                 )

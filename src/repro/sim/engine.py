@@ -12,6 +12,11 @@ Design points
   order (FIFO), via a monotonically increasing sequence number.  This
   makes simulations deterministic, which the experiment harness and the
   property-based tests rely on.
+* **Tuple heap entries.**  The heap stores ``(time, sequence, event)``
+  tuples, so heap sifts compare in C (time first, unique sequence as the
+  tie-break; the event object is never compared).  A full replay pushes
+  and pops one entry per event, and the comparison-heavy dataclass heap
+  this replaced was the single hottest function of a run.
 * **Cancellation without heap surgery.**  :meth:`EventHandle.cancel`
   marks the event dead; the main loop skips dead events when they are
   popped.  This is O(1) and keeps the heap simple.  When dead entries
@@ -20,6 +25,11 @@ Design points
   kill/add recovery retries) — the heap is compacted in one O(n) pass,
   so cancelled events cannot pin memory until their timestamp is
   finally popped.
+* **Callbacks are released eagerly.**  An event that leaves the heap
+  (executed or discarded) drops its callback reference, so an
+  :class:`EventHandle` kept around by a component cannot pin the
+  callback's closure — and everything it captured, packets included —
+  for the rest of a replay.
 * **No wall-clock coupling.**  The engine never sleeps; a 24-hour
   Wikipedia replay runs as fast as Python can drain the event heap.
 """
@@ -29,7 +39,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from math import isfinite
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.clock import SimulationClock
@@ -42,18 +53,36 @@ EventCallback = Callable[[], None]
 _COMPACTION_MIN_HEAP = 64
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    """Internal heap entry: ordered by (time, sequence number)."""
+    """Internal event record carried inside a ``(time, seq, event)`` entry.
 
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    #: Set once the event has left the heap (executed or discarded), so
-    #: a late ``cancel()`` does not count toward the compaction trigger.
-    done: bool = field(compare=False, default=False)
+    The record itself is never compared (the unique sequence number
+    settles every tie before tuple comparison reaches it); it exists so
+    handles can observe and cancel the event after it was pushed.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled", "done")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Optional[EventCallback],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        #: Set once the event has left the heap (executed or discarded),
+        #: so a late ``cancel()`` does not count toward the compaction
+        #: trigger.
+        self.done = False
+
+
+#: The heap entry type: time, scheduling sequence number, event record.
+_HeapEntry = Tuple[float, int, _ScheduledEvent]
 
 
 class EventHandle:
@@ -84,10 +113,17 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is a no-op."""
-        if self._event.cancelled:
+        event = self._event
+        if event.cancelled:
             return
-        self._event.cancelled = True
-        if self._simulator is not None and not self._event.done:
+        event.cancelled = True
+        if event.done:
+            return
+        # Still on the heap: the callback can be dropped right away (the
+        # run loop will skip the entry), and the owning simulator keeps
+        # count so it can decide when compaction pays off.
+        event.callback = None
+        if self._simulator is not None:
             self._simulator._note_cancelled()
 
     def __repr__(self) -> str:
@@ -110,7 +146,7 @@ class Simulator:
     def __init__(self, seed: Optional[int] = 0, start_time: float = 0.0) -> None:
         self.clock = SimulationClock(start_time)
         self.streams = RandomStreams(seed)
-        self._heap: List[_ScheduledEvent] = []
+        self._heap: List[_HeapEntry] = []
         self._sequence = itertools.count()
         self._running = False
         self._stopped = False
@@ -123,7 +159,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self.clock.now
+        return self.clock._now
 
     @property
     def events_executed(self) -> int:
@@ -139,18 +175,21 @@ class Simulator:
         self, time: float, callback: EventCallback, label: str = ""
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self.clock.now:
+        time = float(time)
+        if not isfinite(time):
+            # NaN in particular would slip past the ordering guard below
+            # (every comparison with NaN is false) and silently corrupt
+            # the heap order for every event sifted past it.
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at non-finite time {time!r}"
+            )
+        if time < self.clock._now:
             raise SchedulingError(
                 f"cannot schedule event {label!r} at {time!r}, "
-                f"which is before current time {self.clock.now!r}"
+                f"which is before current time {self.clock._now!r}"
             )
-        event = _ScheduledEvent(
-            time=float(time),
-            sequence=next(self._sequence),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        event = _ScheduledEvent(time, next(self._sequence), callback, label)
+        heapq.heappush(self._heap, (time, event.sequence, event))
         return EventHandle(event, self)
 
     def schedule_in(
@@ -161,14 +200,17 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule event {label!r} with negative delay {delay!r}"
             )
-        return self.schedule_at(self.clock.now + delay, callback, label)
+        # A NaN delay passes the check above (NaN < 0 is false) but turns
+        # the absolute time non-finite, which schedule_at rejects.
+        return self.schedule_at(self.clock._now + delay, callback, label)
 
     # ------------------------------------------------------------------
     # heap hygiene
     # ------------------------------------------------------------------
     def _discard(self, event: _ScheduledEvent) -> None:
-        """Bookkeeping for an event that just left the heap."""
+        """Bookkeeping for an event that just left the heap unexecuted."""
         event.done = True
+        event.callback = None
         if event.cancelled:
             self._cancelled_on_heap -= 1
 
@@ -190,7 +232,18 @@ class Simulator:
             return
         if self._cancelled_on_heap * 2 <= len(self._heap):
             return
-        self._heap = [event for event in self._heap if not event.cancelled]
+        survivors: List[_HeapEntry] = []
+        for entry in self._heap:
+            event = entry[2]
+            if event.cancelled:
+                event.done = True
+            else:
+                survivors.append(entry)
+        # In-place replacement, NOT rebinding: run() holds a local alias
+        # to this list while callbacks execute, and a callback that
+        # cancels enough events lands here mid-run.  Rebinding would
+        # leave the loop draining the stale pre-compaction list.
+        self._heap[:] = survivors
         heapq.heapify(self._heap)
         self._cancelled_on_heap = 0
 
@@ -228,48 +281,68 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        # Local bindings keep the per-event loop free of repeated
+        # attribute lookups; this loop runs once per simulated event.
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
                 if max_events is not None and executed_this_run >= max_events:
                     break
-                event = self._heap[0]
+                entry = heap[0]
+                event = entry[2]
                 if event.cancelled:
-                    self._discard(heapq.heappop(self._heap))
+                    heappop(heap)
+                    self._discard(event)
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                self._discard(heapq.heappop(self._heap))
-                self.clock.advance(event.time)
-                event.callback()
+                heappop(heap)
+                event.done = True
+                callback = event.callback
+                event.callback = None
+                # Heap order plus the schedule_at guard make `time`
+                # monotonically non-decreasing, so the clock's own
+                # monotonicity check is redundant here.
+                clock._now = time
+                callback()
                 self._events_executed += 1
                 executed_this_run += 1
             # Honour `run(until=T) == T` whenever no live event remains
             # at or before the horizon, regardless of why the loop ended
             # (heap drained, next event past the horizon, `max_events`
             # exhausted, or `stop()` after the last pre-horizon event).
-            if until is not None and until > self.clock.now:
+            if until is not None and until > clock._now:
                 next_time = self.peek_next_time()
                 if next_time is None or next_time > until:
-                    self.clock.advance(until)
+                    clock.advance(until)
         finally:
             self._running = False
-        return self.clock.now
+        return clock._now
 
     def step(self) -> bool:
         """Execute exactly one pending event.
 
         Returns ``True`` if an event was executed, ``False`` if the heap
-        is empty (cancelled events are discarded silently).
+        is empty.  Cancelled events are discarded silently, through the
+        same :meth:`_discard` bookkeeping as the main loop, so stepping
+        over them keeps the compaction counter exact.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            self._discard(event)
+            entry = heapq.heappop(self._heap)
+            event = entry[2]
             if event.cancelled:
+                self._discard(event)
                 continue
-            self.clock.advance(event.time)
-            event.callback()
+            event.done = True
+            callback = event.callback
+            event.callback = None
+            self.clock._now = entry[0]
+            callback()
             self._events_executed += 1
             return True
         return False
@@ -280,17 +353,20 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if none are pending."""
-        while self._heap and self._heap[0].cancelled:
-            self._discard(heapq.heappop(self._heap))
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            self._discard(heapq.heappop(heap)[2])
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def drain(self) -> int:
         """Discard all pending events; returns how many were discarded."""
         count = 0
-        for event in self._heap:
+        for entry in self._heap:
+            event = entry[2]
             event.done = True
+            event.callback = None
             if not event.cancelled:
                 count += 1
         self._heap.clear()

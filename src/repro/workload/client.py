@@ -36,9 +36,13 @@ from repro.workload.trace import Trace
 REQUEST_PAYLOAD_SIZE = 400
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestOutcome:
-    """Client-side record of one query's fate."""
+    """Client-side record of one query's fate.
+
+    Slotted: one is allocated per query of a replay and held until the
+    collector is exported.
+    """
 
     request_id: int
     kind: str
@@ -69,7 +73,7 @@ class OutcomeSink(Protocol):
         """Store one finished (or failed) query."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingQuery:
     """In-flight client state for one query."""
 
@@ -140,13 +144,20 @@ class TrafficGeneratorNode(NetworkNode):
     # trace replay
     # ------------------------------------------------------------------
     def schedule_trace(self, trace: Trace) -> None:
-        """Schedule every request of ``trace`` at its arrival time."""
+        """Schedule every request of ``trace`` at its arrival time.
+
+        Arrival events share one constant label: formatting a
+        per-request label here would cost one f-string per query of the
+        whole replay, and the scheduled callback already identifies the
+        request when diagnostics need it.
+        """
         now = self.simulator.now
+        schedule_at = self.simulator.schedule_at
         for request in trace:
-            self.simulator.schedule_at(
+            schedule_at(
                 now + request.arrival_time,
                 self._make_starter(request),
-                label=f"arrival-{request.request_id}",
+                label="arrival",
             )
 
     def _make_starter(self, request: Request) -> Callable[[], None]:
@@ -221,12 +232,12 @@ class TrafficGeneratorNode(NetworkNode):
             self.simulator.schedule_in(
                 chunk * interval,
                 lambda: self._send_upload_probe(request_id),
-                label=f"upload-{request_id}",
+                label="upload",
             )
         self.simulator.schedule_in(
             self.request_spread,
             lambda: self._finish_upload(request_id),
-            label=f"upload-final-{request_id}",
+            label="upload-final",
         )
 
     def _send_upload_probe(self, request_id: int) -> None:

@@ -1,0 +1,111 @@
+"""Doc-vs-harness consistency: ``docs/performance.md`` must match reality.
+
+Same spirit as ``test_docs_cli.py``: the performance page documents the
+perf harness (`make perf`, `BENCH_PERF.json`, the benchmark cells), so
+these tests introspect the Makefile, the benchmark driver and the
+committed trajectory file and fail when the documentation drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOC_PATH = REPO_ROOT / "docs" / "performance.md"
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_hotpath.py"
+REPORT_PATH = REPO_ROOT / "BENCH_PERF.json"
+
+#: The perf cells the harness defines; the doc must describe every one.
+PERF_CELLS = ("poisson-high-load", "wikipedia-slice", "resilience-churn")
+
+#: Record slots kept per (profile, cell) in BENCH_PERF.json.
+PERF_SLOTS = ("pre_pr", "baseline", "latest")
+
+
+@pytest.fixture(scope="module")
+def doc_text() -> str:
+    assert DOC_PATH.exists(), f"missing performance documentation: {DOC_PATH}"
+    return DOC_PATH.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def makefile_text() -> str:
+    return (REPO_ROOT / "Makefile").read_text(encoding="utf-8")
+
+
+def test_documented_make_targets_exist(doc_text, makefile_text):
+    for target in re.findall(r"`make ([a-z-]+)`", doc_text):
+        assert re.search(rf"^{re.escape(target)}:", makefile_text, re.M), (
+            f"docs/performance.md mentions `make {target}`, which is not "
+            "a Makefile target"
+        )
+
+
+def test_perf_targets_are_documented(doc_text):
+    for target in ("make perf", "make perf-smoke"):
+        assert f"`{target}`" in doc_text
+
+
+def test_every_perf_cell_is_documented(doc_text):
+    bench_text = BENCH_PATH.read_text(encoding="utf-8")
+    for cell in PERF_CELLS:
+        assert f'"{cell}"' in bench_text, (
+            f"cell {cell!r} is not defined by benchmarks/bench_perf_hotpath.py"
+        )
+        assert f"`{cell}`" in doc_text, (
+            f"perf cell {cell!r} is not documented in docs/performance.md"
+        )
+
+
+def test_doc_mentions_no_stale_cell(doc_text):
+    """Cells named in the doc's table must exist in the harness."""
+    bench_text = BENCH_PATH.read_text(encoding="utf-8")
+    for line in doc_text.splitlines():
+        match = re.match(r"\| `([a-z0-9-]+)` \|", line)
+        if match:
+            cell = match.group(1)
+            assert f'"{cell}"' in bench_text, (
+                f"docs/performance.md documents cell {cell!r}, which the "
+                "perf harness does not define"
+            )
+
+
+def test_bench_perf_json_is_committed_with_baseline_and_methodology():
+    assert REPORT_PATH.exists(), (
+        "BENCH_PERF.json must be committed (run `make perf` and "
+        "`benchmarks/bench_perf_hotpath.py --write baseline`)"
+    )
+    data = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    assert data.get("metric") == "events_per_sec"
+    assert data.get("methodology"), "BENCH_PERF.json must describe its methodology"
+    profiles = data.get("profiles", {})
+    for profile in ("full", "smoke"):
+        assert profile in profiles, f"BENCH_PERF.json lacks the {profile!r} profile"
+        for cell in PERF_CELLS:
+            records = profiles[profile].get(cell, {})
+            assert "baseline" in records, (
+                f"BENCH_PERF.json lacks a committed baseline for "
+                f"({profile}, {cell})"
+            )
+            for slot, record in records.items():
+                assert slot in PERF_SLOTS
+                assert record["events_per_sec"] > 0
+
+
+def test_doc_documents_every_slot(doc_text):
+    for slot in PERF_SLOTS:
+        assert f"`{slot}`" in doc_text, (
+            f"BENCH_PERF.json slot {slot!r} is not documented in "
+            "docs/performance.md"
+        )
+
+
+def test_readme_has_a_performance_section():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "## Performance" in readme
+    assert "BENCH_PERF.json" in readme
+    assert "docs/performance.md" in readme

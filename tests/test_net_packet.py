@@ -179,3 +179,86 @@ class TestPacket:
         text = packet.describe()
         assert "SYN" in text
         assert "fd00:200::1" in text
+
+
+def _fresh_flow_key(packet: Packet) -> FlowKey:
+    """Compute the flow key from first principles, bypassing the cache."""
+    return FlowKey(
+        src_address=packet.src,
+        src_port=packet.tcp.src_port,
+        dst_address=packet.final_destination,
+        dst_port=packet.tcp.dst_port,
+    )
+
+
+class TestFlowKeyCache:
+    """``Packet.flow_key()`` is cached; every sanctioned mutation must
+    leave it equal to a freshly computed key."""
+
+    def _packet(self) -> Packet:
+        return make_syn(_addr("fd00:200::1"), _addr("fd00:300::1"), 1234, 80)
+
+    def _srh(self) -> SegmentRoutingHeader:
+        return SegmentRoutingHeader.from_traversal(
+            [_addr("fd00:100::1"), _addr("fd00:100::2"), _addr("fd00:300::1")]
+        )
+
+    def test_repeated_calls_return_the_same_object(self):
+        packet = self._packet()
+        assert packet.flow_key() is packet.flow_key()
+
+    def test_attach_srh_invalidates(self):
+        packet = self._packet()
+        before = packet.flow_key()
+        packet.attach_srh(
+            SegmentRoutingHeader.from_traversal(
+                [_addr("fd00:100::1"), _addr("fd00:300::2")]
+            )
+        )
+        assert packet.flow_key() == _fresh_flow_key(packet)
+        assert packet.flow_key().dst_address == _addr("fd00:300::2")
+        assert packet.flow_key() != before
+
+    def test_advance_and_set_segments_left_preserve_the_key(self):
+        packet = self._packet()
+        packet.attach_srh(self._srh())
+        key = packet.flow_key()
+        packet.advance_srh()
+        assert packet.flow_key() == _fresh_flow_key(packet) == key
+        packet.set_segments_left(0)
+        assert packet.flow_key() == _fresh_flow_key(packet) == key
+
+    def test_detach_srh_invalidates(self):
+        packet = self._packet()
+        packet.attach_srh(self._srh())
+        assert packet.flow_key().dst_address == _addr("fd00:300::1")
+        packet.detach_srh()  # dst is now the mid-chain active segment
+        assert packet.flow_key() == _fresh_flow_key(packet)
+        assert packet.flow_key().dst_address == _addr("fd00:100::1")
+
+    def test_dst_assignment_invalidates(self):
+        packet = self._packet()
+        assert packet.flow_key().dst_address == _addr("fd00:300::1")
+        packet.dst = _addr("fd00:200::9")
+        assert packet.flow_key() == _fresh_flow_key(packet)
+        assert packet.flow_key().dst_address == _addr("fd00:200::9")
+
+    def test_copy_is_cache_independent(self):
+        packet = self._packet()
+        packet.attach_srh(self._srh())
+        packet.flow_key()  # warm the cache before copying
+        clone = packet.copy()
+        assert clone.flow_key() == _fresh_flow_key(clone)
+        # Mutating the original must not leak into the clone's key.
+        packet.detach_srh()
+        packet.dst = _addr("fd00:200::9")
+        assert clone.flow_key() == _fresh_flow_key(clone)
+        assert clone.flow_key().dst_address == _addr("fd00:300::1")
+        assert packet.flow_key().dst_address == _addr("fd00:200::9")
+
+    def test_copy_without_warm_cache_computes_its_own_key(self):
+        packet = self._packet()
+        clone = packet.copy()
+        packet.dst = _addr("fd00:200::9")
+        assert clone.flow_key() == _fresh_flow_key(clone)
+        assert clone.flow_key().dst_address == _addr("fd00:300::1")

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.addressing import IPv6Address
+from repro.net.packet import FlowKey, Packet, TCPSegment
 from repro.net.srh import SegmentRoutingHeader
 from repro.sim.engine import Simulator
 
@@ -128,3 +129,86 @@ def test_srh_segments_left_is_monotonically_non_increasing(path, data):
             srh.advance()
             previous = srh.segments_left
     assert srh.active_segment == path[-1] or srh.segments_left == 0
+
+
+# ----------------------------------------------------------------------
+# packet flow-key cache
+# ----------------------------------------------------------------------
+def _fresh_flow_key(packet: Packet) -> FlowKey:
+    """The flow key computed from first principles, bypassing the cache."""
+    return FlowKey(
+        src_address=packet.src,
+        src_port=packet.tcp.src_port,
+        dst_address=packet.final_destination,
+        dst_port=packet.tcp.dst_port,
+    )
+
+
+#: Op codes for the random SRH-mutation walk below.
+_FLOW_KEY_OPS = st.lists(
+    st.sampled_from(["attach", "advance", "detach", "set_left", "assign_dst"]),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(ops=_FLOW_KEY_OPS, path=segment_lists, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_flow_key_cache_matches_fresh_computation_under_any_mutation(
+    ops, path, data
+):
+    """`packet.flow_key()` after any sequence of sanctioned mutations
+    must equal the key computed fresh from the packet's current state."""
+    src = IPv6Address(1)
+    dst = IPv6Address(2)
+    packet = Packet(src=src, dst=dst, tcp=TCPSegment(src_port=1000, dst_port=80))
+    assert packet.flow_key() == _fresh_flow_key(packet)
+    for op in ops:
+        if op == "attach":
+            packet.attach_srh(SegmentRoutingHeader.from_traversal(path))
+        elif op == "advance":
+            if packet.srh is None or packet.srh.exhausted:
+                continue
+            packet.advance_srh()
+        elif op == "detach":
+            if packet.srh is None:
+                continue
+            packet.detach_srh()
+        elif op == "set_left":
+            if packet.srh is None:
+                continue
+            jump = data.draw(
+                st.integers(min_value=0, max_value=packet.srh.segments_left)
+            )
+            packet.set_segments_left(jump)
+        else:  # assign_dst (only meaningful without an SRH)
+            if packet.srh is not None:
+                continue
+            packet.dst = data.draw(address_values.map(IPv6Address))
+        assert packet.flow_key() == _fresh_flow_key(packet)
+        # The SRH invariant must also survive every mutation.
+        if packet.srh is not None:
+            assert packet.dst == packet.srh.active_segment
+
+
+@given(ops=_FLOW_KEY_OPS, path=segment_lists)
+@settings(max_examples=100, deadline=None)
+def test_flow_key_cache_copy_independence(ops, path):
+    """Mutating a packet never changes the key of a prior copy()."""
+    packet = Packet(
+        src=IPv6Address(1),
+        dst=IPv6Address(2),
+        tcp=TCPSegment(src_port=1000, dst_port=80),
+    )
+    packet.attach_srh(SegmentRoutingHeader.from_traversal(path))
+    packet.flow_key()  # warm the cache so the copy inherits it
+    clone = packet.copy()
+    expected = _fresh_flow_key(clone)
+    for op in ops:
+        if op == "advance" and packet.srh is not None and not packet.srh.exhausted:
+            packet.advance_srh()
+        elif op == "detach" and packet.srh is not None:
+            packet.detach_srh()
+        elif op == "attach":
+            packet.attach_srh(SegmentRoutingHeader.from_traversal(path))
+    assert clone.flow_key() == expected == _fresh_flow_key(clone)

@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event simulation engine."""
 
+import math
+
 import pytest
 
 from repro.errors import SchedulingError, SimulationError
@@ -57,6 +59,43 @@ class TestScheduling:
         simulator.schedule_at(1.0, outer)
         simulator.run()
         assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestNonFiniteTimes:
+    """NaN (and infinities) must be rejected at scheduling time.
+
+    Regression: ``NaN < now`` is false, so a NaN timestamp used to slip
+    past the before-now guard and corrupt heap ordering for every event
+    sifted past it.
+    """
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_schedule_at_rejects_non_finite_times(self, simulator, bad):
+        with pytest.raises(SchedulingError):
+            simulator.schedule_at(bad, lambda: None)
+        assert simulator.pending_events == 0
+
+    def test_schedule_in_rejects_nan_delay(self, simulator):
+        with pytest.raises(SchedulingError):
+            simulator.schedule_in(math.nan, lambda: None)
+        assert simulator.pending_events == 0
+
+    def test_schedule_in_rejects_infinite_delay(self, simulator):
+        with pytest.raises(SchedulingError):
+            simulator.schedule_in(math.inf, lambda: None)
+
+    def test_nan_never_corrupts_ordering_of_later_events(self, simulator):
+        fired = []
+        simulator.schedule_at(2.0, lambda: fired.append(2))
+        with pytest.raises(SchedulingError):
+            simulator.schedule_at(math.nan, lambda: fired.append("nan"))
+        simulator.schedule_at(1.0, lambda: fired.append(1))
+        simulator.run()
+        assert fired == [1, 2]
+
+    def test_large_finite_times_still_accepted(self, simulator):
+        handle = simulator.schedule_at(1e300, lambda: None)
+        assert handle.time == 1e300
 
 
 class TestRunControl:
@@ -294,3 +333,119 @@ class TestHeapCompaction:
             handle.cancel()
             handle.cancel()
         assert simulator._cancelled_on_heap == 5
+
+    def test_step_discards_cancelled_through_discard_bookkeeping(self, simulator):
+        """Regression: stepping over cancelled entries must keep the
+        cancelled-on-heap counter exact, so a later ``cancel()`` +
+        ``_maybe_compact_heap()`` pairing neither compacts too early nor
+        leaves the counter stale (or negative)."""
+        fired = []
+        cancelled = [simulator.schedule_at(1.0, lambda: None) for _ in range(3)]
+        live = simulator.schedule_at(2.0, lambda: fired.append("live"))
+        for handle in cancelled:
+            handle.cancel()
+        assert simulator._cancelled_on_heap == 3
+        # The single step skips all three cancelled entries, executes the
+        # live one, and the counter reflects every discard.
+        assert simulator.step() is True
+        assert fired == ["live"]
+        assert simulator._cancelled_on_heap == 0
+        assert simulator.pending_events == 0
+        assert not live.cancelled
+        # A fresh cancel/step cycle keeps the counter consistent: it can
+        # never go negative, which would disable compaction forever.
+        again = simulator.schedule_at(3.0, lambda: None)
+        again.cancel()
+        assert simulator._cancelled_on_heap == 1
+        assert simulator.step() is False  # only the cancelled event is left
+        assert simulator._cancelled_on_heap == 0
+        simulator._maybe_compact_heap()
+        assert simulator._cancelled_on_heap == 0
+        assert simulator.pending_events == 0
+
+    def test_step_then_mass_cancel_still_triggers_compaction(self, simulator):
+        """cancel()/step()/_maybe_compact_heap() interplay at scale."""
+        handles = [
+            simulator.schedule_at(float(index + 1), lambda: None)
+            for index in range(200)
+        ]
+        # Step over a cancelled head entry first.
+        handles[0].cancel()
+        handles_alive = handles[1:]
+        assert simulator.step() is True  # discards #0, executes #1
+        # Cancel enough of the rest to cross the compaction threshold.
+        for handle in handles_alive[1:180]:
+            handle.cancel()
+        # Compaction kicked in: the heap holds fewer entries than were
+        # scheduled, and the counter exactly matches the cancelled
+        # entries still on the heap (the invariant compaction relies on).
+        assert simulator.pending_events < 199
+        assert simulator._cancelled_on_heap == sum(
+            1 for entry in simulator._heap if entry[2].cancelled
+        )
+        fired = []
+        for index, handle in enumerate(handles_alive[180:]):
+            handle._event.callback = lambda i=index: fired.append(i)
+        simulator.run()
+        assert fired == list(range(len(handles_alive[180:])))
+
+
+    def test_compaction_from_inside_a_running_callback(self, simulator):
+        """Regression: a callback that cancels enough events to trigger
+        compaction mid-run must not strand the run loop on a stale heap.
+
+        Compaction used to rebind ``self._heap`` while ``run()`` held a
+        local alias, so events scheduled after the compaction never
+        fired, the cancelled counter went negative, and already-executed
+        entries were popped again on the next run."""
+        fired = []
+        handles = []
+
+        def cancel_most_then_schedule():
+            for handle in handles[10:]:
+                handle.cancel()  # 190 of 200: crosses the >half threshold
+            simulator.schedule_at(500.0, lambda: fired.append("late"))
+
+        simulator.schedule_at(0.5, cancel_most_then_schedule)
+        for index in range(200):
+            handles.append(
+                simulator.schedule_at(
+                    float(index + 1), lambda i=index: fired.append(i)
+                )
+            )
+        simulator.run()
+        # The 10 surviving early events and the post-compaction event
+        # all fired, in order.
+        assert fired == list(range(10)) + ["late"]
+        assert simulator.pending_events == 0
+        assert simulator._cancelled_on_heap == 0
+        # The simulator remains healthy afterwards (nothing stale left
+        # to pop, no dead entries with cleared callbacks).
+        simulator.schedule_at(501.0, lambda: fired.append("after"))
+        simulator.run()
+        assert fired[-1] == "after"
+
+
+class TestCallbackRelease:
+    """Events must drop their callbacks once off the heap, so handles
+    kept by components cannot pin closures for a whole replay."""
+
+    def test_executed_event_releases_callback(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        assert handle._event.callback is None
+
+    def test_cancelled_event_releases_callback_immediately(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        assert handle._event.callback is None
+
+    def test_stepped_event_releases_callback(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        assert simulator.step() is True
+        assert handle._event.callback is None
+
+    def test_drained_event_releases_callback(self, simulator):
+        handle = simulator.schedule_at(1.0, lambda: None)
+        assert simulator.drain() == 1
+        assert handle._event.callback is None
