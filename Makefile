@@ -57,7 +57,8 @@ bench-smoke:
 		benchmarks/bench_ablation_selection_scheme.py \
 		benchmarks/bench_resilience_lb_churn.py \
 		benchmarks/bench_flash_crowd.py \
-		benchmarks/bench_heterogeneous_fleet.py
+		benchmarks/bench_heterogeneous_fleet.py \
+		benchmarks/bench_autoscale.py
 
 # The same Figure-2 smoke sweep, fanned out over 2 worker processes:
 # a cheap end-to-end signal that the parallel sweep runner still works

@@ -34,9 +34,14 @@ Installed as the ``srlb-repro`` console script (also runnable as
     response times plus how accepted queries split between the tiers
     relative to capacity.
 
+``autoscale``
+    Replay a diurnal (sinusoid-plus-noise) workload under static,
+    reactive and predictive provisioning and print capacity-seconds
+    against the p99 SLO, plus the fleet-size trajectory.
+
 ``scenarios``
     List every scenario family registered in
-    :mod:`repro.experiments.registry`.
+    :mod:`repro.experiments.registry` (``--json`` for tooling).
 
 Most commands accept ``--servers`` / ``--workers`` / ``--cores`` to
 resize the simulated testbed; defaults match the paper's platform.
@@ -60,6 +65,7 @@ from repro.experiments.calibration import (
 from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
     LIGHT_LOAD_FACTOR,
+    AutoscaleConfig,
     ChurnEvent,
     FlashCrowdConfig,
     HeterogeneousFleetConfig,
@@ -74,6 +80,7 @@ from repro.experiments.config import (
     srdyn_policy,
 )
 from repro.experiments import figures, registry
+from repro.experiments.autoscale_experiment import run_autoscale
 from repro.experiments.flash_crowd_experiment import run_flash_crowd
 from repro.experiments.heterogeneous_experiment import run_heterogeneous_fleet
 from repro.experiments.poisson_experiment import PoissonSweep
@@ -383,7 +390,43 @@ def _command_heterogeneous_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_autoscale(args: argparse.Namespace) -> int:
+    config = AutoscaleConfig(
+        workers_per_server=args.workers,
+        cores_per_server=args.cores,
+        seed=args.seed,
+        min_servers=args.min_servers,
+        max_servers=args.max_servers,
+        mean_load=args.mean_load,
+        load_amplitude=args.load_amplitude,
+        period=args.period,
+        duration=args.duration,
+        slo_p99=args.slo_p99,
+        modes=tuple(dict.fromkeys(args.mode or ["static", "reactive", "predictive"])),
+    )
+    if args.time_factor != 1.0:
+        config = config.scaled(args.time_factor)
+    result = run_autoscale(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("autoscale", result))
+    return 0
+
+
 def _command_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    if args.json:
+        catalogue = [
+            {
+                "name": spec.name,
+                "description": spec.title,
+                "cells": [
+                    str(cell.key) for cell in spec.cells(spec.default_config())
+                ],
+            }
+            for spec in registry.specs()
+        ]
+        print(json.dumps(catalogue, indent=2))
+        return 0
     rows = [[spec.name, spec.title] for spec in registry.specs()]
     print(
         format_table(
@@ -569,8 +612,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(heterogeneous)
     heterogeneous.set_defaults(handler=_command_heterogeneous_fleet)
 
+    autoscale = subparsers.add_parser(
+        "autoscale",
+        help="compare static vs elastic provisioning under a diurnal load",
+    )
+    autoscale.add_argument(
+        "--workers", type=int, default=32, help="Apache workers per server"
+    )
+    autoscale.add_argument(
+        "--cores", type=int, default=2, help="CPU cores per server"
+    )
+    autoscale.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
+    autoscale.add_argument(
+        "--min-servers", type=int, default=4, help="elastic fleet floor"
+    )
+    autoscale.add_argument(
+        "--max-servers",
+        type=int,
+        default=12,
+        help="elastic fleet ceiling (and the static fleet's size)",
+    )
+    autoscale.add_argument(
+        "--mean-load",
+        type=float,
+        default=0.5,
+        help="day-average load as a fraction of the max fleet's capacity",
+    )
+    autoscale.add_argument(
+        "--load-amplitude",
+        type=float,
+        default=0.3,
+        help="peak-to-mean swing of the diurnal sinusoid",
+    )
+    autoscale.add_argument(
+        "--period", type=float, default=240.0, help="compressed day length, seconds"
+    )
+    autoscale.add_argument(
+        "--duration", type=float, default=480.0, help="total schedule length, seconds"
+    )
+    autoscale.add_argument(
+        "--slo-p99", type=float, default=1.5, help="p99 response-time target, seconds"
+    )
+    autoscale.add_argument(
+        "--mode",
+        action="append",
+        help="provisioning mode (static, reactive, predictive); repeatable; "
+        "default all three",
+    )
+    autoscale.add_argument(
+        "--time-factor",
+        type=float,
+        default=1.0,
+        help="compress the day and every control-plane clock by this factor",
+    )
+    _add_jobs_argument(autoscale)
+    autoscale.set_defaults(handler=_command_autoscale)
+
     scenarios = subparsers.add_parser(
         "scenarios", help="list every registered scenario family"
+    )
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable catalogue (name, description, cell keys)",
     )
     scenarios.set_defaults(handler=_command_scenarios)
 

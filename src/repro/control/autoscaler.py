@@ -1,0 +1,195 @@
+"""The autoscaler: monitor → policy → lifecycle, once per control tick.
+
+One periodic loop ties the control plane together: sample the serving
+fleet through the :class:`~repro.control.monitor.FleetMonitor`, ask the
+:class:`~repro.control.policy.ScalingPolicy` for a desired capacity
+step, and — subject to fleet-size bounds and a cooldown — apply it
+through the :class:`~repro.control.lifecycle.ServerLifecycle`.  Every
+applied action is recorded as a
+:class:`~repro.metrics.capacity.ScalingEvent` on the lifecycle's
+capacity tracker, so cost and churn are first-class outputs of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.lifecycle import ServerLifecycle
+from repro.control.monitor import FleetMonitor, FleetSample
+from repro.control.policy import ScalingPolicy
+from repro.errors import ExperimentError
+from repro.metrics.capacity import ScalingEvent
+from repro.sim.engine import PeriodicTask
+
+
+class Autoscaler:
+    """Periodic control loop growing and shrinking the server fleet.
+
+    Parameters
+    ----------
+    lifecycle:
+        The state machine (and, through it, the testbed) actions are
+        applied to.
+    monitor:
+        Fleet sampler providing the smoothed control signal.
+    policy:
+        Scaling policy mapping samples to desired steps.
+    min_servers / max_servers:
+        Inclusive bounds on the *committed* fleet size (provisioning +
+        warming + active; draining servers are already on their way out
+        and do not count).
+    interval:
+        Control-tick period, in seconds.
+    scale_up_cooldown / scale_down_cooldown:
+        Minimum time after *any* applied action before the next scale-up
+        (resp. scale-down).  The asymmetry is deliberate and standard: a
+        climbing ramp needs capacity ordered back-to-back (short up
+        cooldown), while scale-downs must wait out the signal dilution
+        the previous action caused (long down cooldown) or the fleet
+        cascades to the floor.
+    """
+
+    def __init__(
+        self,
+        lifecycle: ServerLifecycle,
+        monitor: FleetMonitor,
+        policy: ScalingPolicy,
+        min_servers: int,
+        max_servers: int,
+        interval: float = 1.0,
+        scale_up_cooldown: float = 4.0,
+        scale_down_cooldown: float = 15.0,
+    ) -> None:
+        if min_servers < 1:
+            raise ExperimentError(
+                f"min_servers must be at least 1, got {min_servers!r}"
+            )
+        if max_servers < min_servers:
+            raise ExperimentError(
+                f"max_servers ({max_servers!r}) must be >= min_servers "
+                f"({min_servers!r})"
+            )
+        if interval <= 0:
+            raise ExperimentError(f"interval must be positive, got {interval!r}")
+        for name, value in (
+            ("scale_up_cooldown", scale_up_cooldown),
+            ("scale_down_cooldown", scale_down_cooldown),
+        ):
+            if value < 0:
+                raise ExperimentError(
+                    f"{name} must be non-negative, got {value!r}"
+                )
+        self.lifecycle = lifecycle
+        self.monitor = monitor
+        self.policy = policy
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.interval = interval
+        self.scale_up_cooldown = scale_up_cooldown
+        self.scale_down_cooldown = scale_down_cooldown
+        self.simulator = lifecycle.simulator
+        self.ticks = 0
+        #: Desired steps vetoed by bounds or cooldown (observability).
+        self.suppressed_actions = 0
+        self._last_action_at: Optional[float] = None
+        self._task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------
+    # loop management
+    # ------------------------------------------------------------------
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Start ticking (first tick after ``first_delay``, default one interval)."""
+        if self._task is not None and self._task.active:
+            return
+        self._task = PeriodicTask(
+            simulator=self.simulator,
+            interval=self.interval,
+            callback=self.tick,
+            label="autoscaler-tick",
+        )
+        self._task.start(first_delay=first_delay)
+
+    def stop(self) -> None:
+        """Stop the control loop (in-progress drains still complete)."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the control loop is currently ticking."""
+        return self._task is not None and self._task.active
+
+    # ------------------------------------------------------------------
+    # one control tick
+    # ------------------------------------------------------------------
+    def tick(self) -> Optional[FleetSample]:
+        """Sample, decide, and (maybe) act; returns the sample taken."""
+        self.ticks += 1
+        serving = self.lifecycle.serving_nodes()
+        sample = self.monitor.observe(self.simulator.now, serving)
+        step = self.policy.desired_step(sample)
+        if step == 0:
+            return sample
+        cooldown = (
+            self.scale_up_cooldown if step > 0 else self.scale_down_cooldown
+        )
+        if self._in_cooldown(cooldown):
+            self.suppressed_actions += 1
+            return sample
+        if step > 0:
+            self._scale_up(sample)
+        else:
+            self._scale_down(sample)
+        return sample
+
+    def _in_cooldown(self, cooldown: float) -> bool:
+        return (
+            self._last_action_at is not None
+            and self.simulator.now - self._last_action_at < cooldown
+        )
+
+    def _scale_up(self, sample: FleetSample) -> None:
+        committed = self.lifecycle.committed_count()
+        if committed >= self.max_servers:
+            self.suppressed_actions += 1
+            return
+        self.lifecycle.provision()
+        self._record_action("scale-up", sample, committed, committed + 1)
+
+    def _scale_down(self, sample: FleetSample) -> None:
+        committed = self.lifecycle.committed_count()
+        victims = self.lifecycle.drainable()
+        # Bound on the *serving* fleet as well as the committed one: a
+        # PROVISIONING server counts toward committed but is not in any
+        # backend pool yet, so a drain while it boots could shrink the
+        # pool below min_servers — and min_servers is what guarantees
+        # candidate selection stays satisfiable (the config requires
+        # min_servers >= num_candidates).
+        serving = len(self.lifecycle.serving_nodes())
+        if committed <= self.min_servers or serving <= self.min_servers or not victims:
+            self.suppressed_actions += 1
+            return
+        self.lifecycle.drain(victims[0])
+        self._record_action("scale-down", sample, committed, committed - 1)
+
+    def _record_action(
+        self, action: str, sample: FleetSample, before: int, after: int
+    ) -> None:
+        self._last_action_at = self.simulator.now
+        self.lifecycle.capacity.record_event(
+            ScalingEvent(
+                time=self.simulator.now,
+                action=action,
+                signal=sample.smoothed_busy_fraction,
+                servers_before=before,
+                servers_after=after,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Autoscaler(policy={self.policy.name!r}, "
+            f"bounds=[{self.min_servers}, {self.max_servers}], "
+            f"ticks={self.ticks})"
+        )

@@ -1,0 +1,305 @@
+"""Server lifecycle: provisioning, warm-up, graceful drain, detach.
+
+Scaling a fleet is not instantaneous, and the interesting control-plane
+dynamics live exactly in the transitions the instantaneous model skips:
+
+* **provisioning delay** — a scale-up decision buys capacity that only
+  arrives ``provisioning_delay`` seconds later (VM boot, image pull);
+* **warm-up** — a fresh server joins the rotation at a reduced CPU
+  ``speed`` (cold caches, JIT) and reaches nominal speed after
+  ``warmup_duration`` seconds;
+* **graceful drain** — a scale-down removes the server from every load
+  balancer's candidate pool and flips the Service Hunting layer to
+  refuse optional offers, but in-flight flows keep their steering
+  entries and finish normally; the server detaches only once quiescent.
+
+:class:`ServerLifecycle` drives these transitions over a
+:class:`~repro.experiments.platform.Testbed` and charges every second a
+server is provisioned — transitions included — to a
+:class:`~repro.metrics.capacity.CapacityTracker`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import ExperimentError
+from repro.metrics.capacity import CapacityTracker
+from repro.server.virtual_router import ServerNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Annotation-only: repro.control sits *above* repro.experiments in
+    # the layering table, so it must not import it at runtime.  The
+    # lifecycle only needs the testbed's add_server/retire_server/
+    # simulator/config/servers surface, which any platform offering
+    # those attributes satisfies.
+    from repro.experiments.platform import Testbed
+
+
+class ServerState(enum.Enum):
+    """Where a managed server is in its life."""
+
+    #: Capacity ordered but not yet online (boot/image-pull window).
+    PROVISIONING = "provisioning"
+    #: In rotation at reduced CPU speed (cold caches).
+    WARMING = "warming"
+    #: In rotation at nominal speed.
+    ACTIVE = "active"
+    #: Out of every candidate pool, finishing its in-flight flows.
+    DRAINING = "draining"
+    #: Fully retired; no longer paid for.
+    DETACHED = "detached"
+
+
+@dataclass
+class ManagedServer:
+    """Lifecycle record of one server (provisioned or adopted)."""
+
+    label: str
+    state: ServerState
+    nominal_speed: float
+    provisioned_at: float
+    node: Optional[ServerNode] = None
+    serving_since: Optional[float] = None
+    drain_started_at: Optional[float] = None
+    detached_at: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        """The server's node name once online, else the pending label."""
+        return self.node.name if self.node is not None else self.label
+
+
+#: States that count toward committed (paid-for, non-exiting) capacity.
+_COMMITTED = (ServerState.PROVISIONING, ServerState.WARMING, ServerState.ACTIVE)
+#: States in which the server receives new flows.
+_SERVING = (ServerState.WARMING, ServerState.ACTIVE)
+
+
+class ServerLifecycle:
+    """Walks servers through the elastic state machine over one testbed.
+
+    Parameters
+    ----------
+    testbed:
+        The platform whose fleet is managed; its
+        :meth:`~repro.experiments.platform.Testbed.add_server` /
+        :meth:`~repro.experiments.platform.Testbed.retire_server` hooks
+        do the data-plane reprogramming.
+    capacity:
+        Capacity-seconds sink; created fresh when not given.
+    provisioning_delay:
+        Seconds between a scale-up decision and the server coming online.
+    warmup_duration:
+        Seconds a fresh server spends at reduced speed (0 skips warm-up).
+    warmup_speed:
+        CPU speed multiplier during warm-up, relative to nominal.
+    drain_check_interval:
+        How often a draining server is polled for quiescence.
+    """
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        capacity: Optional[CapacityTracker] = None,
+        provisioning_delay: float = 5.0,
+        warmup_duration: float = 5.0,
+        warmup_speed: float = 0.5,
+        drain_check_interval: float = 0.5,
+    ) -> None:
+        if provisioning_delay < 0:
+            raise ExperimentError(
+                f"provisioning_delay must be non-negative, got {provisioning_delay!r}"
+            )
+        if warmup_duration < 0:
+            raise ExperimentError(
+                f"warmup_duration must be non-negative, got {warmup_duration!r}"
+            )
+        if not 0 < warmup_speed <= 1:
+            raise ExperimentError(
+                f"warmup_speed must be in (0, 1], got {warmup_speed!r}"
+            )
+        if drain_check_interval <= 0:
+            raise ExperimentError(
+                f"drain_check_interval must be positive, got {drain_check_interval!r}"
+            )
+        self.testbed = testbed
+        self.simulator = testbed.simulator
+        self.provisioning_delay = provisioning_delay
+        self.warmup_duration = warmup_duration
+        self.warmup_speed = warmup_speed
+        self.drain_check_interval = drain_check_interval
+        now = self.simulator.now
+        self.capacity = (
+            capacity if capacity is not None else CapacityTracker(start_time=now)
+        )
+        self.records: List[ManagedServer] = []
+        self._provision_counter = 0
+        # Adopt the testbed's initial fleet as ACTIVE members.
+        for server in testbed.servers:
+            self.records.append(
+                ManagedServer(
+                    label=server.name,
+                    state=ServerState.ACTIVE,
+                    nominal_speed=server.app.cpu.speed,
+                    provisioned_at=now,
+                    node=server,
+                    serving_since=now,
+                )
+            )
+        self._record_capacity()
+
+    # ------------------------------------------------------------------
+    # capacity accounting
+    # ------------------------------------------------------------------
+    def provisioned_capacity(self) -> float:
+        """Speed-weighted cores currently paid for (everything not detached)."""
+        cores = self.testbed.config.cores_per_server
+        return float(
+            sum(
+                cores * record.nominal_speed
+                for record in self.records
+                if record.state is not ServerState.DETACHED
+            )
+        )
+
+    def _record_capacity(self) -> None:
+        self.capacity.record(self.simulator.now, self.provisioned_capacity())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def committed_count(self) -> int:
+        """Servers paid for and not on their way out."""
+        return sum(1 for record in self.records if record.state in _COMMITTED)
+
+    def serving_nodes(self) -> List[ServerNode]:
+        """Nodes currently in rotation (warming or active)."""
+        return [
+            record.node
+            for record in self.records
+            if record.state in _SERVING and record.node is not None
+        ]
+
+    def in_state(self, state: ServerState) -> List[ManagedServer]:
+        """Records currently in ``state``."""
+        return [record for record in self.records if record.state is state]
+
+    def record_for(self, name: str) -> ManagedServer:
+        """The lifecycle record of one server (loud when unknown)."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise ExperimentError(f"no lifecycle record for server {name!r}")
+
+    # ------------------------------------------------------------------
+    # scale-up path
+    # ------------------------------------------------------------------
+    def provision(self, speed: float = 1.0) -> ManagedServer:
+        """Order one server; it joins the rotation after the boot delay."""
+        self._provision_counter += 1
+        record = ManagedServer(
+            label=f"provisioning-{self._provision_counter}",
+            state=ServerState.PROVISIONING,
+            nominal_speed=speed,
+            provisioned_at=self.simulator.now,
+        )
+        self.records.append(record)
+        self._record_capacity()
+        self.simulator.schedule_in(
+            self.provisioning_delay,
+            lambda: self._bring_online(record),
+            label="server-provision",
+        )
+        return record
+
+    def _bring_online(self, record: ManagedServer) -> None:
+        """End of the boot window: attach the server, start warm-up."""
+        warm = self.warmup_duration > 0
+        initial_speed = (
+            record.nominal_speed * self.warmup_speed
+            if warm
+            else record.nominal_speed
+        )
+        record.node = self.testbed.add_server(speed=initial_speed)
+        record.serving_since = self.simulator.now
+        if warm:
+            record.state = ServerState.WARMING
+            self.simulator.schedule_in(
+                self.warmup_duration,
+                lambda: self._finish_warmup(record),
+                label="server-warmup",
+            )
+        else:
+            record.state = ServerState.ACTIVE
+
+    def _finish_warmup(self, record: ManagedServer) -> None:
+        if record.state is not ServerState.WARMING:
+            return  # drained mid-warm-up
+        record.node.app.cpu.set_speed(record.nominal_speed)
+        record.state = ServerState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # scale-down path
+    # ------------------------------------------------------------------
+    def drainable(self) -> List[ManagedServer]:
+        """Active records eligible for a drain, newest first (LIFO).
+
+        Draining the most recently added server first keeps the stable
+        core of the fleet (and its warmed caches) intact — the standard
+        scale-in order of real autoscaling groups.
+        """
+        # Records are appended in provisioning order, so reversing the
+        # active subset is newest-first even among same-instant adoptions
+        # (where a sort on provisioned_at alone would be stable-but-FIFO).
+        return list(reversed(self.in_state(ServerState.ACTIVE)))
+
+    def drain(self, record: ManagedServer) -> None:
+        """Start a graceful drain: no new flows, in-flight ones finish."""
+        if record.state not in _SERVING:
+            raise ExperimentError(
+                f"cannot drain server {record.name!r} in state {record.state.value!r}"
+            )
+        if record.node is None:  # pragma: no cover - serving implies a node
+            raise ExperimentError(f"server {record.name!r} has no node to drain")
+        # Reprogram the data plane first: retire_server can refuse (e.g.
+        # it would empty a backend pool), and a refused drain must leave
+        # the lifecycle record untouched and retryable.
+        self.testbed.retire_server(record.node)
+        record.state = ServerState.DRAINING
+        record.drain_started_at = self.simulator.now
+        # The first quiescence check waits one interval: a candidate
+        # list naming this server may still be in flight on the fabric,
+        # and its forced accept must land before "quiescent" means done.
+        self.simulator.schedule_in(
+            self.drain_check_interval,
+            lambda: self._check_drain(record),
+            label="server-drain-check",
+        )
+
+    def _check_drain(self, record: ManagedServer) -> None:
+        """Detach once quiescent; else poll again after the check interval."""
+        if record.node.quiescent:
+            record.state = ServerState.DETACHED
+            record.detached_at = self.simulator.now
+            self.capacity.record_drain(
+                record.detached_at - record.drain_started_at
+            )
+            self._record_capacity()
+            return
+        self.simulator.schedule_in(
+            self.drain_check_interval,
+            lambda: self._check_drain(record),
+            label="server-drain-check",
+        )
+
+    def __repr__(self) -> str:
+        counts = {
+            state.value: len(self.in_state(state)) for state in ServerState
+        }
+        populated = ", ".join(
+            f"{state}={count}" for state, count in counts.items() if count
+        )
+        return f"ServerLifecycle({populated})"

@@ -257,6 +257,22 @@ class LoadBalancerFleet:
         for instance in self.instances:
             instance.register_vip(vip, servers)
 
+    def add_backend(self, vip: IPv6Address, server: IPv6Address) -> None:
+        """Add a server to a VIP pool fleet-wide (elastic scale-up)."""
+        for instance in self.instances:
+            instance.add_backend(vip, server)
+
+    def remove_backend(self, vip: IPv6Address, server: IPv6Address) -> bool:
+        """Remove a server from a VIP pool fleet-wide (graceful drain).
+
+        Instances keep steering existing flows to the server through
+        their flow tables; only *new* candidate lists stop naming it.
+        """
+        removed = False
+        for instance in self.instances:
+            removed = instance.remove_backend(vip, server) or removed
+        return removed
+
     def attach(self, fabric) -> None:
         """Attach the router and every instance to the fabric.
 

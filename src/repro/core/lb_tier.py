@@ -222,6 +222,59 @@ class LoadBalancerTier:
         for instance in self.instances:
             instance.register_vip(vip, servers)
 
+    def add_backend(self, vip: IPv6Address, server: IPv6Address) -> None:
+        """Add a server to a VIP pool on every instance (elastic scale-up).
+
+        Flow-stable selectors rebuild their Maglev tables from the new
+        pool on the next selection, and the edge router's memoized
+        flow-to-instance decisions are dropped — the control plane's
+        "reprogram the data plane" step, applied tier-wide.
+        """
+        pool = self._vips.get(vip)
+        if pool is None:
+            raise LoadBalancerError(f"VIP {vip} is not registered on the tier")
+        if server not in pool:
+            pool.append(server)
+        for instance in self.instances:
+            instance.add_backend(vip, server)
+        self.router.invalidate_next_hop_cache()
+
+    def remove_backend(self, vip: IPv6Address, server: IPv6Address) -> bool:
+        """Remove a server from a VIP pool on every instance (drain).
+
+        Existing flow-table entries keep steering to the server — a
+        graceful drain relies on exactly that — but no new candidate
+        list (or stateless recovery hunt) will name it.
+        """
+        pool = self._vips.get(vip)
+        if pool is None:
+            raise LoadBalancerError(f"VIP {vip} is not registered on the tier")
+        if server not in pool:
+            return False
+        if len(pool) == 1:
+            # Validate before touching any pool: a rejected removal must
+            # leave the tier, every instance and the edge cache intact.
+            raise LoadBalancerError(
+                f"removing {server} would leave VIP {vip} with no servers"
+            )
+        for instance in self.instances:
+            # Same pre-flight check against each instance's own pool:
+            # they normally mirror the tier's, but the per-instance API
+            # is public, and a mid-loop refusal from a diverged instance
+            # must not leave the tier half-mutated.
+            instance_pool = instance.backends_for(vip)
+            if server in instance_pool and len(instance_pool) == 1:
+                raise LoadBalancerError(
+                    f"removing {server} would leave VIP {vip} with no "
+                    f"servers on instance {instance.name!r}"
+                )
+        pool.remove(server)
+        removed = False
+        for instance in self.instances:
+            removed = instance.remove_backend(vip, server) or removed
+        self.router.invalidate_next_hop_cache()
+        return removed
+
     def attach(self, fabric) -> None:
         """Attach the edge router and every instance to the fabric.
 

@@ -136,18 +136,22 @@ class LoadBalancerNode(NetworkNode):
             pool.append(server)
 
     def remove_backend(self, vip: IPv6Address, server: IPv6Address) -> bool:
-        """Remove a server from a VIP pool; existing flows keep steering."""
+        """Remove a server from a VIP pool; existing flows keep steering.
+
+        Refusing to empty a pool happens *before* any mutation, so a
+        rejected removal leaves the pool exactly as it was.
+        """
         pool = self._backends.get(vip)
         if pool is None:
             raise LoadBalancerError(f"VIP {vip} is not registered")
-        if server in pool:
-            pool.remove(server)
-            if not pool:
-                raise LoadBalancerError(
-                    f"removing {server} would leave VIP {vip} with no servers"
-                )
-            return True
-        return False
+        if server not in pool:
+            return False
+        if len(pool) == 1:
+            raise LoadBalancerError(
+                f"removing {server} would leave VIP {vip} with no servers"
+            )
+        pool.remove(server)
+        return True
 
     def add_steering_alias(self, address: IPv6Address) -> None:
         """Accept steering signals addressed to ``address`` as well.

@@ -49,6 +49,10 @@ class ServiceHuntingStats:
     accepted_by_choice: int = 0
     accepted_forced: int = 0
     refused: int = 0
+    #: Optional offers refused because the server was draining (the
+    #: control plane's graceful scale-down), not because the acceptance
+    #: policy said no.
+    refused_draining: int = 0
 
     @property
     def accepted_total(self) -> int:
@@ -80,6 +84,12 @@ class ServiceHuntingProcessor:
     ) -> None:
         self.policy = policy
         self.agent = agent
+        #: Graceful-drain switch (set by the control plane): a draining
+        #: server refuses every *optional* offer without consulting the
+        #: acceptance policy, so in-flight SYNs that still carry it in
+        #: their candidate list pass it by.  Forced accepts (last
+        #: candidate) still land — satisfiability beats the drain.
+        self.draining = False
         self.stats = ServiceHuntingStats()
 
     def process(self, packet: Packet) -> HuntingDecision:
@@ -106,6 +116,11 @@ class ServiceHuntingProcessor:
 
         # Two or more candidates remain: the decision is optional and
         # strictly local.
+        if self.draining:
+            packet.advance_srh()
+            self.stats.refused += 1
+            self.stats.refused_draining += 1
+            return HuntingDecision.FORWARD
         if self.policy.should_accept(self.agent):
             packet.set_segments_left(0)
             self.stats.accepted_by_choice += 1

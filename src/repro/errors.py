@@ -70,6 +70,16 @@ class FlowTableError(LoadBalancerError):
     """Raised for invalid flow-table operations."""
 
 
+class MetricsValidationError(ReproError, ValueError):
+    """Raised for degenerate metric-filter parameters.
+
+    Also derives from :class:`ValueError` so callers treating a bad
+    EWMA interval/time-constant as an ordinary value error catch it
+    without importing the library's hierarchy — while the
+    every-error-is-a-ReproError contract above still holds.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload or trace configuration."""
 

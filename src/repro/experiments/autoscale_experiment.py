@@ -1,0 +1,422 @@
+"""Autoscale experiments: elastic capacity under a diurnal workload.
+
+The paper evaluates Service Hunting over a fixed twelve-server pool;
+production deployments of the same architecture pair it with an elastic
+control plane.  This family quantifies what that control plane buys: a
+diurnal (sinusoid-plus-noise) arrival schedule is replayed under several
+*provisioning modes* —
+
+* ``static`` — the fleet is pinned at ``max_servers`` (peak-sized
+  over-provisioning, the no-control-plane baseline);
+* ``reactive`` — the fleet starts at ``min_servers`` and a threshold
+  autoscaler (:mod:`repro.control`) tracks the load;
+* ``predictive`` — same, with the EWMA-slope forecasting policy that
+  provisions ahead of the ramp;
+
+— and each run reports **cost** (capacity-seconds, the integral of
+provisioned speed-weighted cores over the day) against **SLO** (p99
+response time vs the configured target).  The headline claim mirrors
+what elasticity is for: the scaled fleets spend materially fewer
+capacity-seconds than the static one while keeping p99 inside the SLO.
+
+The family is registered as the ``autoscale`` scenario; cells are the
+provisioning modes, and every mode replays the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.autoscaler import Autoscaler
+from repro.control.lifecycle import ServerLifecycle
+from repro.control.monitor import FleetMonitor
+from repro.control.policy import make_scaling_policy
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import AutoscaleConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioResult,
+    ScenarioSpec,
+    TraceProvider,
+)
+from repro.metrics.capacity import CapacityPayload, CapacityTracker
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.workload.diurnal import DiurnalWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+
+def autoscale_saturation_rate(config: AutoscaleConfig) -> float:
+    """The λ₀ the diurnal load factors are normalised against (max fleet)."""
+    if config.saturation_rate is not None:
+        return config.saturation_rate
+    return analytic_saturation_rate(config.max_testbed, config.service_mean)
+
+
+def make_diurnal_workload(config: AutoscaleConfig) -> DiurnalWorkload:
+    """The diurnal rate schedule described by ``config``."""
+    saturation = autoscale_saturation_rate(config)
+    return DiurnalWorkload(
+        mean_rate=config.mean_load * saturation,
+        amplitude=config.load_amplitude * saturation,
+        period=config.period,
+        duration=config.duration,
+        num_steps=config.num_steps,
+        noise=config.rate_noise,
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+
+
+def make_diurnal_trace(config: AutoscaleConfig) -> Trace:
+    """The diurnal trace shared by every provisioning mode."""
+    workload = make_diurnal_workload(config)
+    rng = np.random.default_rng([config.workload_seed, config.num_steps])
+    return workload.generate(rng)
+
+
+@dataclass
+class AutoscaleRunResult:
+    """Outcome of replaying the diurnal trace under one provisioning mode."""
+
+    mode: str
+    config: AutoscaleConfig
+    collector: ResponseTimeCollector
+    capacity: CapacityTracker
+    #: ``(time, raw busy fraction, smoothed busy fraction, serving servers)``
+    #: rows from the fleet monitor (empty for the static mode).
+    monitor_series: List[Tuple[float, float, float, int]]
+    requests_served: int
+    connections_reset: int
+    simulated_duration: float
+
+    @property
+    def capacity_seconds(self) -> float:
+        """Provisioned capacity integrated over the arrival phase."""
+        return self.capacity.capacity_seconds(through=self.config.duration)
+
+    @property
+    def mean_servers(self) -> float:
+        """Time-averaged provisioned server count over the day."""
+        return self.capacity.mean_capacity(
+            through=self.config.duration
+        ) / self.config.cores_per_server
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary of the completed queries."""
+        return self.collector.summary()
+
+    @property
+    def p99(self) -> float:
+        """The SLO-facing percentile."""
+        return self.summary.p99
+
+    @property
+    def meets_slo(self) -> bool:
+        """Whether the run's p99 stayed inside the configured target."""
+        return self.p99 <= self.config.slo_p99
+
+    def mean_drain_duration(self) -> Optional[float]:
+        """Mean graceful-drain duration, or ``None`` without any drain."""
+        drains = self.capacity.drain_durations
+        if not drains:
+            return None
+        return sum(drains) / len(drains)
+
+    def export_payload(self) -> "AutoscaleRunPayload":
+        """Compact, picklable export of this run (for the scenario runner)."""
+        return AutoscaleRunPayload(
+            mode=self.mode,
+            config=self.config,
+            collector=self.collector.export_payload(),
+            capacity=self.capacity.export_payload(),
+            monitor_series=list(self.monitor_series),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class AutoscaleRunPayload:
+    """Picklable compact form of an :class:`AutoscaleRunResult`."""
+
+    mode: str
+    config: AutoscaleConfig
+    collector: CollectorPayload
+    capacity: CapacityPayload
+    monitor_series: List[Tuple[float, float, float, int]]
+    requests_served: int
+    connections_reset: int
+    simulated_duration: float
+
+    def to_result(self) -> AutoscaleRunResult:
+        """Rebuild the full result object in the parent process."""
+        return AutoscaleRunResult(
+            mode=self.mode,
+            config=self.config,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            capacity=CapacityTracker.from_payload(self.capacity),
+            monitor_series=list(self.monitor_series),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+def attach_control_plane(testbed: Testbed, config: AutoscaleConfig, mode: str):
+    """Wire monitor → policy → lifecycle → autoscaler onto ``testbed``.
+
+    Returns the started :class:`~repro.control.autoscaler.Autoscaler`;
+    its stop is registered on the testbed's arrival horizon so the
+    control loop cannot keep the event heap alive after the day ends.
+    """
+    lifecycle = ServerLifecycle(
+        testbed,
+        provisioning_delay=config.provisioning_delay,
+        warmup_duration=config.warmup_duration,
+        warmup_speed=config.warmup_speed,
+        drain_check_interval=config.drain_check_interval,
+    )
+    monitor = FleetMonitor(time_constant=config.ewma_time_constant)
+    policy = make_scaling_policy(
+        mode,
+        low=config.scale_down_fraction,
+        high=config.scale_up_fraction,
+        horizon=config.prediction_horizon,
+        slope_time_constant=config.slope_time_constant,
+    )
+    autoscaler = Autoscaler(
+        lifecycle=lifecycle,
+        monitor=monitor,
+        policy=policy,
+        min_servers=config.min_servers,
+        max_servers=config.max_servers,
+        interval=config.monitor_interval,
+        scale_up_cooldown=config.scale_up_cooldown,
+        scale_down_cooldown=config.scale_down_cooldown,
+    )
+    autoscaler.start(first_delay=config.monitor_interval)
+    testbed.at_horizon(autoscaler.stop)
+    return autoscaler
+
+
+class AutoscaleScenario(ScenarioSpec):
+    """The elastic-vs-static comparison as a declarative scenario."""
+
+    name = "autoscale"
+    title = "Elastic control plane vs static provisioning under diurnal load"
+
+    def default_config(self) -> AutoscaleConfig:
+        return AutoscaleConfig()
+
+    def smoke_config(self) -> AutoscaleConfig:
+        return AutoscaleConfig(
+            workers_per_server=8,
+            cores_per_server=1,
+            backlog_capacity=16,
+            min_servers=2,
+            max_servers=5,
+            mean_load=0.5,
+            load_amplitude=0.35,
+            period=100.0,
+            duration=100.0,
+            num_steps=40,
+            rate_noise=0.05,
+            monitor_interval=0.5,
+            ewma_time_constant=2.5,
+            scale_up_fraction=0.22,
+            scale_down_fraction=0.08,
+            scale_up_cooldown=2.0,
+            scale_down_cooldown=6.0,
+            provisioning_delay=3.0,
+            warmup_duration=3.0,
+            prediction_horizon=8.0,
+            # The peak sits at rho 0.85 of the full fleet on single-core
+            # PS servers, so even the static baseline's p99 is ~2.2 s;
+            # the SLO must sit above what peak-sized capacity delivers.
+            slo_p99=3.0,
+        )
+
+    def cells(self, config: AutoscaleConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=mode, params={"mode": mode})
+            for mode in config.modes
+        ]
+
+    # trace_key: the default (one shared trace for every mode).
+
+    def make_trace(self, config: AutoscaleConfig, cell: ScenarioCell) -> Trace:
+        return make_diurnal_trace(config)
+
+    def build_platform(self, config: AutoscaleConfig, cell: ScenarioCell) -> Testbed:
+        mode = cell.param("mode")
+        return build_testbed(
+            config.testbed_for(mode),
+            config.policy,
+            catalog=RequestCatalog(),
+            run_name=f"autoscale-{mode}",
+        )
+
+    def run_once(
+        self, config: AutoscaleConfig, cell: ScenarioCell, trace: Trace
+    ) -> AutoscaleRunPayload:
+        mode = cell.param("mode")
+        testbed = self.build_platform(config, cell)
+        autoscaler = None
+        if mode == "static":
+            # No control plane: a constant-capacity tracker records the
+            # bill the peak-sized fleet runs up.
+            capacity = CapacityTracker(
+                start_time=testbed.simulator.now,
+                capacity=float(config.max_servers * config.cores_per_server),
+            )
+        else:
+            autoscaler = attach_control_plane(testbed, config, mode)
+            capacity = autoscaler.lifecycle.capacity
+        duration = testbed.run_trace(trace)
+        monitor_series = (
+            []
+            if autoscaler is None
+            else [
+                (
+                    sample.time,
+                    sample.busy_fraction,
+                    sample.smoothed_busy_fraction,
+                    sample.serving_servers,
+                )
+                for sample in autoscaler.monitor.samples()
+            ]
+        )
+        result = AutoscaleRunResult(
+            mode=mode,
+            config=config,
+            collector=testbed.collector,
+            capacity=capacity,
+            monitor_series=monitor_series,
+            requests_served=testbed.total_requests_served(),
+            connections_reset=testbed.total_resets(),
+            simulated_duration=duration,
+        )
+        return result.export_payload()
+
+    def aggregate(
+        self,
+        config: AutoscaleConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[AutoscaleRunPayload],
+        trace_for: TraceProvider,
+    ) -> ScenarioResult:
+        result = ScenarioResult(
+            scenario=self.name,
+            config=config,
+            meta={
+                "saturation_rate": autoscale_saturation_rate(config),
+                "slo_p99": config.slo_p99,
+                "duration": config.duration,
+            },
+        )
+        for payload in payloads:
+            result.runs[payload.mode] = payload.to_result()
+        return result
+
+    def render(self, result: ScenarioResult) -> str:
+        return render_autoscale(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+AUTOSCALE_SCENARIO = registry.register(AutoscaleScenario())
+
+
+def run_autoscale(
+    config: Optional[AutoscaleConfig] = None, jobs: Optional[int] = 1
+) -> ScenarioResult:
+    """Replay the diurnal trace under every configured provisioning mode."""
+    from repro.experiments.scenario import run_scenario
+
+    return run_scenario(AUTOSCALE_SCENARIO, config, jobs=jobs)
+
+
+def _capacity_at(series: List[Tuple[float, float]], time: float) -> float:
+    """Value of a capacity step function at ``time``."""
+    value = series[0][1]
+    for step_time, step_value in series:
+        if step_time > time:
+            break
+        value = step_value
+    return value
+
+
+def render_autoscale(result: ScenarioResult) -> str:
+    """Cost-vs-SLO summary plus the fleet-size trajectory per mode."""
+    config: AutoscaleConfig = result.config
+    rows: List[List[object]] = []
+    for mode in result.keys():
+        run: AutoscaleRunResult = result.run(mode)
+        summary = run.summary
+        drain = run.mean_drain_duration()
+        rows.append(
+            [
+                mode,
+                f"{run.capacity_seconds:.0f}",
+                f"{run.mean_servers:.2f}",
+                run.capacity.scale_ups(),
+                run.capacity.scale_downs(),
+                "-" if drain is None else f"{drain:.2f}",
+                summary.mean,
+                summary.p99,
+                "yes" if run.meets_slo else "NO",
+                run.connections_reset,
+            ]
+        )
+    summary_table = format_table(
+        [
+            "mode",
+            "capacity-s",
+            "mean servers",
+            "ups",
+            "downs",
+            "drain (s)",
+            "mean (s)",
+            "p99 (s)",
+            f"p99<={config.slo_p99:g}s",
+            "resets",
+        ],
+        rows,
+        title=(
+            f"Autoscale: diurnal load {config.mean_load:g}±{config.load_amplitude:g} "
+            f"of a {config.max_servers}-server fleet over {config.duration:g}s "
+            f"(bounds [{config.min_servers}, {config.max_servers}])"
+        ),
+    )
+
+    workload = make_diurnal_workload(config)
+    cores = config.cores_per_server
+    capacity_series = {
+        mode: result.run(mode).capacity.series() for mode in result.keys()
+    }
+    points = 12
+    trajectory_rows: List[List[object]] = []
+    for index in range(points + 1):
+        time = config.duration * index / points
+        row: List[object] = [f"{time:.0f}", f"{workload.rate_at(time):.1f}"]
+        for mode in result.keys():
+            row.append(
+                f"{_capacity_at(capacity_series[mode], time) / cores:.1f}"
+            )
+        trajectory_rows.append(row)
+    trajectory_table = format_table(
+        ["time (s)", "offered (q/s)"]
+        + [f"{mode} servers" for mode in result.keys()],
+        trajectory_rows,
+        title="Autoscale: provisioned servers vs the diurnal rate",
+    )
+    return summary_table + "\n\n" + trajectory_table

@@ -10,6 +10,7 @@ explicitly and visibly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -479,6 +480,225 @@ class FlashCrowdConfig:
             spike_duration=self.spike_duration * time_factor,
             recovery_duration=self.recovery_duration * time_factor,
             bin_width=self.bin_width * time_factor,
+        )
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Configuration of the autoscale scenario family.
+
+    A diurnal (sinusoid-plus-noise) workload is replayed under several
+    *provisioning modes* over the same testbed recipe:
+
+    * ``static`` — the fleet is fixed at ``max_servers`` for the whole
+      run (classic peak-sized over-provisioning; no control plane);
+    * ``reactive`` — the fleet starts at ``min_servers`` and an
+      :class:`~repro.control.autoscaler.Autoscaler` with the reactive
+      threshold policy grows/shrinks it;
+    * ``predictive`` — same, with the EWMA-slope forecasting policy.
+
+    Load factors are normalised against the *maximum* fleet's analytic
+    saturation rate, so ``mean_load``/``load_amplitude`` describe what
+    fraction of the peak-sized fleet the day consumes; the comparison
+    reports cost (capacity-seconds) against SLO (p99 response time).
+    """
+
+    # --- testbed recipe (per-server shape; the fleet size is elastic) ---
+    workers_per_server: int = 32
+    cores_per_server: int = 2
+    backlog_capacity: int = 128
+    num_load_balancers: int = 1
+    min_servers: int = 4
+    max_servers: int = 12
+    acceptance_policy: str = "SR8"
+    num_candidates: int = 2
+    selector: str = "random"
+    seed: int = 0
+
+    # --- diurnal workload -------------------------------------------------
+    #: Day-average load, as a fraction of the max fleet's saturation rate.
+    mean_load: float = 0.5
+    #: Peak-to-mean load swing (the trough is ``mean_load - load_amplitude``).
+    load_amplitude: float = 0.3
+    #: Length of one compressed day, in seconds.
+    period: float = 240.0
+    #: Total schedule length (may cover several periods).
+    duration: float = 480.0
+    #: Piecewise-constant steps the sinusoid is discretised into.
+    num_steps: int = 96
+    #: Relative std-dev of the per-step multiplicative rate noise.
+    rate_noise: float = 0.05
+    service_mean: float = 0.1
+    saturation_rate: Optional[float] = None
+    workload_seed: int = 424_242
+
+    # --- control plane ----------------------------------------------------
+    monitor_interval: float = 1.0
+    ewma_time_constant: float = 5.0
+    #: Smoothed busy-fraction watermarks of the scaling policies.  Note
+    #: the scale: with 32 workers over 2 cores a server saturates its
+    #: CPU long before its worker pool, so useful watermarks sit well
+    #: below 1 (0.12 of 32 workers ≈ 4 busy threads ≈ ρ ≈ 0.8).
+    scale_up_fraction: float = 0.12
+    scale_down_fraction: float = 0.04
+    #: Asymmetric action cooldowns: short for scale-ups (a climbing ramp
+    #: needs servers ordered back-to-back), long for scale-downs (wait
+    #: out the signal dilution the previous action caused).
+    scale_up_cooldown: float = 4.0
+    scale_down_cooldown: float = 15.0
+    provisioning_delay: float = 8.0
+    warmup_duration: float = 8.0
+    warmup_speed: float = 0.5
+    drain_check_interval: float = 0.5
+    #: Forecast horizon of the predictive policy (≈ provisioning delay
+    #: plus warm-up, so capacity lands when the forecast said so).
+    prediction_horizon: float = 20.0
+    #: τ of the predictive policy's slope EWMA — a control-plane clock
+    #: like the others, so :meth:`scaled` compresses it too.
+    slope_time_constant: float = 10.0
+
+    # --- evaluation -------------------------------------------------------
+    #: The p99 response-time SLO the comparison is judged against.
+    slo_p99: float = 1.5
+    modes: Tuple[str, ...] = ("static", "reactive", "predictive")
+
+    def __post_init__(self) -> None:
+        if self.min_servers < 1:
+            raise ExperimentError(
+                f"min_servers must be at least 1, got {self.min_servers!r}"
+            )
+        if self.max_servers < self.min_servers:
+            raise ExperimentError(
+                f"max_servers ({self.max_servers!r}) must be >= min_servers "
+                f"({self.min_servers!r})"
+            )
+        if self.min_servers < self.num_candidates:
+            # Candidate selection needs num_candidates distinct servers;
+            # an elastic fleet scaled to its floor must still satisfy it,
+            # so reject the config instead of crashing mid-run.
+            raise ExperimentError(
+                f"min_servers ({self.min_servers!r}) must be >= num_candidates "
+                f"({self.num_candidates!r}): the scaled-down fleet must still "
+                "support candidate selection"
+            )
+        if self.mean_load <= 0:
+            raise ExperimentError(
+                f"mean_load must be positive, got {self.mean_load!r}"
+            )
+        if not 0 <= self.load_amplitude <= self.mean_load:
+            raise ExperimentError(
+                f"load_amplitude must be in [0, mean_load], got "
+                f"{self.load_amplitude!r} (mean_load {self.mean_load!r})"
+            )
+        if self.mean_load + self.load_amplitude > 1.0:
+            raise ExperimentError(
+                "the diurnal peak exceeds the maximum fleet's capacity: "
+                f"mean_load + load_amplitude = "
+                f"{self.mean_load + self.load_amplitude!r} > 1.0"
+            )
+        for name, value in (
+            ("period", self.period),
+            ("duration", self.duration),
+            ("service_mean", self.service_mean),
+            ("monitor_interval", self.monitor_interval),
+            ("ewma_time_constant", self.ewma_time_constant),
+            ("drain_check_interval", self.drain_check_interval),
+            ("prediction_horizon", self.prediction_horizon),
+            ("slope_time_constant", self.slope_time_constant),
+            ("slo_p99", self.slo_p99),
+        ):
+            # Finiteness matters as much as the sign: an overflowed
+            # time factor (duration=inf) would make the diurnal trace
+            # generator draw arrivals forever.
+            if not math.isfinite(value) or value <= 0:
+                raise ExperimentError(
+                    f"{name} must be positive and finite, got {value!r}"
+                )
+        if self.num_steps <= 0:
+            raise ExperimentError(
+                f"num_steps must be positive, got {self.num_steps!r}"
+            )
+        if self.rate_noise < 0:
+            raise ExperimentError(
+                f"rate_noise must be non-negative, got {self.rate_noise!r}"
+            )
+        if not 0 <= self.scale_down_fraction < self.scale_up_fraction <= 1:
+            raise ExperimentError(
+                "scaling watermarks must satisfy 0 <= down < up <= 1, got "
+                f"down={self.scale_down_fraction!r} up={self.scale_up_fraction!r}"
+            )
+        for name, value in (
+            ("scale_up_cooldown", self.scale_up_cooldown),
+            ("scale_down_cooldown", self.scale_down_cooldown),
+            ("provisioning_delay", self.provisioning_delay),
+            ("warmup_duration", self.warmup_duration),
+        ):
+            if not math.isfinite(value) or value < 0:
+                raise ExperimentError(
+                    f"{name} must be non-negative and finite, got {value!r}"
+                )
+        if not 0 < self.warmup_speed <= 1:
+            raise ExperimentError(
+                f"warmup_speed must be in (0, 1], got {self.warmup_speed!r}"
+            )
+        if not self.modes:
+            raise ExperimentError("at least one provisioning mode is required")
+        for mode in self.modes:
+            if mode not in ("static", "reactive", "predictive"):
+                raise ExperimentError(
+                    f"unknown provisioning mode {mode!r}: expected static, "
+                    "reactive or predictive"
+                )
+
+    def initial_servers(self, mode: str) -> int:
+        """Fleet size a mode starts with (static runs peak-sized)."""
+        return self.max_servers if mode == "static" else self.min_servers
+
+    def testbed_for(self, mode: str) -> TestbedConfig:
+        """The testbed one provisioning mode starts from."""
+        return TestbedConfig(
+            num_servers=self.initial_servers(mode),
+            workers_per_server=self.workers_per_server,
+            cores_per_server=self.cores_per_server,
+            backlog_capacity=self.backlog_capacity,
+            num_load_balancers=self.num_load_balancers,
+            seed=self.seed,
+        )
+
+    @property
+    def max_testbed(self) -> TestbedConfig:
+        """The peak-sized testbed load factors are normalised against."""
+        return self.testbed_for("static")
+
+    @property
+    def policy(self) -> PolicySpec:
+        """The Service Hunting policy every mode runs the fleet under."""
+        return PolicySpec(
+            name=self.acceptance_policy,
+            acceptance_policy=self.acceptance_policy,
+            num_candidates=self.num_candidates,
+            selector=self.selector,
+        )
+
+    def scaled(self, time_factor: float) -> "AutoscaleConfig":
+        """A copy with the whole day (and control-plane clocks) compressed."""
+        if time_factor <= 0:
+            raise ExperimentError(
+                f"time_factor must be positive, got {time_factor!r}"
+            )
+        return replace(
+            self,
+            period=self.period * time_factor,
+            duration=self.duration * time_factor,
+            monitor_interval=self.monitor_interval * time_factor,
+            ewma_time_constant=self.ewma_time_constant * time_factor,
+            scale_up_cooldown=self.scale_up_cooldown * time_factor,
+            scale_down_cooldown=self.scale_down_cooldown * time_factor,
+            provisioning_delay=self.provisioning_delay * time_factor,
+            warmup_duration=self.warmup_duration * time_factor,
+            drain_check_interval=self.drain_check_interval * time_factor,
+            prediction_horizon=self.prediction_horizon * time_factor,
+            slope_time_constant=self.slope_time_constant * time_factor,
         )
 
 

@@ -33,6 +33,56 @@ from repro.workload.trace import Trace
 PolicyFactory = Callable[[], ConnectionAcceptancePolicy]
 
 
+def _build_server(
+    simulator: Simulator,
+    fabric: LANFabric,
+    config: TestbedConfig,
+    policy_spec: PolicySpec,
+    catalog: RequestCatalog,
+    index: int,
+    address: IPv6Address,
+    speed: float,
+    steering_address: IPv6Address,
+    vip: IPv6Address,
+) -> ServerNode:
+    """One fully wired application server (CPU, app, policy, VIP, fabric).
+
+    The single construction recipe shared by :func:`build_testbed`'s
+    initial fleet and :meth:`Testbed.add_server`'s elastic additions —
+    so a mid-run server can never silently diverge from the fleet it
+    joins.
+    """
+    cpu = make_cpu(
+        simulator,
+        num_cores=config.cores_per_server,
+        model=config.cpu_model,
+        name=f"cpu-{index}",
+        speed=speed,
+    )
+    app = HTTPServerInstance(
+        simulator=simulator,
+        name=f"apache-{index}",
+        cpu=cpu,
+        num_workers=config.workers_per_server,
+        backlog_capacity=config.backlog_capacity,
+        demand_lookup=catalog.demand_of,
+        abort_on_overflow=config.abort_on_overflow,
+        request_timeout=config.request_timeout or None,
+    )
+    server = ServerNode(
+        simulator=simulator,
+        name=f"server-{index}",
+        address=address,
+        app=app,
+        policy=make_policy(policy_spec.acceptance_policy),
+        load_balancer_address=steering_address,
+        cpu_cores=config.cores_per_server,
+    )
+    server.bind_vip(vip)
+    server.attach(fabric)
+    return server
+
+
 @dataclass
 class Testbed:
     """All the moving parts of one experiment run."""
@@ -55,6 +105,19 @@ class Testbed:
     lb_tier: Optional[LoadBalancerTier] = None
     load_sampler: Optional[ServerLoadSampler] = None
     _sampler_task: Optional[PeriodicTask] = field(default=None, repr=False)
+    #: Allocator the server addresses were drawn from; the elastic
+    #: control plane allocates mid-run additions from the same sequence.
+    server_allocator: Optional[object] = field(default=None, repr=False)
+    #: The address servers route steering SYN-ACKs through (the single
+    #: LB's own address, or the tier's shared steering address).
+    steering_address: Optional[IPv6Address] = field(default=None, repr=False)
+    #: Callbacks invoked when the arrival phase (plus settle margin) is
+    #: over — how the autoscaler and other periodic control loops are
+    #: stopped so the event heap can drain.  See :meth:`at_horizon`.
+    _horizon_hooks: List[Callable[[], None]] = field(
+        default_factory=list, repr=False
+    )
+    _next_server_index: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -92,6 +155,85 @@ class Testbed:
             self._sampler_task.stop()
             self._sampler_task = None
 
+    def at_horizon(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` once the trace's arrival phase is over.
+
+        :meth:`run_trace` invokes every registered hook right after the
+        simulation reaches the arrival horizon, exactly where the load
+        sampler is stopped.  The elastic control plane registers its
+        autoscaler stop here, so the monitor loop cannot keep the event
+        heap alive forever after the workload ends.
+        """
+        self._horizon_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # elastic fleet hooks (used by repro.control)
+    # ------------------------------------------------------------------
+    def add_server(self, speed: float = 1.0) -> ServerNode:
+        """Build, attach and register one additional application server.
+
+        The new server is a full fleet member: fresh CPU (at ``speed``),
+        fresh application instance, fresh acceptance-policy instance (the
+        same recipe as the initial fleet), bound to the VIP, attached to
+        the fabric, and added to every load balancer's backend pool — so
+        the very next candidate selection can offer it connections.
+        """
+        if self.server_allocator is None or self.steering_address is None:
+            raise WorkloadError(
+                "this testbed was not built by build_testbed; it cannot "
+                "add servers mid-run"
+            )
+        if self._sampler_task is not None:
+            # The periodic load sampler requires a constant per-sample
+            # row width; growing the fleet under it would make its next
+            # tick raise mid-simulation.  Refuse up front instead.
+            raise WorkloadError(
+                "cannot add servers while a load sampler is attached; "
+                "stop it first (the sampler needs a fixed fleet)"
+            )
+        index = self._next_server_index
+        self._next_server_index += 1
+        server = _build_server(
+            simulator=self.simulator,
+            fabric=self.fabric,
+            config=self.config,
+            policy_spec=self.policy_spec,
+            catalog=self.catalog,
+            index=index,
+            address=self.server_allocator.allocate(),
+            speed=speed,
+            steering_address=self.steering_address,
+            vip=self.vip,
+        )
+        self.servers.append(server)
+        self._register_backend(server.primary_address)
+        return server
+
+    def retire_server(self, server: ServerNode) -> None:
+        """Take a server out of every backend pool and start its drain.
+
+        Existing flow-table entries keep steering to the server (that is
+        what makes the drain graceful); new candidate lists stop naming
+        it, and the Service Hunting layer refuses any in-flight optional
+        offer.  The server stays attached to the fabric until its
+        connections finish — detaching is the lifecycle's job, once the
+        server is :attr:`~repro.server.virtual_router.ServerNode.quiescent`.
+        """
+        self._retire_backend(server.primary_address)
+        server.start_draining()
+
+    def _register_backend(self, address: IPv6Address) -> None:
+        if self.lb_tier is not None:
+            self.lb_tier.add_backend(self.vip, address)
+        else:
+            self.load_balancer.add_backend(self.vip, address)
+
+    def _retire_backend(self, address: IPv6Address) -> None:
+        if self.lb_tier is not None:
+            self.lb_tier.remove_backend(self.vip, address)
+        else:
+            self.load_balancer.remove_backend(self.vip, address)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -123,10 +265,13 @@ class Testbed:
                 continue
             self.catalog.add(request)
         self.client.schedule_trace(trace)
-        if self._sampler_task is not None:
+        if self._sampler_task is not None or self._horizon_hooks:
             horizon = self.simulator.now + trace.duration + settle_margin
             self.simulator.run(until=horizon)
             self.stop_load_sampler()
+            hooks, self._horizon_hooks = self._horizon_hooks, []
+            for hook in hooks:
+                hook()
         return self.simulator.run()
 
     # ------------------------------------------------------------------
@@ -242,38 +387,21 @@ def build_testbed(
         load_balancer.register_vip(vip, server_addresses)
         load_balancer.attach(fabric)
 
-    servers: List[ServerNode] = []
-    for index, address in enumerate(server_addresses):
-        cpu = make_cpu(
-            simulator,
-            num_cores=config.cores_per_server,
-            model=config.cpu_model,
-            name=f"cpu-{index}",
-            speed=config.speed_of(index),
-        )
-        app = HTTPServerInstance(
+    servers: List[ServerNode] = [
+        _build_server(
             simulator=simulator,
-            name=f"apache-{index}",
-            cpu=cpu,
-            num_workers=config.workers_per_server,
-            backlog_capacity=config.backlog_capacity,
-            demand_lookup=catalog.demand_of,
-            abort_on_overflow=config.abort_on_overflow,
-            request_timeout=config.request_timeout or None,
-        )
-        policy = make_policy(policy_spec.acceptance_policy)
-        server = ServerNode(
-            simulator=simulator,
-            name=f"server-{index}",
+            fabric=fabric,
+            config=config,
+            policy_spec=policy_spec,
+            catalog=catalog,
+            index=index,
             address=address,
-            app=app,
-            policy=policy,
-            load_balancer_address=lb_address,
-            cpu_cores=config.cores_per_server,
+            speed=config.speed_of(index),
+            steering_address=lb_address,
+            vip=vip,
         )
-        server.bind_vip(vip)
-        server.attach(fabric)
-        servers.append(server)
+        for index, address in enumerate(server_addresses)
+    ]
 
     client = TrafficGeneratorNode(
         simulator=simulator,
@@ -298,4 +426,7 @@ def build_testbed(
         catalog=catalog,
         collector=collector,
         lb_tier=lb_tier,
+        server_allocator=allocators["server"],
+        steering_address=lb_address,
+        _next_server_index=config.num_servers,
     )

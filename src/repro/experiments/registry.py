@@ -31,6 +31,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.resilience_experiment",
     "repro.experiments.flash_crowd_experiment",
     "repro.experiments.heterogeneous_experiment",
+    "repro.experiments.autoscale_experiment",
 )
 
 _SCENARIOS: Dict[str, "ScenarioSpec"] = {}

@@ -4,10 +4,12 @@ Contains the response-time collector fed by the traffic generator, the
 per-server load sampler, and the statistics the paper's figures are
 built from: summary statistics and CDFs, Jain's fairness index, the EWMA
 filter used to smooth Figure 4, 10-minute time binning for the Wikipedia
-replay, and plain-text table rendering for the benchmark output.
+replay, capacity-seconds accounting for the elastic control plane, and
+plain-text table rendering for the benchmark output.
 """
 
 from repro.metrics.binning import TimeBin, TimeBinner
+from repro.metrics.capacity import CapacityTracker, ScalingEvent
 from repro.metrics.collector import (
     CollectorTotals,
     ResponseTimeCollector,
@@ -40,6 +42,8 @@ __all__ = [
     "CollectorTotals",
     "TimeBinner",
     "TimeBin",
+    "CapacityTracker",
+    "ScalingEvent",
     "EWMAFilter",
     "alpha_from_interval",
     "smooth_series",

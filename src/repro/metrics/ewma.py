@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import MetricsValidationError, ReproError
 
 
 def alpha_from_interval(delta_t: float, time_constant: float = 1.0) -> float:
@@ -20,11 +20,22 @@ def alpha_from_interval(delta_t: float, time_constant: float = 1.0) -> float:
 
     ``time_constant`` generalises the formula to α = 1 − exp(−δt/τ); the
     paper uses τ = 1 s.
+
+    Degenerate inputs raise :class:`ValueError` instead of silently
+    producing a useless coefficient: ``delta_t <= 0`` would yield α = 0
+    (the sample is discarded — never what a caller wants from a
+    *sampling interval*), and a NaN or infinite interval, or a
+    non-positive or non-finite time constant, would propagate NaN/garbage
+    alphas into every downstream smoothed series.
     """
-    if delta_t < 0:
-        raise ReproError(f"sampling interval must be non-negative, got {delta_t!r}")
-    if time_constant <= 0:
-        raise ReproError(f"time constant must be positive, got {time_constant!r}")
+    if not math.isfinite(delta_t) or delta_t <= 0:
+        raise MetricsValidationError(
+            f"sampling interval must be positive and finite, got {delta_t!r}"
+        )
+    if not math.isfinite(time_constant) or time_constant <= 0:
+        raise MetricsValidationError(
+            f"time constant must be positive and finite, got {time_constant!r}"
+        )
     return 1.0 - math.exp(-delta_t / time_constant)
 
 
@@ -32,8 +43,10 @@ class EWMAFilter:
     """Online exponentially weighted moving average with time-aware alpha."""
 
     def __init__(self, time_constant: float = 1.0) -> None:
-        if time_constant <= 0:
-            raise ReproError(f"time constant must be positive, got {time_constant!r}")
+        if not math.isfinite(time_constant) or time_constant <= 0:
+            raise MetricsValidationError(
+                f"time constant must be positive and finite, got {time_constant!r}"
+            )
         self.time_constant = time_constant
         self._value: Optional[float] = None
         self._last_time: Optional[float] = None
@@ -46,12 +59,22 @@ class EWMAFilter:
     def update(self, time: float, sample: float) -> float:
         """Fold in a new sample observed at ``time``; returns the new value."""
         if self._value is None or self._last_time is None:
+            if not math.isfinite(time):
+                # Guard the first sample too: a NaN timestamp stored as
+                # _last_time would make every later (valid) update fail
+                # the ordering check with a misleading message.
+                raise ReproError(
+                    f"EWMA sample timestamps must be finite, got {time!r}"
+                )
             self._value = sample
         else:
-            if time < self._last_time:
+            if not time > self._last_time:
+                # Catches reordered samples, duplicates *and* NaN
+                # timestamps — all of which would otherwise reach
+                # alpha_from_interval with a non-positive interval.
                 raise ReproError(
-                    f"EWMA samples must be time-ordered "
-                    f"({time!r} < {self._last_time!r})"
+                    f"EWMA samples must be strictly time-ordered "
+                    f"({time!r} <= {self._last_time!r})"
                 )
             alpha = alpha_from_interval(time - self._last_time, self.time_constant)
             self._value = alpha * sample + (1.0 - alpha) * self._value

@@ -148,6 +148,21 @@ class EcmpEdgeRouter(NetworkNode):
         """The current ECMP group members (name-sorted copy)."""
         return tuple(self._next_hops)
 
+    def invalidate_next_hop_cache(self) -> int:
+        """Drop every memoized flow-to-hop decision; returns the count.
+
+        Membership changes do this implicitly.  The elastic control
+        plane calls it on *server*-pool changes too, modelling the edge
+        reprogramming its forwarding state when the topology behind it
+        moves — behaviour-neutral (both hash schemes are pure functions
+        of the flow key and the unchanged next-hop set), but it keeps
+        the cache from carrying entries for flows that will never
+        return.
+        """
+        dropped = len(self._hop_cache)
+        self._hop_cache.clear()
+        return dropped
+
     def register_vip(self, vip: IPv6Address) -> None:
         """Advertise a VIP at the edge (exact binding on this router)."""
         if vip not in self._vips:

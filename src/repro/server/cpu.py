@@ -109,6 +109,16 @@ class CPUModel:
         """Remove a job before completion; returns whether it existed."""
         raise NotImplementedError
 
+    def set_speed(self, speed: float) -> None:
+        """Change the execution-rate multiplier mid-run.
+
+        The server lifecycle uses this for warm-up: a freshly provisioned
+        server executes at a reduced speed until its caches/JIT are warm,
+        then is restored to nominal.  Subclasses that keep scheduled
+        completion events must re-plan them for the new rate.
+        """
+        raise NotImplementedError
+
 
 class ProcessorSharingCPU(CPUModel):
     """Egalitarian processor sharing over ``num_cores`` cores.
@@ -202,6 +212,17 @@ class ProcessorSharingCPU(CPUModel):
         self._reschedule_completion()
         return True
 
+    def set_speed(self, speed: float) -> None:
+        if speed <= 0:
+            raise ServerError(f"CPU speed must be positive, got {speed!r}")
+        if speed == self.speed:
+            return
+        # Charge progress at the old rate up to now, then re-plan the
+        # earliest completion at the new rate.
+        self._advance_progress()
+        self.speed = speed
+        self._reschedule_completion()
+
 
 class FIFOCPU(CPUModel):
     """Run-to-completion scheduling: each core runs one job at a time.
@@ -269,6 +290,26 @@ class FIFOCPU(CPUModel):
             next_id = self._queue.popleft()
             next_job = self._queued_jobs.pop(next_id)
             self._start(next_id, next_job)
+
+    def set_speed(self, speed: float) -> None:
+        if speed <= 0:
+            raise ServerError(f"CPU speed must be positive, got {speed!r}")
+        if speed == self.speed:
+            return
+        old_speed = self.speed
+        self.speed = speed
+        now = self.simulator.now
+        # Re-plan every running job's completion for the new rate: the
+        # remaining wall time at the old rate encodes the remaining
+        # demand exactly (run-to-completion, no sharing).
+        for job_id, handle in list(self._running_events.items()):
+            remaining_demand = max(0.0, handle.time - now) * old_speed
+            handle.cancel()
+            self._running_events[job_id] = self.simulator.schedule_in(
+                remaining_demand / speed,
+                lambda jid=job_id: self._complete(jid),
+                label=self._completion_label,
+            )
 
     def cancel_job(self, job_id: int) -> bool:
         self._account_busy_time(len(self._running))

@@ -90,6 +90,38 @@ class ServerNode(NetworkNode):
         """Bind the local application instance to a virtual IP address."""
         self._bound_vips.add(vip)
 
+    # ------------------------------------------------------------------
+    # graceful drain (driven by the control plane)
+    # ------------------------------------------------------------------
+    def start_draining(self) -> None:
+        """Stop accepting new flows; in-flight flows keep being served.
+
+        The refusal happens at the Service Hunting layer: optional offers
+        are forwarded to the next candidate without consulting the
+        acceptance policy.  Mid-flow steering, recovery hunts for flows
+        this server already holds, and response delivery are unaffected,
+        so draining never resets an established connection.
+        """
+        self.hunting.draining = True
+
+    def stop_draining(self) -> None:
+        """Resume accepting new flows (a cancelled scale-down)."""
+        self.hunting.draining = False
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new flows for a graceful drain."""
+        return self.hunting.draining
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether no connection is open or queued on the local instance.
+
+        The drain's completion condition: once a draining server is
+        quiescent it can be detached without breaking any flow.
+        """
+        return self.app.open_connections == 0 and self.app.busy_threads == 0
+
     @property
     def bound_vips(self) -> Set[IPv6Address]:
         """VIPs served by the local application instance (copy)."""

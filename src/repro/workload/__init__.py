@@ -12,6 +12,7 @@ from repro.workload.client import (
     RequestOutcome,
     TrafficGeneratorNode,
 )
+from repro.workload.diurnal import DiurnalWorkload
 from repro.workload.flash_crowd import RatePhase, SteppedPoissonWorkload
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.requests import (
@@ -61,6 +62,7 @@ __all__ = [
     "PoissonWorkload",
     "RatePhase",
     "SteppedPoissonWorkload",
+    "DiurnalWorkload",
     "DiurnalRateCurve",
     "SyntheticWikipediaWorkload",
     "SECONDS_PER_DAY",

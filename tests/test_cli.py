@@ -152,8 +152,61 @@ class TestScenarioCommands:
             "resilience",
             "flash-crowd",
             "heterogeneous-fleet",
+            "autoscale",
         ):
             assert name in captured.out
+
+    def test_scenarios_json_is_machine_readable(self, capsys):
+        import json
+
+        exit_code = main(["scenarios", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        catalogue = json.loads(captured.out)
+        by_name = {entry["name"]: entry for entry in catalogue}
+        assert set(by_name) >= {
+            "poisson",
+            "wikipedia",
+            "resilience",
+            "flash-crowd",
+            "heterogeneous-fleet",
+            "autoscale",
+        }
+        for entry in catalogue:
+            assert entry["description"]
+            assert entry["cells"], f"{entry['name']} lists no cells"
+            assert all(isinstance(cell, str) for cell in entry["cells"])
+        assert by_name["autoscale"]["cells"] == [
+            "static",
+            "reactive",
+            "predictive",
+        ]
+
+    def test_autoscale_small_run(self, capsys):
+        exit_code = main(
+            [
+                "autoscale",
+                "--workers", "8",
+                "--cores", "1",
+                "--min-servers", "2",
+                "--max-servers", "4",
+                "--mean-load", "0.4",
+                "--load-amplitude", "0.25",
+                "--period", "40",
+                "--duration", "40",
+                "--time-factor", "1.0",
+                "--slo-p99", "5",
+                "--mode", "static",
+                "--mode", "reactive",
+                "--jobs", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Autoscale" in captured.out
+        assert "capacity-s" in captured.out
+        assert "static" in captured.out and "reactive" in captured.out
+        assert "provisioned servers" in captured.out
 
     def test_flash_crowd_small_run(self, capsys):
         exit_code = main(

@@ -129,13 +129,35 @@ class TestEWMA:
     def test_alpha_formula_matches_paper(self):
         # alpha = 1 - exp(-dt) with the default 1-second time constant.
         assert alpha_from_interval(0.5) == pytest.approx(1 - math.exp(-0.5))
-        assert alpha_from_interval(0.0) == pytest.approx(0.0)
+        assert alpha_from_interval(2.0, time_constant=2.0) == pytest.approx(
+            1 - math.exp(-1.0)
+        )
 
-    def test_alpha_rejects_bad_inputs(self):
+    @pytest.mark.parametrize("delta_t", [0.0, -1.0, float("nan"), float("inf")])
+    def test_alpha_rejects_degenerate_intervals(self, delta_t):
+        with pytest.raises(ValueError):
+            alpha_from_interval(delta_t)
+
+    def test_validation_errors_stay_inside_the_repro_hierarchy(self):
+        # The ValueError the ISSUE asks for must not break the
+        # "every error derives from ReproError" contract the CLI's
+        # single except-clause relies on.
         with pytest.raises(ReproError):
-            alpha_from_interval(-1.0)
+            alpha_from_interval(0.0)
         with pytest.raises(ReproError):
-            alpha_from_interval(1.0, time_constant=0.0)
+            EWMAFilter(-1.0)
+
+    @pytest.mark.parametrize(
+        "time_constant", [0.0, -0.5, float("nan"), float("inf")]
+    )
+    def test_alpha_rejects_degenerate_time_constants(self, time_constant):
+        with pytest.raises(ValueError):
+            alpha_from_interval(1.0, time_constant=time_constant)
+
+    @pytest.mark.parametrize("time_constant", [0.0, -1.0, float("nan")])
+    def test_filter_rejects_degenerate_time_constants(self, time_constant):
+        with pytest.raises(ValueError):
+            EWMAFilter(time_constant)
 
     def test_filter_starts_at_first_sample(self):
         ewma = EWMAFilter()
@@ -158,6 +180,28 @@ class TestEWMA:
         ewma.update(1.0, 1.0)
         with pytest.raises(ReproError):
             ewma.update(0.5, 2.0)
+
+    def test_duplicate_timestamps_rejected(self):
+        # A zero interval means alpha = 0 (the sample would be silently
+        # discarded); the filter refuses it instead.
+        ewma = EWMAFilter()
+        ewma.update(1.0, 1.0)
+        with pytest.raises(ReproError):
+            ewma.update(1.0, 2.0)
+
+    def test_nan_timestamp_rejected(self):
+        ewma = EWMAFilter()
+        ewma.update(0.0, 1.0)
+        with pytest.raises(ReproError):
+            ewma.update(float("nan"), 2.0)
+
+    def test_nan_first_timestamp_rejected(self):
+        # A NaN *first* timestamp would otherwise poison _last_time and
+        # make every later valid update fail the ordering check.
+        ewma = EWMAFilter()
+        with pytest.raises(ReproError):
+            ewma.update(float("nan"), 1.0)
+        ewma.update(0.0, 1.0)  # the filter stays usable
 
     def test_reset(self):
         ewma = EWMAFilter()

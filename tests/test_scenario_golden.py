@@ -114,6 +114,40 @@ class TestWikipediaGolden:
         assert run.connections_reset == expected["connections_reset"]
 
 
+class TestAutoscaleGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def result(self, request):
+        from repro.experiments.autoscale_experiment import (
+            AUTOSCALE_SCENARIO,
+            run_autoscale,
+        )
+
+        return run_autoscale(
+            AUTOSCALE_SCENARIO.smoke_config(), jobs=request.param
+        )
+
+    @pytest.mark.parametrize("mode", ["static", "reactive", "predictive"])
+    def test_run_results_bitwise(self, golden, result, mode):
+        expected = golden["autoscale"][mode]
+        run = result.run(mode)
+        assert _series_hash(run.collector.response_times()) == expected["response_times"]
+        assert repr(run.capacity_seconds) == expected["capacity_seconds"]
+        capacity_steps = [
+            [repr(time), repr(value)] for time, value in run.capacity.series()
+        ]
+        assert capacity_steps == expected["capacity_steps"]
+        events = [
+            [repr(event.time), event.action, event.servers_before, event.servers_after]
+            for event in run.capacity.events
+        ]
+        assert events == expected["scaling_events"]
+        assert [repr(d) for d in run.capacity.drain_durations] == expected[
+            "drain_durations"
+        ]
+        assert run.requests_served == expected["requests_served"]
+        assert run.connections_reset == expected["connections_reset"]
+
+
 class TestResilienceGolden:
     @pytest.fixture(scope="class", params=JOBS)
     def comparison(self, request):
