@@ -39,6 +39,17 @@ Installed as the ``srlb-repro`` console script (also runnable as
     reactive and predictive provisioning and print capacity-seconds
     against the p99 SLO, plus the fleet-size trajectory.
 
+``heavy-tail``
+    Replay a heavy-tailed mixture (bounded-Pareto one-shots plus
+    keep-alive user sessions with Zipf popularity and per-user flow
+    affinity) under each policy and print per-kind response times.
+
+``adversarial``
+    Replay a legitimate Poisson workload while a SYN flood, a
+    hash-collision flood concentrated on one ECMP bucket, or a gray
+    failure (degraded-but-alive server, watchdog quarantine) happens
+    mid-run, and print what the legitimate flows experienced.
+
 ``scenarios``
     List every scenario family registered in
     :mod:`repro.experiments.registry` (``--json`` for tooling).
@@ -65,9 +76,11 @@ from repro.experiments.calibration import (
 from repro.experiments.config import (
     HIGH_LOAD_FACTOR,
     LIGHT_LOAD_FACTOR,
+    AdversarialConfig,
     AutoscaleConfig,
     ChurnEvent,
     FlashCrowdConfig,
+    HeavyTailConfig,
     HeterogeneousFleetConfig,
     PoissonSweepConfig,
     PolicySpec,
@@ -80,7 +93,9 @@ from repro.experiments.config import (
     srdyn_policy,
 )
 from repro.experiments import figures, registry
+from repro.experiments.adversarial_experiment import run_adversarial
 from repro.experiments.autoscale_experiment import run_autoscale
+from repro.experiments.heavy_tail_experiment import run_heavy_tail
 from repro.experiments.flash_crowd_experiment import run_flash_crowd
 from repro.experiments.heterogeneous_experiment import run_heterogeneous_fleet
 from repro.experiments.poisson_experiment import PoissonSweep
@@ -411,6 +426,52 @@ def _command_autoscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_heavy_tail(args: argparse.Namespace) -> int:
+    policy_names = args.policy or ["RR", "SR4", "SRdyn"]
+    config = HeavyTailConfig(
+        testbed=_testbed_from_args(args),
+        load_factor=args.rho,
+        num_arrivals=args.arrivals,
+        heavy_fraction=args.heavy_fraction,
+        mean_session_length=args.session_length,
+        num_users=args.users,
+        user_zipf=args.user_zipf,
+        policies=tuple(_policy_spec_from_name(name) for name in policy_names),
+    )
+    result = run_heavy_tail(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("heavy-tail", result))
+    return 0
+
+
+def _command_adversarial(args: argparse.Namespace) -> int:
+    modes = tuple(
+        dict.fromkeys(
+            args.mode or ["baseline", "syn-flood", "hash-collision", "gray-failure"]
+        )
+    )
+    testbed = dataclasses.replace(
+        _testbed_from_args(args),
+        num_load_balancers=args.lbs,
+        flow_idle_timeout=args.flow_idle_timeout,
+        request_timeout=args.request_timeout,
+    )
+    config = AdversarialConfig(
+        testbed=testbed,
+        load_factor=args.rho,
+        num_queries=args.queries,
+        service_mean=args.service_mean,
+        modes=modes,
+        flood_rate_factor=args.flood_rate_factor,
+        flood_sources=args.flood_sources,
+        collision_flows=args.collision_flows,
+        collision_target=args.collision_target,
+        degraded_speed=args.degraded_speed,
+    )
+    result = run_adversarial(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("adversarial", result))
+    return 0
+
+
 def _command_scenarios(args: argparse.Namespace) -> int:
     import json
 
@@ -667,6 +728,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(autoscale)
     autoscale.set_defaults(handler=_command_autoscale)
+
+    heavy_tail = subparsers.add_parser(
+        "heavy-tail",
+        help="heavy-tailed Pareto/lognormal sessions with Zipf user affinity",
+    )
+    _add_testbed_arguments(heavy_tail)
+    heavy_tail.add_argument(
+        "--policy",
+        action="append",
+        help="policy to run (RR, SR<k>, SRdyn); repeatable; default RR, SR4, SRdyn",
+    )
+    heavy_tail.add_argument(
+        "--rho", type=float, default=0.7, help="offered load over fleet capacity"
+    )
+    heavy_tail.add_argument(
+        "--arrivals", type=int, default=4_000, help="arrivals (sessions + one-shots)"
+    )
+    heavy_tail.add_argument(
+        "--heavy-fraction",
+        type=float,
+        default=0.25,
+        help="probability an arrival is a one-shot bounded-Pareto request",
+    )
+    heavy_tail.add_argument(
+        "--session-length",
+        type=float,
+        default=4.0,
+        help="mean keep-alive requests per session (geometric)",
+    )
+    heavy_tail.add_argument(
+        "--users", type=int, default=200_000, help="simulated user population size"
+    )
+    heavy_tail.add_argument(
+        "--user-zipf",
+        type=float,
+        default=1.3,
+        help="Zipf exponent of user popularity (> 1)",
+    )
+    _add_jobs_argument(heavy_tail)
+    heavy_tail.set_defaults(handler=_command_heavy_tail)
+
+    adversarial = subparsers.add_parser(
+        "adversarial",
+        help="SYN flood, ECMP hash-collision skew and gray failure mid-run",
+    )
+    _add_testbed_arguments(adversarial)
+    adversarial.add_argument(
+        "--lbs", type=int, default=4, help="load-balancer tier size (>= 2)"
+    )
+    adversarial.add_argument(
+        "--rho", type=float, default=0.55, help="legitimate load factor"
+    )
+    adversarial.add_argument(
+        "--queries", type=int, default=4_000, help="legitimate queries"
+    )
+    adversarial.add_argument("--service-mean", type=float, default=0.05)
+    adversarial.add_argument(
+        "--mode",
+        action="append",
+        choices=["baseline", "syn-flood", "hash-collision", "gray-failure"],
+        help="attack mode to run; repeatable; default all four",
+    )
+    adversarial.add_argument(
+        "--flood-rate-factor",
+        type=float,
+        default=3.0,
+        help="flood intensity as a multiple of the legitimate rate",
+    )
+    adversarial.add_argument(
+        "--flood-sources",
+        type=int,
+        default=32,
+        help="spoofed source pool size (source churn)",
+    )
+    adversarial.add_argument(
+        "--collision-flows",
+        type=int,
+        default=256,
+        help="distinct colliding 5-tuples the offline search finds",
+    )
+    adversarial.add_argument(
+        "--collision-target",
+        type=int,
+        default=0,
+        help="index of the LB instance the collision flood concentrates on",
+    )
+    adversarial.add_argument(
+        "--degraded-speed",
+        type=float,
+        default=0.2,
+        help="gray-failure victim CPU speed multiplier (0, 1)",
+    )
+    adversarial.add_argument(
+        "--flow-idle-timeout",
+        type=float,
+        default=5.0,
+        help="LB flow-table idle timeout (housekeeping reclaims after this)",
+    )
+    adversarial.add_argument(
+        "--request-timeout",
+        type=float,
+        default=2.0,
+        help="server-side request timeout freeing workers pinned by the flood",
+    )
+    _add_jobs_argument(adversarial)
+    adversarial.set_defaults(handler=_command_adversarial)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list every registered scenario family"

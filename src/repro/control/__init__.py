@@ -27,6 +27,11 @@ against a diurnal workload and compares it to static over-provisioning.
 """
 
 from repro.control.autoscaler import Autoscaler
+from repro.control.gray_failure import (
+    GrayFailureInjector,
+    GrayFailureWatchdog,
+    QuarantineEvent,
+)
 from repro.control.lifecycle import ManagedServer, ServerLifecycle, ServerState
 from repro.control.monitor import FleetMonitor, FleetSample
 from repro.control.policy import (
@@ -40,7 +45,10 @@ __all__ = [
     "Autoscaler",
     "FleetMonitor",
     "FleetSample",
+    "GrayFailureInjector",
+    "GrayFailureWatchdog",
     "ManagedServer",
+    "QuarantineEvent",
     "PredictiveEwmaPolicy",
     "ReactiveThresholdPolicy",
     "ScalingPolicy",

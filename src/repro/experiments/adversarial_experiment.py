@@ -1,0 +1,548 @@
+"""Adversarial traffic and gray failure against the SRLB tier.
+
+Every other family replays cooperative traffic.  This one replays the
+same legitimate Poisson workload while something hostile happens in a
+window mid-run, one attack mode per cell:
+
+* ``baseline`` — the workload unmolested, for comparison;
+* ``syn-flood`` — a spoofed-source SYN flood aimed at the VIP.  The
+  fabric drops replies to the spoofed (unbound) sources silently, so
+  every attack connection stays half-open: workers are pinned until the
+  server's request timeout fires, backlogs fill, and the flow tables of
+  the LB tier bloat with entries that only idle housekeeping reclaims;
+* ``hash-collision`` — the same flood volume, but every 5-tuple comes
+  from an offline search against the data plane's own ECMP selector
+  (:func:`repro.net.ecmp.select_next_hop_name`) so ≥ 90 % of the attack
+  flows land on *one* tier instance, skewing it while its peers idle;
+* ``gray-failure`` — no attack traffic at all: one server's CPU is
+  degraded (with square-wave jitter) instead of killed.  A
+  :class:`~repro.control.gray_failure.GrayFailureWatchdog` compares
+  busy-thread counts against the fleet median and quarantines the
+  victim through the real server lifecycle (graceful drain plus a
+  replacement provision) — the control plane's answer to non-crash
+  degradation.
+
+The scenario reports, per mode, what the *legitimate* flows experienced
+(completion rate, p99) next to the attack-side counters (SYNs sent,
+bucket concentration, flow-table growth, timeouts, quarantine delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.gray_failure import GrayFailureInjector, GrayFailureWatchdog
+from repro.control.lifecycle import ServerLifecycle
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import AdversarialConfig, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.net.addressing import CLIENT_PREFIX
+from repro.workload.hostile import (
+    SynFloodAttacker,
+    find_colliding_flow_keys,
+    spoofed_source_flows,
+)
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+#: Attacker node address and the base offset of the spoofed source pool,
+#: far above anything the client allocator hands out.
+_ATTACKER_OFFSET = 9_999
+_SPOOFED_BASE_OFFSET = 10_000
+
+
+def adversarial_rate(config: AdversarialConfig) -> float:
+    """Legitimate arrival rate (queries/second) of the workload."""
+    saturation = analytic_saturation_rate(config.testbed, config.service_mean)
+    return config.load_factor * saturation
+
+
+def make_adversarial_trace(config: AdversarialConfig) -> Trace:
+    """The legitimate Poisson trace shared by every attack mode."""
+    saturation = analytic_saturation_rate(config.testbed, config.service_mean)
+    workload = PoissonWorkload.from_load_factor(
+        rho=config.load_factor,
+        saturation_rate=saturation,
+        num_queries=config.num_queries,
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+    rng = np.random.default_rng([config.workload_seed, config.num_queries])
+    return workload.generate(rng)
+
+
+@dataclass
+class AdversarialRunResult:
+    """Outcome of one (attack mode, legitimate trace) run."""
+
+    mode: str
+    config: AdversarialConfig
+    collector: ResponseTimeCollector
+    requests_served: int
+    connections_reset: int
+    connections_timed_out: int
+    queries_hung: int
+    steering_misses: int
+    recovery_hunts: int
+    peak_concurrent_connections: int
+    attack_syns_sent: int
+    #: Fraction of attack flows the live edge router maps onto the
+    #: targeted instance (``None`` outside ``hash-collision`` mode).
+    attack_bucket_share: Optional[float]
+    flow_entries_created: int
+    flow_entries_expired: int
+    flow_entries_live: int
+    #: Seconds from degradation start to the watchdog's quarantine
+    #: decision (``None`` when nothing was quarantined).
+    quarantine_delay: Optional[float]
+    quarantined: Tuple[str, ...]
+    simulated_duration: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of legitimate queries that completed."""
+        return self.collector.totals.completed / self.config.num_queries
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary of the legitimate queries that completed."""
+        return self.collector.summary()
+
+    def export_payload(self) -> "AdversarialRunPayload":
+        """Compact, picklable export of this run (for the scenario runner)."""
+        return AdversarialRunPayload(
+            mode=self.mode,
+            config=self.config,
+            collector=self.collector.export_payload(),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            connections_timed_out=self.connections_timed_out,
+            queries_hung=self.queries_hung,
+            steering_misses=self.steering_misses,
+            recovery_hunts=self.recovery_hunts,
+            peak_concurrent_connections=self.peak_concurrent_connections,
+            attack_syns_sent=self.attack_syns_sent,
+            attack_bucket_share=self.attack_bucket_share,
+            flow_entries_created=self.flow_entries_created,
+            flow_entries_expired=self.flow_entries_expired,
+            flow_entries_live=self.flow_entries_live,
+            quarantine_delay=self.quarantine_delay,
+            quarantined=self.quarantined,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class AdversarialRunPayload:
+    """Picklable compact form of an :class:`AdversarialRunResult`."""
+
+    mode: str
+    config: AdversarialConfig
+    collector: CollectorPayload
+    requests_served: int
+    connections_reset: int
+    connections_timed_out: int
+    queries_hung: int
+    steering_misses: int
+    recovery_hunts: int
+    peak_concurrent_connections: int
+    attack_syns_sent: int
+    attack_bucket_share: Optional[float]
+    flow_entries_created: int
+    flow_entries_expired: int
+    flow_entries_live: int
+    quarantine_delay: Optional[float]
+    quarantined: Tuple[str, ...]
+    simulated_duration: float
+
+    def to_result(self) -> AdversarialRunResult:
+        """Rebuild the full result object in the parent process."""
+        return AdversarialRunResult(
+            mode=self.mode,
+            config=self.config,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            connections_timed_out=self.connections_timed_out,
+            queries_hung=self.queries_hung,
+            steering_misses=self.steering_misses,
+            recovery_hunts=self.recovery_hunts,
+            peak_concurrent_connections=self.peak_concurrent_connections,
+            attack_syns_sent=self.attack_syns_sent,
+            attack_bucket_share=self.attack_bucket_share,
+            flow_entries_created=self.flow_entries_created,
+            flow_entries_expired=self.flow_entries_expired,
+            flow_entries_live=self.flow_entries_live,
+            quarantine_delay=self.quarantine_delay,
+            quarantined=self.quarantined,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+def _build_adversarial_platform(config: AdversarialConfig, mode: str) -> Testbed:
+    """A fresh tier-fronted testbed for one attack mode's run."""
+    return build_testbed(
+        config.testbed,
+        config.policy,
+        catalog=RequestCatalog(),
+        run_name=f"adversarial-{mode}",
+    )
+
+
+def spoofed_sources(config: AdversarialConfig):
+    """The deterministic spoofed source pool (unbound client addresses)."""
+    return tuple(
+        CLIENT_PREFIX.address_at(_SPOOFED_BASE_OFFSET + index)
+        for index in range(config.flood_sources)
+    )
+
+
+def _attach_flood(
+    testbed: Testbed,
+    config: AdversarialConfig,
+    mode: str,
+    trace: Trace,
+) -> SynFloodAttacker:
+    """Build, attach and schedule the flood for ``syn-flood``/``hash-collision``."""
+    tier = testbed.lb_tier
+    assert tier is not None
+    start = trace.duration * config.attack_start_fraction
+    window = trace.duration * (
+        config.attack_end_fraction - config.attack_start_fraction
+    )
+    rate = config.flood_rate_factor * adversarial_rate(config)
+    num_syns = max(1, int(round(rate * window)))
+    sources = spoofed_sources(config)
+    if mode == "hash-collision":
+        hop_names = [instance.name for instance in tier.instances]
+        flows = find_colliding_flow_keys(
+            hop_names,
+            hop_names[config.collision_target],
+            testbed.vip,
+            sources,
+            count=config.collision_flows,
+            hash_scheme=config.testbed.ecmp_hash,
+        )
+        seed_salt = 202
+    else:
+        # Maximal spoofed-source churn: every SYN gets a fresh 5-tuple.
+        flows = spoofed_source_flows(testbed.vip, sources, num_flows=num_syns)
+        seed_salt = 101
+    attacker = SynFloodAttacker(
+        testbed.simulator,
+        name="attacker",
+        address=CLIENT_PREFIX.address_at(_ATTACKER_OFFSET),
+        flows=flows,
+    )
+    attacker.attach(testbed.fabric)
+    rng = np.random.default_rng([config.workload_seed, seed_salt])
+    attacker.schedule_flood(rng, start_at=start, rate=rate, num_syns=num_syns)
+    return attacker
+
+
+def _attach_gray_failure(
+    testbed: Testbed, config: AdversarialConfig, trace: Trace
+) -> GrayFailureWatchdog:
+    """Degrade the first server mid-run and arm the quarantine watchdog."""
+    victim = testbed.servers[0]
+    start = trace.duration * config.attack_start_fraction
+    window = trace.duration * (
+        config.attack_end_fraction - config.attack_start_fraction
+    )
+    injector = GrayFailureInjector(
+        testbed.simulator,
+        victim,
+        degraded_factor=config.degraded_speed,
+        start_at=start,
+        duration=window,
+        jitter_amplitude=config.jitter_amplitude,
+        jitter_interval=config.jitter_interval,
+    )
+    injector.start()
+
+    on_quarantine = None
+    if config.quarantine:
+        lifecycle = ServerLifecycle(testbed)
+
+        def drain_and_replace(server) -> None:
+            lifecycle.drain(lifecycle.record_for(server.name))
+            lifecycle.provision(speed=1.0)
+
+        on_quarantine = drain_and_replace
+
+    watchdog = GrayFailureWatchdog(
+        testbed.simulator,
+        servers=lambda: testbed.servers,
+        on_quarantine=on_quarantine,
+        interval=config.watchdog_interval,
+        slow_factor=config.watchdog_slow_factor,
+        min_busy=config.watchdog_min_busy,
+        consecutive=config.watchdog_consecutive,
+    )
+    watchdog.start()
+    testbed.at_horizon(watchdog.stop)
+    return watchdog
+
+
+def run_adversarial_once(
+    config: AdversarialConfig,
+    mode: str,
+    trace: Optional[Trace] = None,
+) -> AdversarialRunResult:
+    """Replay the legitimate workload under one attack mode."""
+    if mode not in config.modes:
+        raise ExperimentError(
+            f"mode {mode!r} is not in the configuration's modes {config.modes!r}"
+        )
+    if trace is None:
+        trace = make_adversarial_trace(config)
+    testbed = _build_adversarial_platform(config, mode)
+    tier = testbed.lb_tier
+    if tier is None:
+        raise ExperimentError(
+            "adversarial experiments require num_load_balancers >= 2"
+        )
+
+    # Idle-flow housekeeping on every instance, so the flood's flow-table
+    # entries are reclaimed in-run instead of accumulating to the end.
+    for instance in tier.instances:
+        instance.start_housekeeping(config.housekeeping_interval)
+
+    def stop_housekeeping() -> None:
+        for instance in tier.instances:
+            instance.stop_housekeeping()
+
+    testbed.at_horizon(stop_housekeeping)
+
+    attacker: Optional[SynFloodAttacker] = None
+    watchdog: Optional[GrayFailureWatchdog] = None
+    if mode in ("syn-flood", "hash-collision"):
+        attacker = _attach_flood(testbed, config, mode, trace)
+    elif mode == "gray-failure":
+        watchdog = _attach_gray_failure(testbed, config, trace)
+
+    duration = testbed.run_trace(trace)
+
+    attack_bucket_share: Optional[float] = None
+    if mode == "hash-collision" and attacker is not None:
+        # Measured against the *live* edge router, not the offline
+        # search: the selector the packets actually traversed.
+        target = tier.instances[config.collision_target].name
+        hits = sum(
+            1
+            for flow in attacker.flows
+            if tier.router.next_hop_for(flow).name == target
+        )
+        attack_bucket_share = hits / len(attacker.flows)
+
+    quarantine_delay: Optional[float] = None
+    quarantined: Tuple[str, ...] = ()
+    if watchdog is not None and watchdog.events:
+        start = trace.duration * config.attack_start_fraction
+        quarantine_delay = watchdog.events[0].time - start
+        quarantined = watchdog.quarantined
+
+    instances = tier.instances
+    return AdversarialRunResult(
+        mode=mode,
+        config=config,
+        collector=testbed.collector,
+        requests_served=testbed.total_requests_served(),
+        connections_reset=testbed.total_resets(),
+        connections_timed_out=sum(
+            server.app.stats.connections_timed_out for server in testbed.servers
+        ),
+        queries_hung=testbed.client.in_flight,
+        steering_misses=testbed.total_steering_misses(),
+        recovery_hunts=tier.recovery_hunts(),
+        peak_concurrent_connections=max(
+            server.app.stats.peak_concurrent_connections
+            for server in testbed.servers
+        ),
+        attack_syns_sent=attacker.syns_sent if attacker is not None else 0,
+        attack_bucket_share=attack_bucket_share,
+        flow_entries_created=sum(
+            instance.flow_table.stats.entries_created for instance in instances
+        ),
+        flow_entries_expired=sum(
+            instance.flow_table.stats.entries_expired for instance in instances
+        ),
+        flow_entries_live=sum(
+            len(instance.flow_table) for instance in instances
+        ),
+        quarantine_delay=quarantine_delay,
+        quarantined=quarantined,
+        simulated_duration=duration,
+    )
+
+
+@dataclass
+class AdversarialComparison:
+    """All attack modes of one comparison, over the same legit workload."""
+
+    config: AdversarialConfig
+    runs: Dict[str, AdversarialRunResult] = field(default_factory=dict)
+
+    def modes(self) -> List[str]:
+        """Mode names, in configuration order."""
+        return list(self.config.modes)
+
+    def run(self, mode: str) -> AdversarialRunResult:
+        """The run for one attack mode."""
+        try:
+            return self.runs[mode]
+        except KeyError as exc:
+            raise ExperimentError(f"no run for mode {mode!r}") from exc
+
+
+class AdversarialScenario(ScenarioSpec):
+    """The adversarial-traffic comparison as a declarative scenario."""
+
+    name = "adversarial"
+    title = "Legitimate-flow service under SYN flood, hash skew and gray failure"
+
+    def default_config(self) -> AdversarialConfig:
+        return AdversarialConfig()
+
+    def smoke_config(self) -> AdversarialConfig:
+        return AdversarialConfig(
+            testbed=TestbedConfig(
+                num_servers=6,
+                workers_per_server=8,
+                cores_per_server=2,
+                backlog_capacity=16,
+                num_load_balancers=3,
+                flow_idle_timeout=5.0,
+                request_timeout=2.0,
+            ),
+            num_queries=500,
+            flood_sources=8,
+            collision_flows=96,
+            # The smoke trace lasts only a few seconds, so detection must
+            # fit inside a ~1.5 s attack window.
+            watchdog_interval=0.2,
+            watchdog_consecutive=2,
+        )
+
+    def cells(self, config: AdversarialConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=mode, params={"mode": mode})
+            for mode in config.modes
+        ]
+
+    # trace_key: the default (one shared trace for every mode).
+
+    def make_trace(self, config: AdversarialConfig, cell: ScenarioCell) -> Trace:
+        return make_adversarial_trace(config)
+
+    def build_platform(
+        self, config: AdversarialConfig, cell: ScenarioCell
+    ) -> Testbed:
+        return _build_adversarial_platform(config, cell.param("mode"))
+
+    def run_once(
+        self, config: AdversarialConfig, cell: ScenarioCell, trace: Trace
+    ) -> AdversarialRunPayload:
+        return run_adversarial_once(
+            config, cell.param("mode"), trace=trace
+        ).export_payload()
+
+    def aggregate(
+        self,
+        config: AdversarialConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[AdversarialRunPayload],
+        trace_for: TraceProvider,
+    ) -> AdversarialComparison:
+        comparison = AdversarialComparison(config=config)
+        for payload in payloads:
+            comparison.runs[payload.mode] = payload.to_result()
+        return comparison
+
+    def render(self, result: AdversarialComparison) -> str:
+        return render_adversarial_table(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+ADVERSARIAL_SCENARIO = registry.register(AdversarialScenario())
+
+
+def run_adversarial(
+    config: AdversarialConfig, jobs: Optional[int] = 1
+) -> AdversarialComparison:
+    """Replay the workload under every configured attack mode.
+
+    ``jobs`` fans the per-mode runs out over a process pool
+    (``None``/``0`` = all cores); results are identical for any value —
+    see :mod:`repro.experiments.runner` for the determinism contract.
+    """
+    return run_scenario(ADVERSARIAL_SCENARIO, config, jobs=jobs)
+
+
+def render_adversarial_table(comparison: AdversarialComparison) -> str:
+    """Text table of the per-mode adversarial comparison."""
+    config = comparison.config
+    rows: List[List[object]] = []
+    for mode in comparison.modes():
+        run = comparison.run(mode)
+        bucket = (
+            f"{100 * run.attack_bucket_share:.1f}%"
+            if run.attack_bucket_share is not None
+            else "-"
+        )
+        quarantine = (
+            f"{run.quarantine_delay:.2f}s"
+            if run.quarantine_delay is not None
+            else "-"
+        )
+        rows.append(
+            [
+                mode,
+                f"{100 * run.completion_rate:.1f}%",
+                run.collector.totals.failed + run.queries_hung,
+                run.summary.mean,
+                run.summary.p99,
+                run.attack_syns_sent,
+                bucket,
+                run.connections_timed_out,
+                run.flow_entries_created,
+                quarantine,
+            ]
+        )
+    return format_table(
+        [
+            "mode",
+            "legit done",
+            "failed",
+            "mean (s)",
+            "p99 (s)",
+            "atk SYNs",
+            "bucket",
+            "timeouts",
+            "flows seen",
+            "quarantine",
+        ],
+        rows,
+        title=(
+            f"Adversarial traffic: {config.testbed.num_load_balancers} LBs, "
+            f"{config.testbed.num_servers} servers, rho={config.load_factor:g}, "
+            f"attack window "
+            f"[{config.attack_start_fraction:g}, {config.attack_end_fraction:g}] "
+            f"of the trace"
+        ),
+    )

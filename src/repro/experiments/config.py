@@ -796,3 +796,234 @@ class HeterogeneousFleetConfig:
     def scaled(self, num_queries: int) -> "HeterogeneousFleetConfig":
         """A cheaper copy of the configuration (for tests and CI)."""
         return replace(self, num_queries=num_queries)
+
+
+@dataclass(frozen=True)
+class HeavyTailConfig:
+    """Configuration of the heavy-tailed session scenario family.
+
+    A Poisson arrival stream mixes one-shot bounded-Pareto requests with
+    keep-alive user sessions (one aggregated request per session whose
+    demand sums a geometric-length series of lognormal per-request
+    demands).  Arrivals are attributed to a large Zipf-distributed user
+    population, and the client derives a stable source port per user so
+    flow affinity repeats across sessions.  The same trace is replayed
+    under each policy.
+    """
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    load_factor: float = 0.7
+    num_arrivals: int = 4_000
+    heavy_fraction: float = 0.25
+    pareto_alpha: float = 1.5
+    pareto_lower: float = 0.02
+    pareto_upper: float = 2.5
+    request_median: float = 0.04
+    request_sigma: float = 0.6
+    mean_session_length: float = 4.0
+    num_users: int = 200_000
+    user_zipf: float = 1.3
+    size_median: int = 16_000
+    size_sigma: float = 1.0
+    size_cap: int = 262_144
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: (rr_policy(), sr_policy(4), srdyn_policy())
+    )
+    workload_seed: int = 86_420
+
+    def __post_init__(self) -> None:
+        if self.load_factor <= 0:
+            raise ExperimentError(
+                f"load_factor must be positive, got {self.load_factor!r}"
+            )
+        if self.num_arrivals <= 0:
+            raise ExperimentError(
+                f"num_arrivals must be positive, got {self.num_arrivals!r}"
+            )
+        if not 0 <= self.heavy_fraction <= 1:
+            raise ExperimentError(
+                f"heavy_fraction must be in [0, 1], got {self.heavy_fraction!r}"
+            )
+        if self.pareto_alpha <= 0 or self.pareto_lower <= 0:
+            raise ExperimentError(
+                "Pareto parameters must be positive, got "
+                f"alpha={self.pareto_alpha!r}, lower={self.pareto_lower!r}"
+            )
+        if self.pareto_upper <= self.pareto_lower:
+            raise ExperimentError(
+                "Pareto upper bound must exceed the lower bound, got "
+                f"[{self.pareto_lower!r}, {self.pareto_upper!r}]"
+            )
+        if self.request_median <= 0 or self.request_sigma < 0:
+            raise ExperimentError(
+                "invalid lognormal request model: "
+                f"median={self.request_median!r}, sigma={self.request_sigma!r}"
+            )
+        if self.mean_session_length < 1:
+            raise ExperimentError(
+                "mean_session_length must be >= 1, got "
+                f"{self.mean_session_length!r}"
+            )
+        if self.num_users <= 0:
+            raise ExperimentError(
+                f"num_users must be positive, got {self.num_users!r}"
+            )
+        if self.user_zipf <= 1:
+            raise ExperimentError(
+                f"user_zipf must be > 1, got {self.user_zipf!r}"
+            )
+        if not self.policies:
+            raise ExperimentError("at least one policy is required")
+
+    def scaled(self, num_arrivals: int) -> "HeavyTailConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(self, num_arrivals=num_arrivals)
+
+
+@dataclass(frozen=True)
+class AdversarialConfig:
+    """Configuration of the adversarial-traffic scenario family.
+
+    One legitimate Poisson workload is replayed against a load-balancer
+    *tier* under each attack mode: a spoofed-source SYN flood, a
+    hash-collision flood that concentrates on one ECMP bucket, and a
+    gray failure (a server degraded, not killed, with a watchdog
+    quarantining it through the server lifecycle).  ``baseline`` runs
+    the same workload unmolested for comparison.
+    """
+
+    testbed: TestbedConfig = field(
+        default_factory=lambda: TestbedConfig(
+            num_servers=12,
+            num_load_balancers=4,
+            # Short flow-idle timeout so housekeeping can reap the flood's
+            # flow-table entries in-run; the request timeout frees workers
+            # pinned by half-open attack connections.
+            flow_idle_timeout=5.0,
+            request_timeout=2.0,
+        )
+    )
+    load_factor: float = 0.55
+    num_queries: int = 4_000
+    service_mean: float = 0.05
+    acceptance_policy: str = "SR8"
+    num_candidates: int = 2
+    modes: Tuple[str, ...] = (
+        "baseline",
+        "syn-flood",
+        "hash-collision",
+        "gray-failure",
+    )
+    #: Attack window, as fractions of the legitimate trace's duration.
+    attack_start_fraction: float = 0.25
+    attack_end_fraction: float = 0.65
+    #: Flood intensity as a multiple of the legitimate arrival rate.
+    flood_rate_factor: float = 3.0
+    #: Spoofed source pool size (source churn) for the plain SYN flood.
+    flood_sources: int = 32
+    #: Number of distinct colliding 5-tuples the offline search finds.
+    collision_flows: int = 256
+    #: Index of the LB instance the collision flood concentrates on.
+    collision_target: int = 0
+    #: Gray failure: victim CPU speed multiplier and square-wave jitter.
+    degraded_speed: float = 0.2
+    jitter_amplitude: float = 0.3
+    jitter_interval: float = 0.5
+    #: Watchdog (quarantine signal) parameters.
+    watchdog_interval: float = 0.5
+    watchdog_slow_factor: float = 2.0
+    #: Busy-thread floor below which a server can never be quarantined;
+    #: keeps a lightly loaded fleet (median ~1) from tripping the
+    #: detector on ordinary Poisson bursts.
+    watchdog_min_busy: int = 5
+    watchdog_consecutive: int = 3
+    #: Whether quarantine drains the victim and provisions a replacement.
+    quarantine: bool = True
+    #: Flow-table housekeeping period on every LB instance.
+    housekeeping_interval: float = 1.0
+    workload_seed: int = 13_579
+
+    _KNOWN_MODES = ("baseline", "syn-flood", "hash-collision", "gray-failure")
+
+    def __post_init__(self) -> None:
+        if self.testbed.num_load_balancers < 2:
+            raise ExperimentError(
+                "adversarial experiments need a tier of at least 2 load "
+                f"balancers, got {self.testbed.num_load_balancers!r}"
+            )
+        if self.testbed.request_timeout <= 0:
+            raise ExperimentError(
+                "adversarial experiments need a positive request_timeout "
+                "(otherwise half-open attack connections pin workers "
+                "forever), got "
+                f"{self.testbed.request_timeout!r}"
+            )
+        if self.load_factor <= 0:
+            raise ExperimentError(
+                f"load_factor must be positive, got {self.load_factor!r}"
+            )
+        if self.num_queries <= 0:
+            raise ExperimentError(
+                f"num_queries must be positive, got {self.num_queries!r}"
+            )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if not self.modes:
+            raise ExperimentError("at least one attack mode is required")
+        for mode in self.modes:
+            if mode not in self._KNOWN_MODES:
+                raise ExperimentError(
+                    f"unknown attack mode {mode!r}: expected one of "
+                    f"{self._KNOWN_MODES}"
+                )
+        if not 0 < self.attack_start_fraction < self.attack_end_fraction <= 1:
+            raise ExperimentError(
+                "attack window must satisfy 0 < start < end <= 1, got "
+                f"[{self.attack_start_fraction!r}, "
+                f"{self.attack_end_fraction!r}]"
+            )
+        if self.flood_rate_factor <= 0:
+            raise ExperimentError(
+                f"flood_rate_factor must be positive, got "
+                f"{self.flood_rate_factor!r}"
+            )
+        if self.flood_sources <= 0:
+            raise ExperimentError(
+                f"flood_sources must be positive, got {self.flood_sources!r}"
+            )
+        if self.collision_flows <= 0:
+            raise ExperimentError(
+                f"collision_flows must be positive, got "
+                f"{self.collision_flows!r}"
+            )
+        if not 0 <= self.collision_target < self.testbed.num_load_balancers:
+            raise ExperimentError(
+                f"collision_target {self.collision_target!r} is out of "
+                f"range for a tier of {self.testbed.num_load_balancers} "
+                "instances"
+            )
+        if not 0 < self.degraded_speed < 1:
+            raise ExperimentError(
+                f"degraded_speed must be in (0, 1), got "
+                f"{self.degraded_speed!r}"
+            )
+        if self.housekeeping_interval <= 0:
+            raise ExperimentError(
+                "housekeeping_interval must be positive, got "
+                f"{self.housekeeping_interval!r}"
+            )
+
+    @property
+    def policy(self) -> PolicySpec:
+        """The Service Hunting policy every mode runs under."""
+        return PolicySpec(
+            name=self.acceptance_policy,
+            acceptance_policy=self.acceptance_policy,
+            num_candidates=self.num_candidates,
+        )
+
+    def scaled(self, num_queries: int) -> "AdversarialConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(self, num_queries=num_queries)

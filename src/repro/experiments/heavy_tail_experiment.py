@@ -1,0 +1,350 @@
+"""Heavy-tailed session workload: Pareto/lognormal mix with user affinity.
+
+The paper's Poisson-of-exponentials workload is the kindest possible
+input to power-of-two-choices dispatch.  This family replays the
+unkind version: a Poisson arrival stream whose queries mix one-shot
+bounded-Pareto requests (the classic heavy tail) with keep-alive user
+*sessions* — one aggregated request per session, its demand the sum of
+a geometric-length series of lognormal per-request demands, so a worker
+is pinned for the whole session like an Apache-prefork keep-alive
+connection.  Arrivals are attributed to a Zipf-distributed population
+of ~10⁵–10⁶ users carried as integer ids only, and the client derives a
+stable source port per user (:class:`~repro.workload.hostile.
+SessionAffinityClient`), so a returning user's 5-tuple — hence ECMP
+bucket and flow-table entry — repeats across sessions.
+
+The same trace is replayed under each Service Hunting policy; the
+scenario reports per-kind response times next to the user-concentration
+profile of the trace, so policy differences can be read against how
+skewed the offered load actually was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.config import (
+    HeavyTailConfig,
+    PolicySpec,
+    TestbedConfig,
+)
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.workload.hostile import (
+    HeavyTailWorkload,
+    SessionAffinityClient,
+    UserConcentration,
+    user_concentration,
+)
+from repro.workload.requests import KIND_HEAVY, KIND_SESSION, RequestCatalog
+from repro.workload.service_models import (
+    BoundedParetoServiceTime,
+    LognormalServiceTime,
+)
+from repro.workload.trace import Trace
+
+
+def make_heavy_tail_workload(config: HeavyTailConfig) -> HeavyTailWorkload:
+    """The mixture workload described by ``config``.
+
+    The arrival rate is normalised against the fleet's total CPU
+    capacity using the *mixture* mean demand per arrival, so
+    ``load_factor`` keeps its usual meaning (offered demand over
+    capacity) even though sessions bundle several requests.
+    """
+    return HeavyTailWorkload.from_load_factor(
+        load_factor=config.load_factor,
+        capacity=config.testbed.total_capacity,
+        num_arrivals=config.num_arrivals,
+        heavy_fraction=config.heavy_fraction,
+        heavy_model=BoundedParetoServiceTime(
+            alpha=config.pareto_alpha,
+            lower_seconds=config.pareto_lower,
+            upper_seconds=config.pareto_upper,
+        ),
+        request_model=LognormalServiceTime(
+            median_seconds=config.request_median, sigma=config.request_sigma
+        ),
+        mean_session_length=config.mean_session_length,
+        num_users=config.num_users,
+        user_zipf=config.user_zipf,
+        size_median=config.size_median,
+        size_sigma=config.size_sigma,
+        size_cap=config.size_cap,
+    )
+
+
+def make_heavy_tail_trace(config: HeavyTailConfig) -> Trace:
+    """The trace shared by every policy of a comparison."""
+    workload = make_heavy_tail_workload(config)
+    rng = np.random.default_rng([config.workload_seed, config.num_arrivals])
+    return workload.generate(rng)
+
+
+@dataclass
+class HeavyTailRunResult:
+    """Outcome of one (policy, heavy-tail trace) run."""
+
+    policy: str
+    config: HeavyTailConfig
+    collector: ResponseTimeCollector
+    requests_served: int
+    connections_reset: int
+    queries_hung: int
+    affinity_hits: int
+    affinity_fallbacks: int
+    simulated_duration: float
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary over every completed query."""
+        return self.collector.summary()
+
+    def kind_summary(self, kind: str) -> SummaryStatistics:
+        """Response-time summary of one request kind."""
+        return self.collector.summary(kind)
+
+    def export_payload(self) -> "HeavyTailRunPayload":
+        """Compact, picklable export of this run (for the scenario runner)."""
+        return HeavyTailRunPayload(
+            policy=self.policy,
+            config=self.config,
+            collector=self.collector.export_payload(),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            queries_hung=self.queries_hung,
+            affinity_hits=self.affinity_hits,
+            affinity_fallbacks=self.affinity_fallbacks,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+@dataclass
+class HeavyTailRunPayload:
+    """Picklable compact form of a :class:`HeavyTailRunResult`."""
+
+    policy: str
+    config: HeavyTailConfig
+    collector: CollectorPayload
+    requests_served: int
+    connections_reset: int
+    queries_hung: int
+    affinity_hits: int
+    affinity_fallbacks: int
+    simulated_duration: float
+
+    def to_result(self) -> HeavyTailRunResult:
+        """Rebuild the full result object in the parent process."""
+        return HeavyTailRunResult(
+            policy=self.policy,
+            config=self.config,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            queries_hung=self.queries_hung,
+            affinity_hits=self.affinity_hits,
+            affinity_fallbacks=self.affinity_fallbacks,
+            simulated_duration=self.simulated_duration,
+        )
+
+
+def _policy_named(config: HeavyTailConfig, name: str) -> PolicySpec:
+    for policy in config.policies:
+        if policy.name == name:
+            return policy
+    raise ExperimentError(f"no policy named {name!r} in the configuration")
+
+
+def _build_heavy_tail_platform(
+    config: HeavyTailConfig, policy: PolicySpec
+) -> Testbed:
+    """A fresh testbed with the session-affinity client installed."""
+    return build_testbed(
+        config.testbed,
+        policy,
+        catalog=RequestCatalog(),
+        run_name=f"heavy-tail-{policy.name}",
+        client_factory=SessionAffinityClient,
+    )
+
+
+def run_heavy_tail_once(
+    config: HeavyTailConfig,
+    policy: PolicySpec,
+    trace: Optional[Trace] = None,
+) -> HeavyTailRunResult:
+    """Replay the heavy-tail trace under one policy."""
+    if trace is None:
+        trace = make_heavy_tail_trace(config)
+    testbed = _build_heavy_tail_platform(config, policy)
+    duration = testbed.run_trace(trace)
+    client = testbed.client
+    return HeavyTailRunResult(
+        policy=policy.name,
+        config=config,
+        collector=testbed.collector,
+        requests_served=testbed.total_requests_served(),
+        connections_reset=testbed.total_resets(),
+        queries_hung=client.in_flight,
+        affinity_hits=getattr(client, "affinity_hits", 0),
+        affinity_fallbacks=getattr(client, "affinity_fallbacks", 0),
+        simulated_duration=duration,
+    )
+
+
+@dataclass
+class HeavyTailComparison:
+    """All policies of one heavy-tail comparison, over the same trace."""
+
+    config: HeavyTailConfig
+    users: UserConcentration
+    runs: Dict[str, HeavyTailRunResult] = field(default_factory=dict)
+
+    def policies(self) -> List[str]:
+        """Policy names, in configuration order."""
+        return [policy.name for policy in self.config.policies]
+
+    def run(self, policy: str) -> HeavyTailRunResult:
+        """The run for one policy."""
+        try:
+            return self.runs[policy]
+        except KeyError as exc:
+            raise ExperimentError(f"no run for policy {policy!r}") from exc
+
+
+class HeavyTailScenario(ScenarioSpec):
+    """The heavy-tailed session workload as a declarative scenario."""
+
+    name = "heavy-tail"
+    title = (
+        "Heavy-tailed sessions: Pareto/lognormal mix with Zipf user affinity"
+    )
+
+    def default_config(self) -> HeavyTailConfig:
+        return HeavyTailConfig()
+
+    def smoke_config(self) -> HeavyTailConfig:
+        return HeavyTailConfig(
+            testbed=TestbedConfig(
+                num_servers=4,
+                workers_per_server=8,
+                cores_per_server=2,
+                backlog_capacity=16,
+            ),
+            num_arrivals=400,
+            num_users=5_000,
+        )
+
+    def cells(self, config: HeavyTailConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=policy.name, params={"policy": policy.name})
+            for policy in config.policies
+        ]
+
+    # trace_key: the default (one shared trace for every policy).
+
+    def make_trace(self, config: HeavyTailConfig, cell: ScenarioCell) -> Trace:
+        return make_heavy_tail_trace(config)
+
+    def build_platform(
+        self, config: HeavyTailConfig, cell: ScenarioCell
+    ) -> Testbed:
+        return _build_heavy_tail_platform(
+            config, _policy_named(config, cell.param("policy"))
+        )
+
+    def run_once(
+        self, config: HeavyTailConfig, cell: ScenarioCell, trace: Trace
+    ) -> HeavyTailRunPayload:
+        policy = _policy_named(config, cell.param("policy"))
+        return run_heavy_tail_once(config, policy, trace=trace).export_payload()
+
+    def aggregate(
+        self,
+        config: HeavyTailConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[HeavyTailRunPayload],
+        trace_for: TraceProvider,
+    ) -> HeavyTailComparison:
+        comparison = HeavyTailComparison(
+            config=config,
+            users=user_concentration(trace_for(cells[0])),
+        )
+        for payload in payloads:
+            comparison.runs[payload.policy] = payload.to_result()
+        return comparison
+
+    def render(self, result: HeavyTailComparison) -> str:
+        return render_heavy_tail_table(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+HEAVY_TAIL_SCENARIO = registry.register(HeavyTailScenario())
+
+
+def run_heavy_tail(
+    config: HeavyTailConfig, jobs: Optional[int] = 1
+) -> HeavyTailComparison:
+    """Replay the heavy-tail trace under every configured policy.
+
+    ``jobs`` fans the per-policy runs out over a process pool
+    (``None``/``0`` = all cores); results are identical for any value —
+    see :mod:`repro.experiments.runner` for the determinism contract.
+    """
+    return run_scenario(HEAVY_TAIL_SCENARIO, config, jobs=jobs)
+
+
+def render_heavy_tail_table(comparison: HeavyTailComparison) -> str:
+    """Text table of the per-policy heavy-tail comparison."""
+    config = comparison.config
+    users = comparison.users
+    rows: List[List[object]] = []
+    for policy in comparison.policies():
+        run = comparison.run(policy)
+        totals = run.collector.totals
+        rows.append(
+            [
+                policy,
+                totals.completed,
+                totals.failed + run.queries_hung,
+                run.summary.mean,
+                run.summary.p99,
+                run.kind_summary(KIND_SESSION).p99,
+                run.kind_summary(KIND_HEAVY).p99,
+                run.affinity_hits,
+                run.affinity_fallbacks,
+            ]
+        )
+    return format_table(
+        [
+            "policy",
+            "completed",
+            "failed",
+            "mean (s)",
+            "p99 (s)",
+            "p99 sess (s)",
+            "p99 heavy (s)",
+            "affine",
+            "fallback",
+        ],
+        rows,
+        title=(
+            f"Heavy-tailed sessions: {config.num_arrivals} arrivals, "
+            f"{users.distinct_users} users seen of {config.num_users} "
+            f"(top user {100 * users.top_user_share:.1f}%), "
+            f"rho={config.load_factor:g}"
+        ),
+    )

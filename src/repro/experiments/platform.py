@@ -218,7 +218,18 @@ class Testbed:
         offer.  The server stays attached to the fabric until its
         connections finish — detaching is the lifecycle's job, once the
         server is :attr:`~repro.server.virtual_router.ServerNode.quiescent`.
+
+        Retiring a server that is already draining raises: the second
+        call would try to remove an address the backend pools no longer
+        hold, and a caller that double-drains (e.g. a detector firing on
+        a server the lifecycle already took out) must find out loudly
+        rather than corrupt the drain state.
         """
+        if server.draining:
+            raise WorkloadError(
+                f"server {server.name!r} is already draining; it has been "
+                "removed from the backend pools and cannot be retired twice"
+            )
         self._retire_backend(server.primary_address)
         server.start_draining()
 
@@ -313,6 +324,7 @@ def build_testbed(
     catalog: Optional[RequestCatalog] = None,
     collector: Optional[ResponseTimeCollector] = None,
     run_name: Optional[str] = None,
+    client_factory: Optional[Callable[..., TrafficGeneratorNode]] = None,
 ) -> Testbed:
     """Build the full platform for one (testbed, policy) combination.
 
@@ -329,6 +341,13 @@ def build_testbed(
         Response-time sink; created fresh when not given.
     run_name:
         Label attached to the collector, defaulting to the policy name.
+    client_factory:
+        Alternative traffic-generator class (or factory accepting the
+        same keyword arguments as
+        :class:`~repro.workload.client.TrafficGeneratorNode`).  The
+        heavy-tail scenario passes
+        :class:`~repro.workload.hostile.SessionAffinityClient` here to
+        get per-user flow affinity.
     """
     simulator = Simulator(seed=config.seed)
     fabric = LANFabric(simulator, latency=config.fabric_latency)
@@ -403,7 +422,8 @@ def build_testbed(
         for index, address in enumerate(server_addresses)
     ]
 
-    client = TrafficGeneratorNode(
+    make_client = client_factory if client_factory is not None else TrafficGeneratorNode
+    client = make_client(
         simulator=simulator,
         name="client",
         address=client_address,

@@ -32,6 +32,8 @@ _BUILTIN_MODULES = (
     "repro.experiments.flash_crowd_experiment",
     "repro.experiments.heterogeneous_experiment",
     "repro.experiments.autoscale_experiment",
+    "repro.experiments.heavy_tail_experiment",
+    "repro.experiments.adversarial_experiment",
 )
 
 _SCENARIOS: Dict[str, "ScenarioSpec"] = {}

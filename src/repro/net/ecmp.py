@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.net.addressing import IPv6Address
@@ -54,6 +54,35 @@ def _hash64(data: str, salt: str) -> int:
     """Stable 64-bit hash (process-independent, like the Maglev table's)."""
     digest = hashlib.sha256(f"{salt}:{data}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def select_next_hop_name(
+    hop_names: Sequence[str],
+    flow_key: FlowKey,
+    hash_scheme: str = "rendezvous",
+    protocol: str = "tcp",
+) -> str:
+    """Pure form of the router's hashing decision, over hop *names*.
+
+    This is the exact computation :meth:`EcmpEdgeRouter.next_hop_for`
+    applies to its (name-sorted) ECMP group.  It is exposed as a free
+    function so offline tooling — notably the hash-collision search in
+    :mod:`repro.workload.hostile` — targets the very hash the data plane
+    runs rather than a reimplementation that could silently drift.
+    """
+    if not hop_names:
+        raise RoutingError("the ECMP group has no next hops")
+    if hash_scheme not in HASH_SCHEMES:
+        raise RoutingError(
+            f"unknown ECMP hash scheme {hash_scheme!r}: expected one of "
+            f"{HASH_SCHEMES}"
+        )
+    key = five_tuple_key(flow_key, protocol)
+    names = sorted(hop_names)
+    if hash_scheme == "modulo":
+        return names[_hash64(key, "ecmp-modulo") % len(names)]
+    # Rendezvous (HRW): every hop scores the key; the highest wins.
+    return max(names, key=lambda name: _hash64(key, f"ecmp-hrw:{name}"))
 
 
 @dataclass
@@ -191,15 +220,18 @@ class EcmpEdgeRouter(NetworkNode):
         hop = self._hop_cache.get(flow_key)
         if hop is not None:
             return hop
-        key = five_tuple_key(flow_key)
-        if self.hash_scheme == "modulo":
-            hop = self._next_hops[_hash64(key, "ecmp-modulo") % len(self._next_hops)]
-        else:
-            # Rendezvous (HRW): every hop scores the key; the highest wins.
-            hop = max(
-                self._next_hops,
-                key=lambda hop: _hash64(key, f"ecmp-hrw:{hop.name}"),
-            )
+        # Delegate to the pure selector so the data plane and offline
+        # tooling (the hostile-workload collision search) share one
+        # implementation.  _next_hops is kept name-sorted, so positions
+        # line up with the selector's sorted name list.
+        name = select_next_hop_name(
+            [candidate.name for candidate in self._next_hops],
+            flow_key,
+            self.hash_scheme,
+        )
+        hop = next(
+            candidate for candidate in self._next_hops if candidate.name == name
+        )
         self._hop_cache[flow_key] = hop
         return hop
 

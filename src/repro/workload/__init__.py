@@ -14,9 +14,21 @@ from repro.workload.client import (
 )
 from repro.workload.diurnal import DiurnalWorkload
 from repro.workload.flash_crowd import RatePhase, SteppedPoissonWorkload
+from repro.workload.hostile import (
+    HeavyTailWorkload,
+    SessionAffinityClient,
+    SynFloodAttacker,
+    UserConcentration,
+    find_colliding_flow_keys,
+    spoofed_source_flows,
+    stable_user_port,
+    user_concentration,
+)
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.requests import (
+    KIND_HEAVY,
     KIND_PHP,
+    KIND_SESSION,
     KIND_STATIC,
     KIND_WIKI,
     Request,
@@ -50,6 +62,16 @@ __all__ = [
     "KIND_PHP",
     "KIND_WIKI",
     "KIND_STATIC",
+    "KIND_HEAVY",
+    "KIND_SESSION",
+    "HeavyTailWorkload",
+    "SessionAffinityClient",
+    "SynFloodAttacker",
+    "UserConcentration",
+    "find_colliding_flow_keys",
+    "spoofed_source_flows",
+    "stable_user_port",
+    "user_concentration",
     "ServiceTimeModel",
     "ExponentialServiceTime",
     "DeterministicServiceTime",

@@ -163,13 +163,22 @@ class TrafficGeneratorNode(NetworkNode):
     def _make_starter(self, request: Request) -> Callable[[], None]:
         return lambda: self.start_query(request)
 
+    def _allocate_port(self, request: Request) -> int:
+        """Source port for a new query.
+
+        The base client round-robins over the ephemeral range; the
+        keep-alive session client in :mod:`repro.workload.hostile`
+        overrides this to derive a stable per-user port (flow affinity).
+        """
+        return self._ports.allocate()
+
     def start_query(self, request: Request) -> None:
         """Open a new connection for ``request`` right now."""
         if request.request_id in self._pending:
             raise WorkloadError(
                 f"request {request.request_id} is already in flight"
             )
-        src_port = self._ports.allocate()
+        src_port = self._allocate_port(request)
         outcome = RequestOutcome(
             request_id=request.request_id,
             kind=request.kind,

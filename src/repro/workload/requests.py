@@ -26,6 +26,10 @@ from repro.errors import WorkloadError
 KIND_PHP = "php"
 KIND_WIKI = "wiki"
 KIND_STATIC = "static"
+#: Kinds used by the hostile/heavy-tailed workloads: a one-shot
+#: heavy-tailed request, and an aggregated keep-alive user session.
+KIND_HEAVY = "heavy"
+KIND_SESSION = "session"
 
 _request_ids = itertools.count(1)
 
@@ -53,6 +57,11 @@ class Request:
     kind: str = KIND_PHP
     url: str = "/"
     response_size: int = 8_000
+    #: Identity of the (simulated) user issuing the query, or ``None``
+    #: for workloads without a user model.  Carried so the keep-alive
+    #: session layer can give per-user flow affinity without keeping
+    #: per-user objects anywhere.
+    user_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:

@@ -112,6 +112,7 @@ class Trace:
                 kind=request.kind,
                 url=request.url,
                 response_size=request.response_size,
+                user_id=request.user_id,
             )
             for request in self._requests
             if start <= request.arrival_time < end
@@ -155,6 +156,7 @@ class Trace:
                 kind=request.kind,
                 url=request.url,
                 response_size=request.response_size,
+                user_id=request.user_id,
             )
             for request in self._requests
         ]
@@ -183,6 +185,8 @@ class Trace:
                     "url": request.url,
                     "response_size": request.response_size,
                 }
+                if request.user_id is not None:
+                    record["user_id"] = request.user_id
                 handle.write(json.dumps(record) + "\n")
 
     @classmethod

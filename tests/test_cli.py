@@ -153,6 +153,8 @@ class TestScenarioCommands:
             "flash-crowd",
             "heterogeneous-fleet",
             "autoscale",
+            "heavy-tail",
+            "adversarial",
         ):
             assert name in captured.out
 
@@ -171,6 +173,8 @@ class TestScenarioCommands:
             "flash-crowd",
             "heterogeneous-fleet",
             "autoscale",
+            "heavy-tail",
+            "adversarial",
         }
         for entry in catalogue:
             assert entry["description"]
@@ -181,6 +185,34 @@ class TestScenarioCommands:
             "reactive",
             "predictive",
         ]
+        assert by_name["adversarial"]["cells"] == [
+            "baseline",
+            "syn-flood",
+            "hash-collision",
+            "gray-failure",
+        ]
+
+    def test_scenarios_json_schema_covers_every_registered_spec(self, capsys):
+        # The machine-readable catalogue is the integration surface for
+        # external tooling: every registered spec must appear, with
+        # exactly the documented keys, in registration order.
+        import json
+
+        from repro.experiments import registry
+
+        exit_code = main(["scenarios", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        catalogue = json.loads(captured.out)
+        assert [entry["name"] for entry in catalogue] == registry.names()
+        for entry in catalogue:
+            assert set(entry) == {"name", "description", "cells"}
+            spec = registry.get(entry["name"])
+            assert entry["description"] == spec.title
+            expected_cells = [
+                str(cell.key) for cell in spec.cells(spec.default_config())
+            ]
+            assert entry["cells"] == expected_cells
 
     def test_autoscale_small_run(self, capsys):
         exit_code = main(
@@ -207,6 +239,49 @@ class TestScenarioCommands:
         assert "capacity-s" in captured.out
         assert "static" in captured.out and "reactive" in captured.out
         assert "provisioned servers" in captured.out
+
+    def test_heavy_tail_small_run(self, capsys):
+        exit_code = main(
+            [
+                "heavy-tail",
+                "--servers", "2",
+                "--workers", "4",
+                "--cores", "1",
+                "--arrivals", "80",
+                "--users", "500",
+                "--policy", "RR",
+                "--policy", "SR4",
+                "--jobs", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Heavy-tailed sessions" in captured.out
+        assert "RR" in captured.out and "SR4" in captured.out
+        assert "affine" in captured.out
+
+    def test_adversarial_small_run(self, capsys):
+        exit_code = main(
+            [
+                "adversarial",
+                "--servers", "4",
+                "--workers", "8",
+                "--cores", "1",
+                "--lbs", "2",
+                "--queries", "150",
+                "--mode", "baseline",
+                "--mode", "hash-collision",
+                "--flood-sources", "4",
+                "--collision-flows", "32",
+                "--jobs", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Adversarial traffic" in captured.out
+        assert "baseline" in captured.out and "hash-collision" in captured.out
+        # The collision search concentrates the flood onto one bucket.
+        assert "100.0%" in captured.out
 
     def test_flash_crowd_small_run(self, capsys):
         exit_code = main(

@@ -1,0 +1,214 @@
+"""Unit tests for the gray-failure injector and quarantine watchdog.
+
+The scenario-level behaviour (quarantine through the real lifecycle,
+graceful mid-flow drain) is pinned in ``test_adversarial_regression.py``;
+these tests exercise the two control pieces in isolation against stub
+servers, where every timing and threshold edge is cheap to hit.
+"""
+
+import pytest
+
+from repro.control.gray_failure import (
+    GrayFailureInjector,
+    GrayFailureWatchdog,
+    QuarantineEvent,
+)
+from repro.errors import ExperimentError
+
+
+class _FakeCPU:
+    def __init__(self, speed=1.0):
+        self.speed = speed
+        self.history = []
+
+    def set_speed(self, speed):
+        self.speed = speed
+        self.history.append(speed)
+
+
+class _FakeApp:
+    def __init__(self):
+        self.busy_threads = 0
+        self.cpu = _FakeCPU()
+
+
+class _FakeServer:
+    def __init__(self, name):
+        self.name = name
+        self.draining = False
+        self.app = _FakeApp()
+
+
+class TestGrayFailureInjector:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(degraded_factor=0.0),
+            dict(degraded_factor=1.0),
+            dict(start_at=-1.0),
+            dict(duration=0.0),
+            dict(jitter_amplitude=1.0),
+            dict(jitter_amplitude=0.3, jitter_interval=0.0),
+        ],
+    )
+    def test_invalid_parameters_are_refused(self, simulator, kwargs):
+        with pytest.raises(ExperimentError):
+            GrayFailureInjector(simulator, _FakeServer("s"), **kwargs)
+
+    def test_degrade_and_restore_window(self, simulator):
+        server = _FakeServer("victim")
+        injector = GrayFailureInjector(
+            simulator, server, degraded_factor=0.25, start_at=2.0, duration=3.0
+        )
+        injector.start()
+        simulator.run(until=1.9)
+        assert not injector.active
+        assert server.app.cpu.speed == 1.0
+        simulator.run(until=2.5)
+        assert injector.active
+        assert injector.degraded_at == 2.0
+        assert server.app.cpu.speed == pytest.approx(0.25)
+        simulator.run(until=6.0)
+        assert not injector.active
+        assert injector.restored_at == 5.0
+        assert server.app.cpu.speed == 1.0
+
+    def test_degradation_scales_the_nominal_speed(self, simulator):
+        server = _FakeServer("fast")
+        server.app.cpu.speed = 2.0
+        injector = GrayFailureInjector(
+            simulator, server, degraded_factor=0.5, start_at=0.0
+        )
+        injector.start()
+        simulator.run()
+        assert injector.active
+        assert server.app.cpu.speed == pytest.approx(1.0)
+
+    def test_square_wave_jitter_is_deterministic(self, simulator):
+        server = _FakeServer("victim")
+        injector = GrayFailureInjector(
+            simulator,
+            server,
+            degraded_factor=0.4,
+            start_at=0.0,
+            duration=2.05,
+            jitter_amplitude=0.3,
+            jitter_interval=0.5,
+        )
+        injector.start()
+        simulator.run(until=3.0)
+        # degrade, then wobbles at 0.5s steps, then the restore.
+        wobbles = server.app.cpu.history[1:-1]
+        expected = [
+            0.4 * (1.3 if phase % 2 else 0.7)
+            for phase in range(1, len(wobbles) + 1)
+        ]
+        assert wobbles == pytest.approx(expected)
+        assert server.app.cpu.history[-1] == 1.0
+        # No wobble survives the restore.
+        assert injector._jitter_task is None
+
+    def test_restore_without_degrade_is_a_noop(self, simulator):
+        server = _FakeServer("victim")
+        injector = GrayFailureInjector(simulator, server, start_at=5.0)
+        injector.restore()
+        assert server.app.cpu.speed == 1.0
+        assert injector.restored_at is None
+
+
+class TestGrayFailureWatchdog:
+    def _fleet(self, busy_counts):
+        servers = [_FakeServer(f"server-{i}") for i in range(len(busy_counts))]
+        for server, count in zip(servers, busy_counts):
+            server.app.busy_threads = count
+        return servers
+
+    def _watchdog(self, simulator, servers, **kwargs):
+        params = dict(interval=0.5, min_busy=2, consecutive=3)
+        params.update(kwargs)
+        return GrayFailureWatchdog(
+            simulator, servers=lambda: servers, **params
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(interval=0.0),
+            dict(slow_factor=1.0),
+            dict(min_busy=0),
+            dict(consecutive=0),
+            dict(max_quarantines=0),
+        ],
+    )
+    def test_invalid_parameters_are_refused(self, simulator, kwargs):
+        with pytest.raises(ExperimentError):
+            self._watchdog(simulator, [], **kwargs)
+
+    def test_persistent_outlier_is_quarantined(self, simulator):
+        servers = self._fleet([8, 1, 1, 1])
+        seen = []
+        watchdog = self._watchdog(
+            simulator, servers, on_quarantine=seen.append
+        )
+        watchdog.start()
+        simulator.run(until=2.0)
+        watchdog.stop()
+        assert watchdog.quarantined == ("server-0",)
+        assert seen == [servers[0]]
+        event = watchdog.events[0]
+        assert isinstance(event, QuarantineEvent)
+        assert event.server == "server-0"
+        assert event.busy_threads == 8
+        assert event.fleet_median == 1.0
+        assert event.strikes == 3
+        assert event.time == pytest.approx(1.5)
+
+    def test_a_compliant_tick_resets_the_strikes(self, simulator):
+        servers = self._fleet([8, 1, 1, 1])
+        watchdog = self._watchdog(simulator, servers)
+        watchdog.start()
+        # Two strikes, then the server recovers before the third.
+        simulator.schedule_at(
+            1.1, lambda: setattr(servers[0].app, "busy_threads", 1)
+        )
+        simulator.run(until=2.0)
+        watchdog.stop()
+        assert watchdog.quarantined == ()
+        assert watchdog.events == []
+
+    def test_an_idle_fleet_never_trips_min_busy(self, simulator):
+        servers = self._fleet([1, 0, 0, 0])
+        watchdog = self._watchdog(simulator, servers, min_busy=2)
+        watchdog.start()
+        simulator.run(until=5.0)
+        watchdog.stop()
+        assert watchdog.quarantined == ()
+
+    def test_max_quarantines_caps_the_damage(self, simulator):
+        servers = self._fleet([9, 9, 1, 1, 1])
+        watchdog = self._watchdog(simulator, servers, max_quarantines=1)
+        watchdog.start()
+        simulator.run(until=3.0)
+        watchdog.stop()
+        assert len(watchdog.quarantined) == 1
+
+    def test_draining_and_quarantined_servers_are_skipped(self, simulator):
+        servers = self._fleet([8, 8, 1, 1])
+        servers[1].draining = True
+        watchdog = self._watchdog(simulator, servers)
+        watchdog.start()
+        simulator.run(until=2.0)
+        watchdog.stop()
+        # Only the non-draining outlier was quarantined, and once
+        # quarantined it stops being compared (no duplicate events).
+        assert watchdog.quarantined == ("server-0",)
+        assert len(watchdog.events) == 1
+
+    def test_a_tiny_fleet_is_left_alone(self, simulator):
+        servers = self._fleet([9])
+        watchdog = self._watchdog(simulator, servers)
+        watchdog.start()
+        simulator.run(until=2.0)
+        watchdog.stop()
+        assert watchdog.ticks > 0
+        assert watchdog.quarantined == ()

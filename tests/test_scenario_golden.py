@@ -148,6 +148,112 @@ class TestAutoscaleGolden:
         assert run.connections_reset == expected["connections_reset"]
 
 
+class TestHeavyTailGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def comparison(self, request):
+        from repro.experiments.heavy_tail_experiment import (
+            HEAVY_TAIL_SCENARIO,
+            run_heavy_tail,
+        )
+
+        return run_heavy_tail(
+            HEAVY_TAIL_SCENARIO.smoke_config(), jobs=request.param
+        )
+
+    def test_user_concentration_bitwise(self, golden, comparison):
+        expected = golden["heavy-tail"]["users"]
+        users = comparison.users
+        assert users.num_requests == expected["num_requests"]
+        assert users.num_sessions == expected["num_sessions"]
+        assert users.num_heavy == expected["num_heavy"]
+        assert users.distinct_users == expected["distinct_users"]
+        assert repr(users.top_user_share) == expected["top_user_share"]
+        assert users.max_user_requests == expected["max_user_requests"]
+
+    @pytest.mark.parametrize("policy", ["RR", "SR4", "SRdyn"])
+    def test_run_results_bitwise(self, golden, comparison, policy):
+        from repro.workload.requests import KIND_HEAVY, KIND_SESSION
+
+        expected = golden["heavy-tail"][policy]
+        run = comparison.run(policy)
+        assert _series_hash(run.collector.response_times()) == expected["response_times"]
+        assert repr(run.summary.mean) == expected["mean"]
+        assert repr(run.summary.p99) == expected["p99"]
+        assert repr(run.kind_summary(KIND_SESSION).p99) == expected["p99_session"]
+        assert repr(run.kind_summary(KIND_HEAVY).p99) == expected["p99_heavy"]
+        totals = run.collector.totals
+        assert totals.completed == expected["completed"]
+        assert totals.failed == expected["failed"]
+        assert run.queries_hung == expected["queries_hung"]
+        assert run.requests_served == expected["requests_served"]
+        assert run.connections_reset == expected["connections_reset"]
+        assert run.affinity_hits == expected["affinity_hits"]
+        assert run.affinity_fallbacks == expected["affinity_fallbacks"]
+
+
+class TestAdversarialGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def comparison(self, request):
+        from repro.experiments.adversarial_experiment import (
+            ADVERSARIAL_SCENARIO,
+            run_adversarial,
+        )
+
+        return run_adversarial(
+            ADVERSARIAL_SCENARIO.smoke_config(), jobs=request.param
+        )
+
+    @pytest.mark.parametrize(
+        "mode", ["baseline", "syn-flood", "hash-collision", "gray-failure"]
+    )
+    def test_run_results_bitwise(self, golden, comparison, mode):
+        expected = golden["adversarial"][mode]
+        run = comparison.run(mode)
+        assert _series_hash(run.collector.response_times()) == expected["response_times"]
+        assert repr(run.summary.mean) == expected["mean"]
+        assert repr(run.summary.p99) == expected["p99"]
+        assert repr(run.completion_rate) == expected["completion_rate"]
+        assert run.requests_served == expected["requests_served"]
+        assert run.connections_reset == expected["connections_reset"]
+        assert run.connections_timed_out == expected["connections_timed_out"]
+        assert run.queries_hung == expected["queries_hung"]
+        assert run.steering_misses == expected["steering_misses"]
+        assert run.recovery_hunts == expected["recovery_hunts"]
+        assert run.attack_syns_sent == expected["attack_syns_sent"]
+        got_bucket = (
+            None
+            if run.attack_bucket_share is None
+            else repr(run.attack_bucket_share)
+        )
+        assert got_bucket == expected["attack_bucket_share"]
+        assert run.flow_entries_created == expected["flow_entries_created"]
+        assert run.flow_entries_expired == expected["flow_entries_expired"]
+        assert run.flow_entries_live == expected["flow_entries_live"]
+        got_delay = (
+            None if run.quarantine_delay is None else repr(run.quarantine_delay)
+        )
+        assert got_delay == expected["quarantine_delay"]
+        assert list(run.quarantined) == expected["quarantined"]
+
+    def test_collision_concentrates_on_one_bucket(self, comparison):
+        # Acceptance criterion: the offline 5-tuple search must land at
+        # least 90% of attack flows on the targeted ECMP bucket when
+        # checked against the *live* router.
+        run = comparison.run("hash-collision")
+        assert run.attack_bucket_share is not None
+        assert run.attack_bucket_share >= 0.9
+
+    def test_legit_traffic_survives_attacks(self, comparison):
+        # The attacks degrade but must not extinguish legitimate
+        # service: under either flood at least 40% of legitimate
+        # queries still complete, and the gray-failure mode (with the
+        # watchdog quarantining the slow server) stays lossless.
+        assert comparison.run("baseline").completion_rate == 1.0
+        assert comparison.run("syn-flood").completion_rate >= 0.4
+        assert comparison.run("hash-collision").completion_rate >= 0.4
+        assert comparison.run("gray-failure").completion_rate == 1.0
+
+
 class TestResilienceGolden:
     @pytest.fixture(scope="class", params=JOBS)
     def comparison(self, request):

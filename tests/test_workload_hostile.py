@@ -1,0 +1,223 @@
+"""Unit tests for the hostile/heavy-tailed workload layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import ResponseTimeCollector
+from repro.net.addressing import CLIENT_PREFIX, VIP_PREFIX
+from repro.net.tcp import EPHEMERAL_PORT_BASE, EPHEMERAL_PORT_RANGE
+from repro.workload.hostile import (
+    HeavyTailWorkload,
+    SessionAffinityClient,
+    find_colliding_flow_keys,
+    spoofed_source_flows,
+    stable_user_port,
+    user_concentration,
+)
+from repro.workload.requests import KIND_HEAVY, KIND_SESSION, Request
+from repro.workload.trace import Trace
+
+VIP = VIP_PREFIX.address_at(1)
+
+
+class TestHeavyTailWorkload:
+    def _workload(self, **overrides):
+        params = dict(
+            rate=50.0, num_arrivals=300, num_users=1_000, heavy_fraction=0.3
+        )
+        params.update(overrides)
+        return HeavyTailWorkload(**params)
+
+    def test_generation_is_seed_deterministic(self):
+        first = self._workload().generate(np.random.default_rng([11, 300]))
+        second = self._workload().generate(np.random.default_rng([11, 300]))
+        assert len(first) == len(second) == 300
+        for left, right in zip(first, second):
+            assert left == right
+
+    def test_trace_structure(self):
+        trace = self._workload().generate(np.random.default_rng(5))
+        arrivals = [request.arrival_time for request in trace]
+        assert arrivals == sorted(arrivals)
+        assert [request.request_id for request in trace] == list(range(1, 301))
+        kinds = {request.kind for request in trace}
+        assert kinds == {KIND_HEAVY, KIND_SESSION}
+        for request in trace:
+            assert request.service_demand > 0
+            assert request.response_size >= 0
+            assert 0 <= request.user_id < 1_000
+            if request.kind == KIND_HEAVY:
+                assert request.url == "/heavy.php"
+            else:
+                assert request.url == "/session.php"
+
+    def test_response_sizes_respect_the_cap(self):
+        workload = self._workload(
+            heavy_fraction=1.0, size_median=4_000, size_cap=6_000
+        )
+        trace = workload.generate(np.random.default_rng(9))
+        sizes = [request.response_size for request in trace]
+        assert max(sizes) <= 6_000
+        assert min(sizes) >= 1
+
+    def test_sessions_aggregate_more_demand_than_single_requests(self):
+        workload = self._workload(mean_session_length=8.0, heavy_fraction=0.0)
+        trace = workload.generate(np.random.default_rng(3))
+        mean_demand = np.mean([request.service_demand for request in trace])
+        # Eight lognormal(median 0.04) requests per session on average.
+        assert mean_demand > 0.04 * 2
+
+    def test_from_load_factor_normalises_by_mixture_mean(self):
+        workload = HeavyTailWorkload.from_load_factor(
+            load_factor=0.7,
+            capacity=8.0,
+            num_arrivals=100,
+            heavy_fraction=0.3,
+            mean_session_length=4.0,
+        )
+        offered = workload.rate * workload.mean_arrival_demand()
+        assert offered == pytest.approx(0.7 * 8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate=0.0),
+            dict(heavy_fraction=1.5),
+            dict(mean_session_length=0.5),
+            dict(num_users=0),
+            dict(user_zipf=1.0),
+            dict(size_median=0),
+            dict(size_sigma=-1.0),
+        ],
+    )
+    def test_invalid_parameters_are_refused(self, kwargs):
+        with pytest.raises(WorkloadError):
+            self._workload(**kwargs)
+
+
+class TestUserConcentration:
+    def test_counts_and_top_share(self):
+        requests = [
+            Request(1, 0.1, 0.05, kind=KIND_SESSION, user_id=7),
+            Request(2, 0.2, 0.05, kind=KIND_SESSION, user_id=7),
+            Request(3, 0.3, 0.05, kind=KIND_HEAVY, user_id=9),
+            Request(4, 0.4, 0.05, kind=KIND_SESSION, user_id=7),
+        ]
+        users = user_concentration(Trace(requests, name="t"))
+        assert users.num_requests == 4
+        assert users.num_sessions == 3
+        assert users.num_heavy == 1
+        assert users.distinct_users == 2
+        assert users.max_user_requests == 3
+        assert users.top_user_share == pytest.approx(0.75)
+
+    def test_refuses_traces_without_user_ids(self):
+        trace = Trace([Request(1, 0.1, 0.05)], name="plain")
+        with pytest.raises(WorkloadError, match="no user ids"):
+            user_concentration(trace)
+
+
+class TestStableUserPort:
+    def test_ports_are_deterministic_and_in_range(self):
+        for user in (0, 1, 17, 10**6):
+            port = stable_user_port(user)
+            assert port == stable_user_port(user)
+            assert EPHEMERAL_PORT_BASE <= port < (
+                EPHEMERAL_PORT_BASE + EPHEMERAL_PORT_RANGE
+            )
+
+    def test_distinct_users_mostly_get_distinct_ports(self):
+        ports = {stable_user_port(user) for user in range(1_000)}
+        # Birthday collisions are possible but must stay rare.
+        assert len(ports) > 950
+
+
+class TestSessionAffinityClient:
+    def _client(self, simulator):
+        return SessionAffinityClient(
+            simulator,
+            "client",
+            CLIENT_PREFIX.address_at(1),
+            VIP,
+            ResponseTimeCollector(name="t"),
+        )
+
+    def test_user_queries_get_their_stable_port(self, simulator):
+        client = self._client(simulator)
+        request = Request(1, 0.1, 0.05, user_id=42)
+        port = client._allocate_port(request)
+        assert port == stable_user_port(42)
+        assert client.affinity_hits == 1
+        assert client.affinity_fallbacks == 0
+
+    def test_active_port_falls_back_to_the_allocator(self, simulator):
+        client = self._client(simulator)
+        first = client._allocate_port(Request(1, 0.1, 0.05, user_id=42))
+        second = client._allocate_port(Request(2, 0.2, 0.05, user_id=42))
+        assert second != first
+        assert client.affinity_fallbacks == 1
+        # Once the first query finishes, the stable port is reusable.
+        client._active_ports.discard(first)
+        third = client._allocate_port(Request(3, 0.3, 0.05, user_id=42))
+        assert third == first
+
+    def test_anonymous_queries_use_the_round_robin_allocator(self, simulator):
+        client = self._client(simulator)
+        port = client._allocate_port(Request(1, 0.1, 0.05))
+        assert client.affinity_hits == 0
+        assert client.affinity_fallbacks == 0
+        assert EPHEMERAL_PORT_BASE <= port < (
+            EPHEMERAL_PORT_BASE + EPHEMERAL_PORT_RANGE
+        )
+
+
+class TestTraceUserIdRoundTrip:
+    def test_save_and_load_preserve_user_ids(self, tmp_path):
+        requests = [
+            Request(1, 0.1, 0.05, kind=KIND_SESSION, user_id=123),
+            Request(2, 0.2, 0.07),
+        ]
+        path = tmp_path / "trace.json"
+        Trace(requests, name="mixed").save(path)
+        loaded = Trace.load(path)
+        assert loaded[0].user_id == 123
+        assert loaded[1].user_id is None
+
+    def test_slice_and_compress_propagate_user_ids(self):
+        trace = Trace(
+            [Request(1, 1.0, 0.05, user_id=5), Request(2, 3.0, 0.05, user_id=6)],
+            name="t",
+        )
+        sliced = trace.slice_time(0.0, 2.0)
+        assert [request.user_id for request in sliced] == [5]
+        compressed = trace.compress_time(2.0)
+        assert [request.user_id for request in compressed] == [5, 6]
+
+
+class TestFloodGenerators:
+    def test_spoofed_flows_need_sources_and_positive_count(self):
+        with pytest.raises(WorkloadError):
+            spoofed_source_flows(VIP, [], 4)
+        with pytest.raises(WorkloadError):
+            spoofed_source_flows(VIP, [CLIENT_PREFIX.address_at(1)], 0)
+
+    def test_collision_search_rejects_bad_arguments(self):
+        sources = [CLIENT_PREFIX.address_at(1)]
+        with pytest.raises(WorkloadError, match="hash scheme"):
+            find_colliding_flow_keys(
+                ["a", "b"], "a", VIP, sources, 1, hash_scheme="crc32"
+            )
+        with pytest.raises(WorkloadError, match="not in the ECMP group"):
+            find_colliding_flow_keys(["a", "b"], "c", VIP, sources, 1)
+        with pytest.raises(WorkloadError, match="at least one source"):
+            find_colliding_flow_keys(["a", "b"], "a", VIP, [], 1)
+        with pytest.raises(WorkloadError, match="positive"):
+            find_colliding_flow_keys(["a", "b"], "a", VIP, sources, 0)
+
+    def test_collision_search_reports_exhaustion(self):
+        sources = [CLIENT_PREFIX.address_at(1)]
+        with pytest.raises(WorkloadError, match="exhausted"):
+            find_colliding_flow_keys(
+                ["a", "b", "c", "d"], "a", VIP, sources, 50, max_candidates=8
+            )
