@@ -6,6 +6,8 @@
 #   make bench-smoke         - one fast benchmark per scenario family, reduced scale
 #   make bench-smoke-parallel - one tiny Figure-2 sweep through the multiprocessing
 #                              runner (jobs=2), so CI exercises the pool path
+#   make scale-smoke         - the scale scenario at partitions=1 and 2; asserts the
+#                              merged results are bit-identical (fingerprint check)
 #   make docs-check          - doc-vs-code consistency tests (CLI + performance docs)
 #   make bench               - the full benchmark suite at default (reduced) scale
 #   make perf                - hot-path throughput cells (events/sec), full profile;
@@ -21,7 +23,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel docs-check perf perf-smoke
+.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke docs-check perf perf-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -81,7 +83,8 @@ bench-smoke:
 		benchmarks/bench_heterogeneous_fleet.py \
 		benchmarks/bench_autoscale.py \
 		benchmarks/bench_heavy_tail.py \
-		benchmarks/bench_adversarial.py
+		benchmarks/bench_adversarial.py \
+		benchmarks/bench_scale.py
 
 # The same Figure-2 smoke sweep, fanned out over 2 worker processes:
 # a cheap end-to-end signal that the parallel sweep runner still works
@@ -90,6 +93,15 @@ bench-smoke-parallel:
 	REPRO_BENCH_QUERIES=800 REPRO_BENCH_RHO_POINTS=2 REPRO_BENCH_JOBS=2 \
 		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
 		benchmarks/bench_figure2_mean_response.py
+
+# One reduced scale run executed serially and again over 2 partition
+# processes; the benchmark asserts the merged results are bit-identical
+# (SHA-256 fingerprint), which holds on any core count — this is the
+# determinism gate of the partitioned engine, not a perf measurement.
+scale-smoke:
+	REPRO_BENCH_SCALE_QUERIES=2000 REPRO_BENCH_SCALE_PARTITIONS=2 \
+		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
+		benchmarks/bench_scale.py
 
 bench:
 	$(PYTHON) -m pytest -q $(BENCH_OPTS) benchmarks

@@ -1,0 +1,80 @@
+"""One-off driver: measure both profiles and pin the scale cell's slots.
+
+Refreshes the `latest` slot of every cell (what `make perf` does), and
+for the new `scale-partitioned` cell also pins `baseline` (the
+partitioned run) and `pre_pr` (the same workload at partitions=1 — the
+serial execution path, see METHODOLOGY).  Existing cells' committed
+pre_pr/baseline slots are left untouched.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_perf_hotpath import (
+    METHODOLOGY,
+    PROFILES,
+    REPORT_PATH,
+    run_profile,
+)
+from repro.bench import PerfCell, PerfReport, time_cell
+from repro.experiments.config import ScaleConfig
+from repro.experiments.scale_experiment import run_scale
+
+
+def _serial_scale_cell(num_queries: int) -> PerfCell:
+    config = ScaleConfig(num_queries=num_queries)
+
+    def prepare():
+        def body():
+            result = run_scale(config, partitions=1)
+            simulated = max(
+                (
+                    summary.get("simulated_seconds", 0.0)
+                    for summary in result.pod_summaries.values()
+                ),
+                default=0.0,
+            )
+            return result.events_executed, simulated, result.completed
+
+        return body
+
+    return PerfCell(
+        name="scale-partitioned",
+        description=f"{num_queries} queries, partitions=1 (serial reference)",
+        prepare=prepare,
+    )
+
+
+def main() -> int:
+    report = PerfReport.load(REPORT_PATH)
+    report.methodology = METHODOLOGY
+    for profile in ("smoke", "full"):
+        measurements = run_profile(profile)
+        report.store(profile, "latest", measurements)
+        report.store(
+            profile,
+            "baseline",
+            {"scale-partitioned": measurements["scale-partitioned"]},
+        )
+        serial_cell = _serial_scale_cell(PROFILES[profile]["scale_queries"])
+        print(f"[{profile}] {serial_cell.name}: {serial_cell.description} ...",
+              flush=True)
+        serial = time_cell(serial_cell)
+        report.store(profile, "pre_pr", {"scale-partitioned": serial})
+        print(
+            f"[{profile}] serial {serial.events_per_sec:,.0f} ev/s vs "
+            f"partitioned "
+            f"{measurements['scale-partitioned'].events_per_sec:,.0f} ev/s",
+            flush=True,
+        )
+    report.save(REPORT_PATH)
+    print(f"wrote {REPORT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,17 @@ engine and packet layers are optimised for:
   day: mixed wiki/static requests, diurnal rates, long replay;
 * ``resilience-churn`` — an ECMP tier with spread uploads and a
   mid-run instance kill: SRH relays, recovery hunts and timer churn.
+* ``scale-partitioned`` — one partitioned run of the ``scale`` family
+  (4 ECMP pods, 4 worker processes): the intra-run parallel path.  Its
+  timed section is the whole coordinated run (workers build their own
+  testbeds, so construction cannot be hoisted out); on a machine with
+  >= 4 free cores the per-pod replays overlap and aggregate events/sec
+  exceeds the serial cells' — the ``busy/wall`` ratio printed by the
+  scenario is the cores-of-useful-work signal (see docs/performance.md).
 
-Timed section = ``Testbed.run_trace`` only; trace generation and testbed
-construction happen outside the timer (see :mod:`repro.bench`).
+For the first three cells the timed section is ``Testbed.run_trace``
+only; trace generation and testbed construction happen outside the
+timer (see :mod:`repro.bench`).
 
 Run it via ``make perf`` (full profile, writes the ``latest`` slot of
 ``BENCH_PERF.json``) or ``make perf-smoke`` (reduced profile, compares
@@ -42,12 +50,14 @@ from repro.bench import (
 from repro.experiments.calibration import analytic_saturation_rate
 from repro.experiments.config import (
     ResilienceConfig,
+    ScaleConfig,
     TestbedConfig,
     WikipediaReplayConfig,
     sr_policy,
 )
 from repro.experiments.platform import Testbed, build_testbed
 from repro.experiments.resilience_experiment import make_resilience_trace
+from repro.experiments.scale_experiment import run_scale
 from repro.experiments.wikipedia_experiment import make_wikipedia_trace
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.service_models import ExponentialServiceTime
@@ -59,7 +69,13 @@ REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_PERF.json"
 METHODOLOGY = (
     "Each cell replays a fixed-seed trace on a fresh testbed; the timed "
     "section is Testbed.run_trace only (trace generation and testbed "
-    "construction are excluded). events_per_sec = Simulator.events_executed "
+    "construction are excluded). Exception: scale-partitioned times the "
+    "whole partitioned run (workers build their own testbeds), counts "
+    "events across every partition simulator, and runs 4 worker "
+    "processes -- its events_per_sec scales with free cores, so for that "
+    "cell pre_pr records the same workload at partitions=1 (the serial "
+    "execution path) on the same machine. "
+    "events_per_sec = Simulator.events_executed "
     "/ wall-clock seconds of the timed section, best of --repeats runs. "
     "Slots: pre_pr = the last numbers measured on the code before a "
     "hot-path PR (same harness, same machine as its baseline), baseline = "
@@ -76,13 +92,20 @@ PROFILES = {
         "poisson_queries": 30_000,
         "wiki_duration": 480.0,
         "resilience_queries": 8_000,
+        "scale_queries": 1_000_000,
     },
     "smoke": {
         "poisson_queries": 6_000,
         "wiki_duration": 120.0,
         "resilience_queries": 2_000,
+        "scale_queries": 20_000,
     },
 }
+
+#: Worker processes of the ``scale-partitioned`` cell.  Fixed (not
+#: ``os.cpu_count()``) so the measured workload is identical across
+#: machines; results are bit-identical for any value regardless.
+SCALE_PARTITIONS = 4
 
 
 def _timed_replay(testbed: Testbed, trace: Trace):
@@ -177,13 +200,41 @@ def _resilience_churn_cell(num_queries: int) -> PerfCell:
     )
 
 
+def _scale_partitioned_cell(num_queries: int) -> PerfCell:
+    config = ScaleConfig(num_queries=num_queries)
+
+    def prepare():
+        def body():
+            result = run_scale(config, partitions=SCALE_PARTITIONS)
+            simulated = max(
+                (
+                    summary.get("simulated_seconds", 0.0)
+                    for summary in result.pod_summaries.values()
+                ),
+                default=0.0,
+            )
+            return result.events_executed, simulated, result.completed
+
+        return body
+
+    return PerfCell(
+        name="scale-partitioned",
+        description=(
+            f"{num_queries} queries over {config.pods} ECMP pods, "
+            f"{SCALE_PARTITIONS} partition processes (whole run timed)"
+        ),
+        prepare=prepare,
+    )
+
+
 def profile_cells(profile: str):
-    """The three perf cells at one profile's scale."""
+    """The perf cells at one profile's scale."""
     sizes = PROFILES[profile]
     return (
         _poisson_high_load_cell(sizes["poisson_queries"]),
         _wikipedia_slice_cell(sizes["wiki_duration"]),
         _resilience_churn_cell(sizes["resilience_queries"]),
+        _scale_partitioned_cell(sizes["scale_queries"]),
     )
 
 

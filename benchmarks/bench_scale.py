@@ -1,0 +1,69 @@
+"""Scale scenario — one partitioned run, bit-identical on any process count.
+
+The ``scale`` family replays one aggregate query stream over ECMP-hashed
+pods, each pod its own simulator partition (:mod:`repro.sim.partition`).
+This benchmark runs the family at a reduced scale and pins the property
+the whole design rests on: the merged result — down to its SHA-256
+fingerprint — is identical whether the partitions execute in one process
+or several.  The same check, at the same scale, is the CI ``scale-smoke``
+job (``make scale-smoke``).
+
+Scale knobs: ``REPRO_BENCH_SCALE_QUERIES`` sets the aggregate query count
+(default 2000; the north-star runs use 1e6+ via ``make perf``);
+``REPRO_BENCH_SCALE_PARTITIONS`` the process count of the partitioned
+side (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once, write_output
+from repro.experiments.config import ScaleConfig, TestbedConfig
+from repro.experiments.figures import render_scenario_figure
+from repro.experiments.scale_experiment import ScaleResult, run_scale
+
+
+def _queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE_QUERIES", 2_000))
+
+
+def _partitions() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE_PARTITIONS", 2))
+
+
+def _config() -> ScaleConfig:
+    return ScaleConfig(
+        testbed=TestbedConfig(
+            num_servers=4, workers_per_server=8, backlog_capacity=16
+        ),
+        pods=4,
+        num_queries=_queries(),
+        max_windows=8,
+    )
+
+
+def bench_scale_partition_equivalence(benchmark):
+    config = _config()
+    serial = run_scale(config, partitions=1)
+
+    partitioned = run_once(
+        benchmark, lambda: run_scale(config, partitions=_partitions())
+    )
+
+    write_output(
+        "scale_partitioned",
+        render_scenario_figure("scale", ScaleResult(config=config, run=partitioned)),
+    )
+
+    # The acceptance property: partitioning is a wall-clock knob, never a
+    # results knob.  Bit-identical fingerprints, same pod shares, same
+    # aggregate outcome counts.
+    assert partitioned.fingerprint() == serial.fingerprint()
+    assert partitioned.completed == serial.completed
+    assert partitioned.failed == serial.failed
+    assert partitioned.completed + partitioned.failed == config.num_queries
+    assert sorted(partitioned.pod_summaries) == list(range(config.pods))
+    for pod, summary in partitioned.pod_summaries.items():
+        assert summary["queries"] > 0, f"pod {pod} received no queries"
+        assert summary["events_executed"] > 0

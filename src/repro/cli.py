@@ -50,6 +50,12 @@ Installed as the ``srlb-repro`` console script (also runnable as
     failure (degraded-but-alive server, watchdog quarantine) happens
     mid-run, and print what the legitimate flows experienced.
 
+``scale``
+    Run one partitioned million-client replay: the aggregate query
+    stream is ECMP-sharded over identical pods, each pod simulated by
+    its own partition, and the merged result printed with its
+    determinism fingerprint (identical for any ``--partitions``).
+
 ``scenarios``
     List every scenario family registered in
     :mod:`repro.experiments.registry` (``--json`` for tooling).
@@ -62,6 +68,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -85,6 +92,7 @@ from repro.experiments.config import (
     PoissonSweepConfig,
     PolicySpec,
     ResilienceConfig,
+    ScaleConfig,
     TestbedConfig,
     WikipediaReplayConfig,
     paper_policy_suite,
@@ -103,6 +111,7 @@ from repro.experiments.resilience_experiment import (
     render_resilience_table,
     run_resilience_comparison,
 )
+from repro.experiments.scale_experiment import run_scale_scenario
 from repro.experiments.wikipedia_experiment import WikipediaReplay, make_wikipedia_trace
 from repro.metrics.reporting import format_table
 
@@ -163,10 +172,46 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=_jobs_count,
         default=1,
-        help="worker processes for independent runs "
-        "(default 1 = in-process, 0 = all cores); results are identical "
-        "for any value",
+        help="inter-run fan-out: worker processes running *independent* "
+        "runs (sweep cells) concurrently (default 1 = in-process, "
+        "0 = all cores); distinct from --partitions, which splits one "
+        "run across processes; results are identical for any value",
     )
+
+
+def _partitions_count(text: str) -> int:
+    """Parse and validate a ``--partitions`` value at the argparse layer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer number of partition processes, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (1 = run every partition in-process), got {value}"
+        )
+    return value
+
+
+def _check_parallelism_budget(jobs: int, partitions: int) -> None:
+    """Reject multiplicative over-subscription of the machine.
+
+    ``--jobs`` fans out across independent runs and ``--partitions``
+    splits one run; using both multiplies the process count.  Asking for
+    more simultaneous workers than the machine has CPUs is never what
+    the user wants (it only adds scheduling churn), so it is a usage
+    error rather than a silent slowdown.
+    """
+    available = os.cpu_count() or 1
+    effective_jobs = available if jobs == 0 else jobs
+    if effective_jobs > 1 and partitions > 1 and effective_jobs * partitions > available:
+        raise ReproError(
+            f"--jobs {effective_jobs} x --partitions {partitions} = "
+            f"{effective_jobs * partitions} worker processes, but this machine "
+            f"has {available} CPU(s); lower one of them (use --jobs for "
+            "fanning out independent runs, --partitions for splitting one run)"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -469,6 +514,23 @@ def _command_adversarial(args: argparse.Namespace) -> int:
     )
     result = run_adversarial(config, jobs=args.jobs)
     print(figures.render_scenario_figure("adversarial", result))
+    return 0
+
+
+def _command_scale(args: argparse.Namespace) -> int:
+    _check_parallelism_budget(args.jobs, args.partitions)
+    config = ScaleConfig(
+        testbed=_testbed_from_args(args),
+        pods=args.pods,
+        num_queries=args.queries,
+        load_factor=args.rho,
+        service_mean=args.service_mean,
+        acceptance_policy=args.policy,
+        ecmp_hash=args.ecmp_hash,
+        max_windows=args.windows,
+    )
+    result = run_scale_scenario(config, partitions=args.partitions, jobs=args.jobs)
+    print(figures.render_scenario_figure("scale", result))
     return 0
 
 
@@ -834,6 +896,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(adversarial)
     adversarial.set_defaults(handler=_command_adversarial)
+
+    scale = subparsers.add_parser(
+        "scale",
+        help="one partitioned replay: millions of queries over ECMP pods",
+    )
+    _add_testbed_arguments(scale)
+    scale.add_argument(
+        "--queries",
+        type=int,
+        default=1_000_000,
+        help="aggregate queries across the whole deployment",
+    )
+    scale.add_argument(
+        "--pods",
+        type=int,
+        default=4,
+        help="identical LB/server pods the front-end ECMP stage shards over",
+    )
+    scale.add_argument(
+        "--partitions",
+        type=_partitions_count,
+        default=1,
+        help="intra-run parallelism: processes executing this one run's "
+        "pods (default 1 = in-process); never changes results, only "
+        "wall-clock — distinct from --jobs, which fans out independent runs",
+    )
+    scale.add_argument(
+        "--rho", type=float, default=0.8, help="load factor per pod"
+    )
+    scale.add_argument("--service-mean", type=float, default=0.02)
+    scale.add_argument(
+        "--policy", default="SR8", help="acceptance policy on the servers"
+    )
+    scale.add_argument(
+        "--ecmp-hash",
+        choices=["rendezvous", "modulo"],
+        default="rendezvous",
+        help="flow-to-pod mapping of the modeled front-end ECMP stage",
+    )
+    scale.add_argument(
+        "--windows",
+        type=int,
+        default=64,
+        help="max synchronization windows per run (lookahead coalescing)",
+    )
+    _add_jobs_argument(scale)
+    scale.set_defaults(handler=_command_scale)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list every registered scenario family"

@@ -40,6 +40,7 @@ from repro.core.consistent_hash import MaglevTable, flow_hash_key
 from repro.core.loadbalancer import LoadBalancerNode
 from repro.errors import LoadBalancerError
 from repro.net.addressing import IPv6Address
+from repro.net.channel import DeliveryChannel, InProcessChannel
 from repro.net.packet import FlowKey, Packet
 from repro.net.router import NetworkNode
 from repro.sim.engine import Simulator
@@ -89,6 +90,9 @@ class ECMPRouterNode(NetworkNode):
         #: Interned per-instance event labels (one f-string per member,
         #: not per forwarded packet).
         self._forward_labels: Dict[str, str] = {}
+        #: The delivery channel the fleet hop goes through (defaults to
+        #: in-process scheduling, bit-identical to direct ``receive``).
+        self.channel: DeliveryChannel = InProcessChannel(simulator)
         self.stats = ECMPStats()
 
     # ------------------------------------------------------------------
@@ -183,9 +187,7 @@ class ECMPRouterNode(NetworkNode):
             label = self._forward_labels[name] = f"ecmp->{name}"
         # Hand the packet to the chosen instance after one switching hop.
         latency = self.fabric.latency if self.fabric is not None else 0.0
-        self.simulator.schedule_in(
-            latency, lambda: instance.receive(packet), label=label
-        )
+        self.channel.deliver(instance, packet, latency, label)
 
     def instance_share(self) -> Dict[str, float]:
         """Fraction of forwarded packets handled by each instance."""

@@ -1027,3 +1027,97 @@ class AdversarialConfig:
     def scaled(self, num_queries: int) -> "AdversarialConfig":
         """A cheaper copy of the configuration (for tests and CI)."""
         return replace(self, num_queries=num_queries)
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Configuration of the partitioned million-client ``scale`` scenario.
+
+    The scenario models one datacenter front end spreading an aggregate
+    query stream over ``pods`` identical load-balancer/server pods via
+    the pure ECMP hash (:func:`repro.net.ecmp.select_next_hop_name`).
+    Each pod is an independent :class:`TestbedConfig`-shaped slice with
+    its own simulator, so the run can be executed by
+    :mod:`repro.sim.partition` on one process or many — bit-identically.
+
+    ``testbed`` describes one pod, not the whole deployment; the
+    deployment is ``pods`` copies of it behind the front-end stage.
+    """
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    pods: int = 4
+    #: Aggregate query count across every pod (the north-star scale runs
+    #: use 1e6+); each pod receives the share the front-end hash deals it.
+    num_queries: int = 1_000_000
+    load_factor: float = 0.8
+    service_mean: float = 0.02
+    acceptance_policy: str = "SR8"
+    num_candidates: int = 2
+    #: Front-end ECMP hash over pods: ``rendezvous`` or ``modulo``.
+    ecmp_hash: str = "rendezvous"
+    #: One-way latency of the link between the front-end stage and the
+    #: pods — the conservative lookahead of the partitioned run.
+    boundary_latency: float = 200e-6
+    #: Cap on synchronization windows per run (see
+    #: :func:`repro.sim.partition.window_ends`).
+    max_windows: int = 64
+    #: Per-pod saturation rate override; analytic when ``None``.
+    saturation_rate: Optional[float] = None
+    workload_seed: int = 86_420
+
+    def __post_init__(self) -> None:
+        if self.pods < 1:
+            raise ExperimentError(f"pods must be positive, got {self.pods!r}")
+        if self.num_queries < self.pods:
+            raise ExperimentError(
+                f"num_queries ({self.num_queries!r}) must be at least the "
+                f"pod count ({self.pods!r})"
+            )
+        if self.load_factor <= 0:
+            raise ExperimentError(
+                f"load_factor must be positive, got {self.load_factor!r}"
+            )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if self.ecmp_hash not in ("rendezvous", "modulo"):
+            raise ExperimentError(
+                f"unknown ecmp_hash {self.ecmp_hash!r}: expected "
+                "'rendezvous' or 'modulo'"
+            )
+        if self.boundary_latency < 0:
+            raise ExperimentError(
+                "boundary_latency must be non-negative, got "
+                f"{self.boundary_latency!r}"
+            )
+        if self.max_windows < 1:
+            raise ExperimentError(
+                f"max_windows must be positive, got {self.max_windows!r}"
+            )
+        if self.saturation_rate is not None and self.saturation_rate <= 0:
+            raise ExperimentError(
+                "saturation_rate must be positive, got "
+                f"{self.saturation_rate!r}"
+            )
+
+    @property
+    def policy(self) -> PolicySpec:
+        """The Service Hunting policy every pod runs under."""
+        return PolicySpec(
+            name=self.acceptance_policy,
+            acceptance_policy=self.acceptance_policy,
+            num_candidates=self.num_candidates,
+        )
+
+    def pod_names(self) -> Tuple[str, ...]:
+        """Stable front-end next-hop names, one per pod."""
+        return tuple(f"pod-{index}" for index in range(self.pods))
+
+    def scaled(self, num_queries: int, pods: Optional[int] = None) -> "ScaleConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(
+            self,
+            num_queries=num_queries,
+            pods=pods if pods is not None else self.pods,
+        )

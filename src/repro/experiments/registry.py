@@ -34,6 +34,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.autoscale_experiment",
     "repro.experiments.heavy_tail_experiment",
     "repro.experiments.adversarial_experiment",
+    "repro.experiments.scale_experiment",
 )
 
 _SCENARIOS: Dict[str, "ScenarioSpec"] = {}

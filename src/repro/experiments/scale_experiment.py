@@ -1,0 +1,534 @@
+"""The ``scale`` scenario: one partitioned run replaying millions of clients.
+
+Every other family runs one testbed in one process, which caps a single
+run at the engine's serial throughput.  This family models the next
+tier up: a datacenter front end spreading one aggregate query stream
+over ``pods`` identical load-balancer/server pods, with each pod an
+independent simulator partition executed by :mod:`repro.sim.partition`.
+
+**Slicing rule.**  The testbed is cut at the edge-router boundary.  The
+front-end ECMP stage is modeled *offline* by the same pure hash the live
+router uses (:func:`repro.net.ecmp.select_next_hop_name`): query ``i``
+of the aggregate stream carries the modeled upstream source port
+``EPHEMERAL_PORT_BASE + (i % EPHEMERAL_PORT_RANGE)``, and the 5-tuple
+hash of that flow key assigns it to a pod.  Flows (ports) are pinned to
+pods, exactly as a real per-flow ECMP stage would, and the assignment is
+a pure function of the config — independent of how many processes
+execute the run.  Inside a pod the replay uses the pod's own traffic
+generator (with pod-local ephemeral ports), so no packet ever crosses a
+partition mid-run; partitions only stream their timestamped request
+outcomes back to the coordinator as
+:class:`~repro.net.channel.BatchFrame` windows.
+
+**Determinism.**  ``partitions`` (worker processes) never changes
+results: pods, traces, and seeds depend only on the config, and the
+coordinator merges outcome frames with the deterministic
+``(time, pod, emission order)`` rule of
+:func:`repro.net.channel.merge_frames`.  The scale golden test pins the
+fingerprint across ``partitions=1`` and ``partitions=2``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import ScaleConfig, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
+from repro.metrics.collector import ResponseTimeCollector
+from repro.net.channel import FrameSender
+from repro.net.ecmp import select_next_hop_name
+from repro.net.packet import FlowKey
+from repro.net.tcp import EPHEMERAL_PORT_BASE, EPHEMERAL_PORT_RANGE, HTTP_PORT
+from repro.sim.partition import (
+    PartitionTask,
+    run_partitioned,
+    window_ends,
+)
+from repro.workload.requests import Request, RequestCatalog
+from repro.workload.trace import Trace
+
+#: Synthetic endpoint addresses of the modeled upstream flow keys.  They
+#: only feed the pure 5-tuple hash (never a live fabric), so plain
+#: strings are sufficient and cheap.
+_FRONTEND_CLIENT = "2001:db8:feed::1"
+_FRONTEND_VIP = "2001:db8:100::80"
+
+#: Extra simulated seconds each pod runs past the last arrival before
+#: the final drain (mirrors ``Testbed.run_trace``'s settle margin).
+SETTLE_MARGIN = 5.0
+
+
+def pod_saturation_rate(config: ScaleConfig) -> float:
+    """Queries/sec one pod sustains at ρ=1 (analytic unless overridden)."""
+    if config.saturation_rate is not None:
+        return config.saturation_rate
+    return analytic_saturation_rate(config.testbed, config.service_mean)
+
+
+def frontend_port_of(query_index: int) -> int:
+    """Modeled upstream source port of aggregate query ``query_index``."""
+    return EPHEMERAL_PORT_BASE + (query_index % EPHEMERAL_PORT_RANGE)
+
+
+def pod_of_port(config: ScaleConfig, port: int) -> int:
+    """The pod the front-end ECMP stage deals flows of ``port`` to."""
+    names = config.pod_names()
+    name = select_next_hop_name(
+        names,
+        FlowKey(_FRONTEND_CLIENT, port, _FRONTEND_VIP, HTTP_PORT),
+        config.ecmp_hash,
+    )
+    return names.index(name)
+
+
+@lru_cache(maxsize=8)
+def _pod_table_cached(pod_names: Tuple[str, ...], ecmp_hash: str) -> np.ndarray:
+    table = np.empty(EPHEMERAL_PORT_RANGE, dtype=np.int64)
+    for offset in range(EPHEMERAL_PORT_RANGE):
+        name = select_next_hop_name(
+            pod_names,
+            FlowKey(
+                _FRONTEND_CLIENT,
+                EPHEMERAL_PORT_BASE + offset,
+                _FRONTEND_VIP,
+                HTTP_PORT,
+            ),
+            ecmp_hash,
+        )
+        table[offset] = pod_names.index(name)
+    return table
+
+
+def _pod_by_port_table(config: ScaleConfig) -> np.ndarray:
+    """Pod assignment for every possible modeled port (vectorization aid).
+
+    Only ``EPHEMERAL_PORT_RANGE`` distinct flow keys exist, so the
+    per-query hash reduces to one table lookup — the difference between
+    hashing 50k keys and hashing every query of a million-query run.
+    The table depends only on the pod names and hash scheme, so it is
+    memoized per process (every pod worker of a run shares it).
+    """
+    return _pod_table_cached(config.pod_names(), config.ecmp_hash)
+
+
+def make_scale_stream(
+    config: ScaleConfig,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The aggregate query stream: ``(arrival times, demands, pod index)``.
+
+    A pure function of the config (the RNG is seeded from the workload
+    seed and the query count only), shared by every partition: each
+    worker regenerates the same arrays and keeps only its pod's slice.
+    """
+    rate = config.load_factor * config.pods * pod_saturation_rate(config)
+    rng = np.random.default_rng([config.workload_seed, config.num_queries])
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=config.num_queries))
+    demands = rng.exponential(config.service_mean, size=config.num_queries)
+    offsets = np.arange(config.num_queries, dtype=np.int64) % EPHEMERAL_PORT_RANGE
+    pods = _pod_by_port_table(config)[offsets]
+    return arrivals, demands, pods
+
+
+def make_pod_trace(config: ScaleConfig, pod_index: int) -> Tuple[Trace, float]:
+    """One pod's slice of the stream, plus the *global* run horizon.
+
+    Request ids and arrival times are the aggregate stream's, so the
+    merged result reads as one deployment-wide run.  The horizon is the
+    last aggregate arrival (not the pod's), so every partition runs the
+    same synchronization windows.
+    """
+    if not 0 <= pod_index < config.pods:
+        raise ExperimentError(
+            f"pod index {pod_index!r} out of range for {config.pods} pods"
+        )
+    arrivals, demands, pods = make_scale_stream(config)
+    requests = [
+        Request(
+            request_id=int(index) + 1,
+            arrival_time=float(arrivals[index]),
+            service_demand=float(demands[index]),
+            url="/scale",
+        )
+        for index in np.flatnonzero(pods == pod_index)
+    ]
+    horizon = float(arrivals[-1]) + SETTLE_MARGIN
+    return Trace(requests, name=f"scale-pod-{pod_index}"), horizon
+
+
+def _pod_seed(config: ScaleConfig, pod_index: int) -> int:
+    """Per-pod simulator seed: distinct pods, deterministic config."""
+    digest = hashlib.sha256(
+        f"scale-pod:{config.testbed.seed}:{pod_index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class _StagingCollector(ResponseTimeCollector):
+    """Collector that also streams every outcome onto the frame channel.
+
+    Outcomes are recorded at their completion (or failure) event, so the
+    staging times are exactly the simulator clock and non-decreasing —
+    the ordering the conservative-lookahead frames promise.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._simulator = None
+        self._sender: Optional[FrameSender] = None
+
+    def bind(self, simulator, sender: FrameSender) -> None:
+        self._simulator = simulator
+        self._sender = sender
+
+    def record(self, outcome) -> None:
+        super().record(outcome)
+        if self._sender is not None:
+            self._sender.stage(
+                self._simulator.now,
+                (
+                    outcome.request_id,
+                    outcome.sent_at,
+                    outcome.response_time if outcome.succeeded else None,
+                    outcome.failure_reason,
+                ),
+            )
+
+
+def scale_partition_worker(task: PartitionTask, sender: FrameSender) -> None:
+    """Run one pod end to end, streaming outcomes in lookahead windows.
+
+    Module-level so :func:`repro.sim.partition.run_partitioned` can ship
+    it to worker processes; the payload is ``(config, pod_index)``.
+    """
+    config, pod_index = task.payload
+    trace, horizon = make_pod_trace(config, pod_index)
+    collector = _StagingCollector(name=f"pod-{pod_index}")
+    testbed = build_testbed(
+        config.testbed.with_seed(_pod_seed(config, pod_index)),
+        config.policy,
+        catalog=RequestCatalog(),
+        collector=collector,
+        run_name=f"pod-{pod_index}",
+    )
+    collector.bind(testbed.simulator, sender)
+
+    for request in trace:
+        testbed.catalog.add(request)
+    testbed.client.schedule_trace(trace)
+
+    start = time.perf_counter()
+    for window_end in window_ends(
+        horizon, config.boundary_latency, config.max_windows
+    ):
+        testbed.simulator.run_window(window_end)
+        # One frame per window; an empty frame is a pure watermark
+        # advance (the null message of conservative synchronization).
+        sender.flush(window_end)
+    # Stragglers past the horizon (idle-flow expiries, late timeouts)
+    # drain here and ride in the sentinel frame.
+    testbed.simulator.run()
+    wall_seconds = time.perf_counter() - start
+
+    totals = collector.totals
+    sender.close(
+        summary={
+            "pod": pod_index,
+            "queries": len(trace),
+            "completed": totals.completed,
+            "failed": totals.failed,
+            "requests_served": testbed.total_requests_served(),
+            "connections_reset": testbed.total_resets(),
+            "events_executed": testbed.simulator.events_executed,
+            "simulated_seconds": testbed.simulator.now,
+            "wall_seconds": wall_seconds,
+        }
+    )
+
+
+@dataclass
+class ScaleRunResult:
+    """The merged, deployment-wide outcome of one partitioned run."""
+
+    config: ScaleConfig
+    partitions: int
+    #: Completion/failure times of the merged outcome stream, in the
+    #: deterministic merge order.
+    times: np.ndarray
+    request_ids: np.ndarray
+    #: Response time per outcome; NaN marks a failed query.
+    response_times: np.ndarray
+    pod_indices: np.ndarray
+    #: Per-pod worker summaries keyed by pod index.
+    pod_summaries: Dict[int, Dict[str, Any]]
+    #: Wall-clock seconds of the whole partitioned run (coordinator).
+    wall_seconds: float
+
+    @property
+    def completed(self) -> int:
+        return int(np.count_nonzero(~np.isnan(self.response_times)))
+
+    @property
+    def failed(self) -> int:
+        return int(np.count_nonzero(np.isnan(self.response_times)))
+
+    @property
+    def events_executed(self) -> int:
+        """Events executed across every partition simulator."""
+        return int(
+            sum(s.get("events_executed", 0) for s in self.pod_summaries.values())
+        )
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed per-partition replay wall-clock — the useful work.
+
+        With N partitions on ≥N free cores this exceeds
+        :attr:`wall_seconds` by roughly the parallel speedup (the
+        ``busy_seconds / wall_seconds`` ratio is "cores of useful work").
+        """
+        return float(
+            sum(s.get("wall_seconds", 0.0) for s in self.pod_summaries.values())
+        )
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulator throughput of the run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
+
+    def ok_response_times(self) -> np.ndarray:
+        """Response times of successful queries, in merge order."""
+        return self.response_times[~np.isnan(self.response_times)]
+
+    def mean_response_time(self) -> float:
+        ok = self.ok_response_times()
+        return float(np.mean(ok)) if ok.size else float("nan")
+
+    def p99_response_time(self) -> float:
+        ok = self.ok_response_times()
+        return float(np.percentile(ok, 99)) if ok.size else float("nan")
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the merged outcome stream, bit-exact.
+
+        Covers (time, request id, response time, pod) per outcome in the
+        deterministic merge order; NaN response times are canonicalised
+        to ``-1`` so the digest is well-defined.  Identical for any
+        ``partitions`` value — the property the scale golden test and
+        the ``scale-smoke`` CI job pin.
+        """
+        series = np.empty((self.times.size, 4), dtype=np.float64)
+        series[:, 0] = self.times
+        series[:, 1] = self.request_ids
+        series[:, 2] = np.where(
+            np.isnan(self.response_times), -1.0, self.response_times
+        )
+        series[:, 3] = self.pod_indices
+        return hashlib.sha256(series.tobytes()).hexdigest()
+
+
+def run_scale(config: ScaleConfig, partitions: int = 1) -> ScaleRunResult:
+    """Execute the partitioned run and merge it into one result.
+
+    ``partitions`` is the number of *worker processes* executing the
+    config's pods; it scales wall-clock on multi-core machines and is
+    guaranteed not to change results.
+    """
+    if partitions < 1:
+        raise ExperimentError(
+            f"partitions must be positive, got {partitions!r}"
+        )
+    tasks = [
+        PartitionTask(index=pod, payload=(config, pod))
+        for pod in range(config.pods)
+    ]
+    start = time.perf_counter()
+    outcome = run_partitioned(
+        scale_partition_worker, tasks, processes=partitions
+    )
+    wall_seconds = time.perf_counter() - start
+
+    count = len(outcome.items)
+    times = np.empty(count, dtype=np.float64)
+    request_ids = np.empty(count, dtype=np.int64)
+    response_times = np.empty(count, dtype=np.float64)
+    pod_indices = np.empty(count, dtype=np.int64)
+    for row, item in enumerate(outcome.items):
+        request_id, _sent_at, response_time, _reason = item.payload
+        times[row] = item.time
+        request_ids[row] = request_id
+        response_times[row] = (
+            float("nan") if response_time is None else response_time
+        )
+        pod_indices[row] = item.partition
+    return ScaleRunResult(
+        config=config,
+        partitions=partitions,
+        times=times,
+        request_ids=request_ids,
+        response_times=response_times,
+        pod_indices=pod_indices,
+        pod_summaries=dict(sorted(outcome.summaries.items())),
+        wall_seconds=wall_seconds,
+    )
+
+
+@dataclass
+class ScaleRunPayload:
+    """Picklable form of :class:`ScaleRunResult` (scenario-cell payload)."""
+
+    config: ScaleConfig
+    partitions: int
+    times: np.ndarray
+    request_ids: np.ndarray
+    response_times: np.ndarray
+    pod_indices: np.ndarray
+    pod_summaries: Dict[int, Dict[str, Any]]
+    wall_seconds: float
+
+    def to_result(self) -> ScaleRunResult:
+        return ScaleRunResult(
+            config=self.config,
+            partitions=self.partitions,
+            times=self.times,
+            request_ids=self.request_ids,
+            response_times=self.response_times,
+            pod_indices=self.pod_indices,
+            pod_summaries=self.pod_summaries,
+            wall_seconds=self.wall_seconds,
+        )
+
+
+@dataclass
+class ScaleResult:
+    """Aggregate of a ``scale`` scenario run (a single cell today)."""
+
+    config: ScaleConfig
+    run: ScaleRunResult
+
+
+class ScaleScenario(ScenarioSpec):
+    """The partitioned million-client replay as a scenario family."""
+
+    name = "scale"
+    title = "Partitioned million-client replay across ECMP pods"
+
+    def default_config(self) -> ScaleConfig:
+        return ScaleConfig()
+
+    def smoke_config(self) -> ScaleConfig:
+        return ScaleConfig(
+            testbed=TestbedConfig(
+                num_servers=4, workers_per_server=8, backlog_capacity=16
+            ),
+            pods=4,
+            num_queries=2_000,
+            max_windows=8,
+        )
+
+    def cells(self, config: ScaleConfig, partitions: int = 1) -> List[ScenarioCell]:
+        return [ScenarioCell(key="scale", params={"partitions": partitions})]
+
+    def make_trace(self, config: ScaleConfig, cell: ScenarioCell) -> Trace:
+        # The aggregate stream is sharded *inside* the partition workers
+        # (each regenerates its own slice); the framework-level trace is
+        # intentionally empty.
+        return Trace((), name="scale-frontend")
+
+    def build_platform(self, config: ScaleConfig, cell: ScenarioCell) -> Testbed:
+        raise ExperimentError(
+            "the scale scenario builds one platform per partition inside "
+            "its workers; use run_scale()"
+        )
+
+    def run_once(
+        self, config: ScaleConfig, cell: ScenarioCell, trace: Trace
+    ) -> ScaleRunPayload:
+        result = run_scale(config, partitions=cell.param("partitions"))
+        return ScaleRunPayload(
+            config=result.config,
+            partitions=result.partitions,
+            times=result.times,
+            request_ids=result.request_ids,
+            response_times=result.response_times,
+            pod_indices=result.pod_indices,
+            pod_summaries=result.pod_summaries,
+            wall_seconds=result.wall_seconds,
+        )
+
+    def aggregate(
+        self,
+        config: ScaleConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[ScaleRunPayload],
+        trace_for: TraceProvider,
+    ) -> ScaleResult:
+        (payload,) = payloads
+        return ScaleResult(config=config, run=payload.to_result())
+
+    def render(self, result: ScaleResult) -> str:
+        run = result.run
+        lines = [
+            "scale: partitioned replay "
+            f"({result.config.num_queries} queries, {result.config.pods} pods, "
+            f"partitions={run.partitions})",
+            "",
+            f"{'pod':>4} {'queries':>9} {'completed':>9} {'failed':>7} "
+            f"{'events':>10} {'wall s':>8}",
+        ]
+        for pod, summary in run.pod_summaries.items():
+            lines.append(
+                f"{pod:>4} {summary.get('queries', 0):>9} "
+                f"{summary.get('completed', 0):>9} {summary.get('failed', 0):>7} "
+                f"{summary.get('events_executed', 0):>10} "
+                f"{summary.get('wall_seconds', 0.0):>8.2f}"
+            )
+        lines.extend(
+            [
+                "",
+                f"aggregate events/sec : {run.events_per_sec:,.0f}",
+                f"cores of useful work : {run.busy_seconds / run.wall_seconds:.2f}"
+                if run.wall_seconds > 0
+                else "cores of useful work : n/a",
+                f"mean response        : {run.mean_response_time():.4f} s",
+                f"p99 response         : {run.p99_response_time():.4f} s",
+                f"fingerprint          : {run.fingerprint()}",
+            ]
+        )
+        return "\n".join(lines)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+SCALE_SCENARIO = registry.register(ScaleScenario())
+
+
+def run_scale_scenario(
+    config: Optional[ScaleConfig] = None,
+    partitions: int = 1,
+    jobs: Optional[int] = 1,
+) -> ScaleResult:
+    """Scenario-framework front for the ``scale`` family.
+
+    ``jobs`` fans the (single) cell through the sweep runner for API
+    symmetry with the other families; ``partitions`` is the intra-run
+    parallelism and is forwarded to the partition driver.
+    """
+    return run_scenario(
+        SCALE_SCENARIO, config, jobs=jobs, partitions=partitions
+    )

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.net.addressing import IPv6Address
+from repro.net.channel import DeliveryChannel, InProcessChannel
 from repro.net.packet import FlowKey, Packet
 from repro.net.router import NetworkNode
 from repro.sim.engine import Simulator
@@ -148,6 +149,9 @@ class EcmpEdgeRouter(NetworkNode):
         #: Interned per-hop event labels (one f-string per hop, not per
         #: packet).
         self._spread_labels: Dict[str, str] = {}
+        #: The delivery channel the spread hop goes through (defaults to
+        #: in-process scheduling, bit-identical to direct ``receive``).
+        self.channel: DeliveryChannel = InProcessChannel(simulator)
         self.stats = EcmpEdgeStats()
 
     # ------------------------------------------------------------------
@@ -278,9 +282,7 @@ class EcmpEdgeRouter(NetworkNode):
         if label is None:
             label = self._spread_labels[name] = f"ecmp->{name}"
         latency = self.fabric.latency if self.fabric is not None else 0.0
-        self.simulator.schedule_in(
-            latency, lambda: hop.receive(packet), label=label
-        )
+        self.channel.deliver(hop, packet, latency, label)
 
     def next_hop_share(self) -> Dict[str, float]:
         """Fraction of spread packets handled by each next hop."""

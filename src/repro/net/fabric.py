@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import RoutingError
 from repro.net.addressing import IPv6Address, IPv6Prefix
+from repro.net.channel import DeliveryChannel, InProcessChannel
 from repro.net.packet import Packet
 from repro.net.router import RoutingTable
 from repro.sim.engine import Simulator
@@ -33,13 +34,35 @@ PacketTap = Callable[[Packet, str, str], None]
 
 @dataclass
 class FabricStats:
-    """Aggregate fabric counters."""
+    """Aggregate fabric counters.
+
+    Drops are counted once each, in exactly one of the
+    ``packets_dropped_*`` counters (see docs/architecture.md):
+
+    * ``no_route`` — the destination address resolved to nothing at send
+      time (unknown, or already detached and therefore unbound);
+    * ``hop_limit`` — the hop limit hit zero at send time;
+    * ``sink_detached`` — the destination resolved at send time but was
+      detached from the fabric while the packet was in flight.  These
+      packets *are* counted in ``packets_delivered``/``bytes_delivered``
+      (the fabric carried them; the sink was gone on arrival).
+    """
 
     packets_delivered: int = 0
     packets_dropped_no_route: int = 0
     packets_dropped_hop_limit: int = 0
+    packets_dropped_sink_detached: int = 0
     bytes_delivered: int = 0
     deliveries_per_node: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def packets_dropped(self) -> int:
+        """Unified drop total across every drop reason."""
+        return (
+            self.packets_dropped_no_route
+            + self.packets_dropped_hop_limit
+            + self.packets_dropped_sink_detached
+        )
 
 
 class LANFabric:
@@ -64,15 +87,26 @@ class LANFabric:
         simulator: Simulator,
         latency: float = 50e-6,
         strict: bool = False,
+        channel: Optional[DeliveryChannel] = None,
     ) -> None:
         if latency < 0:
             raise RoutingError(f"fabric latency must be non-negative, got {latency!r}")
         self.simulator = simulator
         self.latency = latency
         self.strict = strict
+        #: The delivery channel every fabric hop goes through.  The
+        #: default in-process channel reproduces direct scheduling
+        #: bit-for-bit; a partitioned engine may substitute its own.
+        self.channel: DeliveryChannel = (
+            channel if channel is not None else InProcessChannel(simulator)
+        )
         self._nodes: Dict[str, "NetworkNode"] = {}
         self._address_map: Dict[IPv6Address, "NetworkNode"] = {}
         self._prefix_routes: RoutingTable["NetworkNode"] = RoutingTable()
+        #: Names of nodes detached mid-run; checked at delivery time so
+        #: in-flight packets to a detached sink are counted as
+        #: ``packets_dropped_sink_detached`` instead of being delivered.
+        self._detached: set = set()
         self._taps: List[PacketTap] = []
         #: Interned per-destination event labels: one f-string per node
         #: ever delivered to, instead of one per delivered packet.
@@ -88,6 +122,10 @@ class LANFabric:
         if existing is not None and existing is not node:
             raise RoutingError(f"a different node named {node.name!r} already exists")
         self._nodes[node.name] = node
+        # A node (re-)attaching under a previously detached name is live
+        # again; in-flight packets scheduled before the re-attach are
+        # delivered to it, matching a real switch re-learning the port.
+        self._detached.discard(node.name)
 
     def bind_address(self, address: IPv6Address, node: "NetworkNode") -> None:
         """Bind an exact address to a node (wins over prefix routes)."""
@@ -109,6 +147,29 @@ class LANFabric:
     def withdraw_prefix(self, prefix: IPv6Prefix) -> bool:
         """Withdraw a previously advertised prefix."""
         return self._prefix_routes.remove_route(prefix)
+
+    def detach_node(self, node: "NetworkNode") -> None:
+        """Remove ``node`` from the fabric entirely.
+
+        Its exact address bindings and advertised prefixes are withdrawn
+        (later sends drop as ``packets_dropped_no_route``), and packets
+        already in flight toward it are dropped on arrival and counted
+        as ``packets_dropped_sink_detached`` — the unified accounting
+        documented on :class:`FabricStats`.
+        """
+        registered = self._nodes.get(node.name)
+        if registered is not node:
+            raise RoutingError(f"node {node.name!r} is not attached to this fabric")
+        del self._nodes[node.name]
+        self._address_map = {
+            address: owner
+            for address, owner in self._address_map.items()
+            if owner is not node
+        }
+        for route in self._prefix_routes.routes():
+            if route.next_hop is node:
+                self._prefix_routes.remove_route(route.prefix)
+        self._detached.add(node.name)
 
     def add_tap(self, tap: PacketTap) -> None:
         """Register an observer called for every delivered packet."""
@@ -179,9 +240,15 @@ class LANFabric:
         label = self._deliver_labels.get(name)
         if label is None:
             label = self._deliver_labels[name] = f"deliver->{name}"
-        self.simulator.schedule_in(
-            self.latency,
-            lambda: destination.receive(packet),
-            label=label,
-        )
+        detached = self._detached
+
+        def arrives() -> bool:
+            # Checked when the latency elapses, not at send time: the
+            # sink may detach while the packet is in flight.
+            if detached and name in detached:
+                stats.packets_dropped_sink_detached += 1
+                return False
+            return True
+
+        self.channel.deliver(destination, packet, self.latency, label, arrives)
         return True

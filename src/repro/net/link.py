@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 from repro.errors import NetworkError
+from repro.net.channel import DeliveryChannel, InProcessChannel
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
@@ -31,11 +32,26 @@ class PacketSink(Protocol):
 
 @dataclass
 class LinkStats:
-    """Per-direction link counters."""
+    """Per-direction link counters.
+
+    ``packets_dropped`` is the unified drop total; every drop is also
+    counted in exactly one of the reason counters (the same accounting
+    scheme as :class:`~repro.net.fabric.FabricStats`, documented in
+    docs/architecture.md):
+
+    * ``packets_dropped_queue_full`` — tail-drop at send time because
+      the per-direction output queue was full;
+    * ``packets_dropped_sink_detached`` — the receiving endpoint was
+      detached, either at send time or while the packet was in flight.
+      Mid-flight drops are also counted in ``packets_sent`` (the link
+      carried the packet; the sink was gone on arrival).
+    """
 
     packets_sent: int = 0
     packets_dropped: int = 0
     bytes_sent: int = 0
+    packets_dropped_queue_full: int = 0
+    packets_dropped_sink_detached: int = 0
 
 
 class Link:
@@ -66,6 +82,7 @@ class Link:
         latency: float = 50e-6,
         bandwidth_bps: Optional[float] = None,
         queue_capacity: int = 1024,
+        channel: Optional[DeliveryChannel] = None,
     ) -> None:
         if latency < 0:
             raise NetworkError(f"link latency must be non-negative, got {latency!r}")
@@ -78,10 +95,29 @@ class Link:
         self.latency = latency
         self.bandwidth_bps = bandwidth_bps
         self.queue_capacity = queue_capacity
+        self.channel: DeliveryChannel = (
+            channel if channel is not None else InProcessChannel(simulator)
+        )
         # Per-direction state, keyed by the *receiving* endpoint index.
         self._busy_until: Dict[int, float] = {0: 0.0, 1: 0.0}
         self._in_flight: Dict[int, int] = {0: 0, 1: 0}
+        self._detached: Dict[int, bool] = {0: False, 1: False}
         self.stats: Dict[int, LinkStats] = {0: LinkStats(), 1: LinkStats()}
+
+    def detach(self, endpoint: PacketSink) -> None:
+        """Detach ``endpoint``: packets toward it are dropped from now on.
+
+        Drops — whether the detach happened before the send or while the
+        packet was in flight — are counted uniformly as
+        ``packets_dropped_sink_detached`` (plus the ``packets_dropped``
+        total) on the sending direction's stats.
+        """
+        if endpoint is self._endpoints[0]:
+            self._detached[0] = True
+        elif endpoint is self._endpoints[1]:
+            self._detached[1] = True
+        else:
+            raise NetworkError("node is not attached to this link")
 
     def other_end(self, endpoint: PacketSink) -> PacketSink:
         """The endpoint opposite to ``endpoint``."""
@@ -106,11 +142,17 @@ class Link:
         receiver = self._endpoints[direction]
         stats = self.stats[direction]
 
+        if self._detached[direction]:
+            stats.packets_dropped += 1
+            stats.packets_dropped_sink_detached += 1
+            return False
+
         if self.bandwidth_bps is None:
             delivery_delay = self.latency
         else:
             if self._in_flight[direction] >= self.queue_capacity:
                 stats.packets_dropped += 1
+                stats.packets_dropped_queue_full += 1
                 return False
             serialization = packet.size_bytes() * 8 / self.bandwidth_bps
             start = max(self._simulator.now, self._busy_until[direction])
@@ -122,10 +164,18 @@ class Link:
         stats.packets_sent += 1
         stats.bytes_sent += packet.size_bytes()
 
-        def deliver() -> None:
+        def arrives() -> bool:
             if self.bandwidth_bps is not None:
                 self._in_flight[direction] -= 1
-            receiver.receive(packet)
+            if self._detached[direction]:
+                # Detached while the packet was in flight: same counter
+                # as the send-time case above.
+                stats.packets_dropped += 1
+                stats.packets_dropped_sink_detached += 1
+                return False
+            return True
 
-        self._simulator.schedule_in(delivery_delay, deliver, label="link-delivery")
+        self.channel.deliver(
+            receiver, packet, delivery_delay, "link-delivery", arrives
+        )
         return True

@@ -1,0 +1,237 @@
+"""Partitioned intra-run simulation: one run, several simulator processes.
+
+:mod:`repro.experiments.runner` parallelises *across* independent runs;
+this module parallelises *within* one run.  The testbed is sliced at its
+natural boundary — the front-end ECMP stage that spreads flows over
+load-balancer/server pods — into partitions.  Each partition owns its
+own :class:`~repro.sim.engine.Simulator` and executes its share of the
+run; partitions exchange timestamped items as pickled
+:class:`~repro.net.channel.BatchFrame` messages over ``multiprocessing``
+pipes.
+
+Synchronization is conservative lookahead: with a boundary latency of
+``L``, a partition that has executed every event up to time ``T``
+(:meth:`~repro.sim.engine.Simulator.run_window`) may promise the
+watermark ``T`` — anything it emits later is at least ``L`` in the
+future, so no peer waiting on the watermark can receive a straggler in
+its past.  The driver runs each partition in windows and flushes one
+frame per window (empty frames are null messages that only advance the
+watermark).
+
+Determinism does not depend on scheduling: the coordinator merges all
+frames by ``(time, partition index, per-partition emission order)``
+(:func:`~repro.net.channel.merge_frames`), which is a pure function of
+what the partitions emitted.  Running every partition serially in one
+process (``processes=1``) goes through the *same* worker code and the
+same merge, so partitioned and serial runs are bit-identical by
+construction — pinned by the golden tests of the ``scale`` scenario
+family and the hypothesis property test in
+``tests/test_partition_property.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.net.channel import (
+    BatchFrame,
+    CollectingSender,
+    FrameSender,
+    MergedItem,
+    PipeChannelReceiver,
+    PipeChannelSender,
+    merge_frames,
+)
+
+#: A partition worker: builds the partition's world from the task
+#: payload, runs its simulator in lookahead windows, stages timestamped
+#: items on the sender, and closes it (optionally with a summary dict).
+#: Must be a module-level callable so it pickles to worker processes.
+PartitionWorker = Callable[["PartitionTask", FrameSender], None]
+
+#: Summary key carrying a worker failure back to the coordinator.
+ERROR_KEY = "error"
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """One partition's slice of the run.
+
+    ``payload`` is an opaque picklable description of the slice (for the
+    ``scale`` family: the scenario config plus the pod index).
+    """
+
+    index: int
+    payload: Any = None
+
+
+@dataclass
+class PartitionResult:
+    """The merged outcome of a partitioned run."""
+
+    #: Every emitted item in the deterministic merged order.
+    items: List[MergedItem]
+    #: Closing-frame summaries keyed by partition index.
+    summaries: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    def summary_total(self, key: str) -> float:
+        """Sum a numeric summary field across partitions (missing = 0)."""
+        return sum(summary.get(key, 0) for summary in self.summaries.values())
+
+
+def window_ends(horizon: float, lookahead: float, max_windows: int = 64) -> List[float]:
+    """Window boundaries for a run of length ``horizon``.
+
+    The conservative rule only requires windows of at least the boundary
+    lookahead; anything larger is also safe (it just batches more per
+    frame).  Since a datacenter-scale lookahead (~µs) against a
+    seconds-long run would mean millions of synchronization points, the
+    driver coalesces windows to at most ``max_windows`` per run — the
+    watermark still moves monotonically and every item still lands in a
+    frame whose watermark covers it.
+    """
+    if horizon <= 0:
+        return []
+    if lookahead < 0:
+        raise SimulationError(f"lookahead must be non-negative, got {lookahead!r}")
+    if max_windows < 1:
+        raise SimulationError(f"max_windows must be positive, got {max_windows!r}")
+    window = max(lookahead, horizon / max_windows)
+    ends: List[float] = []
+    count = 1
+    while True:
+        end = window * count
+        if end >= horizon:
+            ends.append(horizon)
+            return ends
+        ends.append(end)
+        count += 1
+
+
+def run_partition_serially(
+    worker: PartitionWorker, task: PartitionTask
+) -> List[BatchFrame]:
+    """Run one partition in-process and return its emitted frames."""
+    sender = CollectingSender(task.index)
+    worker(task, sender)
+    sender.close()
+    return sender.frames
+
+
+def _partition_process_main(
+    worker: PartitionWorker, assignments: Sequence
+) -> None:
+    """Child-process entry: run assigned partitions, one pipe each."""
+    for task, connection in assignments:
+        sender = PipeChannelSender(connection, task.index)
+        try:
+            worker(task, sender)
+            sender.close()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+            # A worker that dies silently would deadlock the coordinator
+            # waiting for this partition's sentinel; relay the failure
+            # through the sentinel's summary instead.
+            sender.close(summary={ERROR_KEY: f"{type(exc).__name__}: {exc}"})
+            raise
+        finally:
+            connection.close()
+
+
+def run_partitioned(
+    worker: PartitionWorker,
+    tasks: Sequence[PartitionTask],
+    processes: int = 1,
+    mp_context: Optional[multiprocessing.context.BaseContext] = None,
+) -> PartitionResult:
+    """Execute every partition task and merge the emitted frames.
+
+    ``processes=1`` runs all partitions serially in this process (no
+    pipes, no pickling); ``processes=N`` distributes partitions
+    round-robin over N worker processes speaking pickled frames.  Both
+    paths run the same worker code and the same deterministic merge, so
+    the result is identical for any ``processes`` value.
+    """
+    if not tasks:
+        return PartitionResult(items=[])
+    indices = [task.index for task in tasks]
+    if len(set(indices)) != len(indices):
+        raise SimulationError(f"partition indices must be unique, got {indices!r}")
+    if processes < 1:
+        raise SimulationError(f"processes must be positive, got {processes!r}")
+
+    frames: List[BatchFrame] = []
+    if processes == 1 or len(tasks) == 1:
+        for task in tasks:
+            frames.extend(run_partition_serially(worker, task))
+    else:
+        context = mp_context if mp_context is not None else multiprocessing.get_context()
+        num_processes = min(processes, len(tasks))
+        plans: List[List] = [[] for _ in range(num_processes)]
+        receivers: List[PipeChannelReceiver] = []
+        for position, task in enumerate(tasks):
+            receive_end, send_end = context.Pipe(duplex=False)
+            receivers.append(PipeChannelReceiver(receive_end))
+            plans[position % num_processes].append((task, send_end))
+        children = [
+            context.Process(
+                target=_partition_process_main, args=(worker, plan), daemon=True
+            )
+            for plan in plans
+        ]
+        for child in children:
+            child.start()
+        # The parent's copies of the send ends must be closed, or EOF on
+        # a crashed child would never be observable.
+        for plan in plans:
+            for _, send_end in plan:
+                send_end.close()
+        try:
+            frames = _drain(receivers)
+        finally:
+            for child in children:
+                child.join()
+            for receiver in receivers:
+                receiver.connection.close()
+
+    result = PartitionResult(items=merge_frames(frames))
+    for frame in frames:
+        if frame.final and frame.summary is not None:
+            result.summaries[frame.partition] = frame.summary
+    failures = {
+        partition: summary[ERROR_KEY]
+        for partition, summary in result.summaries.items()
+        if ERROR_KEY in summary
+    }
+    if failures:
+        raise SimulationError(f"partition worker(s) failed: {failures!r}")
+    return result
+
+
+def _drain(receivers: Sequence[PipeChannelReceiver]) -> List[BatchFrame]:
+    """Collect frames until every receiver has delivered its sentinel.
+
+    Like :func:`repro.net.channel.drain_receivers`, but a crashed child
+    (EOF before the sentinel) raises :class:`SimulationError` naming the
+    partitions still open instead of a bare channel error.
+    """
+    from multiprocessing.connection import wait
+
+    by_connection = {receiver.connection: receiver for receiver in receivers}
+    open_connections = list(by_connection)
+    frames: List[BatchFrame] = []
+    while open_connections:
+        for connection in wait(open_connections):
+            try:
+                frame = by_connection[connection].recv()
+            except EOFError:
+                raise SimulationError(
+                    "a partition process exited before sending its sentinel "
+                    f"frame ({len(open_connections)} partition(s) still open)"
+                ) from None
+            frames.append(frame)
+            if frame.final:
+                open_connections.remove(connection)
+    return frames

@@ -140,6 +140,53 @@ class TestJobsValidation:
         assert build_parser().parse_args(["poisson", "--jobs", "0"]).jobs == 0
         assert build_parser().parse_args(["poisson", "--jobs", "4"]).jobs == 4
 
+    def test_jobs_help_distinguishes_partitions(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale", "--help"])
+        text = capsys.readouterr().out
+        assert "inter-run fan-out" in text
+        assert "intra-run" in text
+
+    def test_nonpositive_partitions_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["scale", "--partitions", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_times_partitions_over_cpu_budget_is_an_error(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 4)
+        exit_code = main(
+            ["scale", "--queries", "100", "--jobs", "3", "--partitions", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "6 worker processes" in captured.err
+        assert "4 CPU(s)" in captured.err
+
+    def test_jobs_zero_resolves_to_all_cores_for_the_budget(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 2)
+        exit_code = main(
+            ["scale", "--queries", "100", "--jobs", "0", "--partitions", "2"]
+        )
+        assert exit_code == 2
+        assert "worker processes" in capsys.readouterr().err
+
+    def test_budget_within_cpus_is_accepted(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 8)
+        cli._check_parallelism_budget(jobs=2, partitions=4)  # no raise
+        cli._check_parallelism_budget(jobs=1, partitions=64)  # partitions alone OK
+        cli._check_parallelism_budget(jobs=64, partitions=1)  # jobs alone OK
+
 
 class TestScenarioCommands:
     def test_scenarios_lists_the_registry(self, capsys):
@@ -155,8 +202,24 @@ class TestScenarioCommands:
             "autoscale",
             "heavy-tail",
             "adversarial",
+            "scale",
         ):
             assert name in captured.out
+
+    def test_scale_small_run(self, capsys):
+        exit_code = main(
+            [
+                "scale",
+                "--servers", "4",
+                "--workers", "8",
+                "--queries", "400",
+                "--partitions", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "partitioned replay" in captured.out
+        assert "fingerprint" in captured.out
 
     def test_scenarios_json_is_machine_readable(self, capsys):
         import json

@@ -20,7 +20,12 @@ BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_hotpath.py"
 REPORT_PATH = REPO_ROOT / "BENCH_PERF.json"
 
 #: The perf cells the harness defines; the doc must describe every one.
-PERF_CELLS = ("poisson-high-load", "wikipedia-slice", "resilience-churn")
+PERF_CELLS = (
+    "poisson-high-load",
+    "wikipedia-slice",
+    "resilience-churn",
+    "scale-partitioned",
+)
 
 #: Record slots kept per (profile, cell) in BENCH_PERF.json.
 PERF_SLOTS = ("pre_pr", "baseline", "latest")

@@ -230,3 +230,103 @@ class TestLink:
         link = Link(simulator, a, b)
         with pytest.raises(NetworkError):
             link.transmit(c, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80))
+
+
+class TestDetachAccounting:
+    """The unified drop counters of the ISSUE's accounting satellite."""
+
+    def test_fabric_detach_midflight_counts_sink_detached(
+        self, simulator, fabric_setup
+    ):
+        fabric, a, b = fabric_setup
+        a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        # The packet is in flight (latency 1 ms); the sink detaches
+        # before it lands.
+        fabric.detach_node(b)
+        simulator.run()
+        assert b.received == []
+        assert fabric.stats.packets_dropped_sink_detached == 1
+        assert fabric.stats.packets_dropped_no_route == 0
+
+    def test_fabric_send_after_detach_is_no_route(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        target = b.primary_address
+        fabric.detach_node(b)
+        a.send(make_syn(a.primary_address, target, 1000, 80))
+        simulator.run()
+        # The address is unbound at send time, so the drop is a routing
+        # miss, not a detached sink (documented in docs/architecture.md).
+        assert fabric.stats.packets_dropped_no_route == 1
+        assert fabric.stats.packets_dropped_sink_detached == 0
+
+    def test_fabric_packets_dropped_is_the_unified_total(
+        self, simulator, fabric_setup
+    ):
+        fabric, a, b = fabric_setup
+        target = b.primary_address
+        a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        fabric.detach_node(b)
+        a.send(make_syn(a.primary_address, target, 1000, 80))
+        simulator.run()
+        assert fabric.stats.packets_dropped == 2
+
+    def test_fabric_reattach_makes_the_sink_live_again(
+        self, simulator, fabric_setup
+    ):
+        fabric, a, b = fabric_setup
+        fabric.detach_node(b)
+        b.attach(fabric)
+        a.send(make_syn(a.primary_address, b.primary_address, 1000, 80))
+        simulator.run()
+        assert len(b.received) == 1
+        assert fabric.stats.packets_dropped_sink_detached == 0
+
+    def test_fabric_detach_unknown_node_rejected(self, simulator, fabric_setup):
+        fabric, a, b = fabric_setup
+        stranger = RecordingNode(simulator, "stranger")
+        with pytest.raises(NetworkError):
+            fabric.detach_node(stranger)
+
+    def test_link_send_after_detach_counts_sink_detached(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b, latency=0.001)
+        link.detach(b)
+        assert link.transmit(a, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80)) is False
+        stats = link.stats[1]
+        assert stats.packets_dropped == 1
+        assert stats.packets_dropped_sink_detached == 1
+        assert stats.packets_dropped_queue_full == 0
+
+    def test_link_detach_midflight_drops_on_arrival(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b, latency=0.001)
+        assert link.transmit(a, make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80)) is True
+        link.detach(b)
+        simulator.run()
+        assert b.received == []
+        assert link.stats[1].packets_dropped_sink_detached == 1
+
+    def test_link_queue_full_and_detached_counted_separately(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b, latency=0.0, bandwidth_bps=1e3, queue_capacity=1)
+        syn = lambda: make_syn(_addr("fd00::1"), _addr("fd00::2"), 1000, 80)
+        link.transmit(a, syn())
+        link.transmit(a, syn())  # tail-drop
+        link.detach(b)
+        link.transmit(a, syn())  # detached at send time
+        simulator.run()
+        stats = link.stats[1]
+        assert stats.packets_dropped_queue_full == 1
+        # One send-time drop plus the in-flight packet dropped on arrival.
+        assert stats.packets_dropped_sink_detached == 2
+        assert stats.packets_dropped == 3
+
+    def test_link_detach_foreign_node_rejected(self, simulator):
+        a = RecordingNode(simulator, "a")
+        b = RecordingNode(simulator, "b")
+        link = Link(simulator, a, b)
+        with pytest.raises(NetworkError):
+            link.detach(RecordingNode(simulator, "c"))

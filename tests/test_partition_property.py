@@ -1,0 +1,112 @@
+"""Property tests for the partition frame protocol (ISSUE satellite).
+
+The claim under test: the merged event order produced by
+:func:`repro.net.channel.merge_frames` is a pure function of what each
+partition *emitted* — any interleaving of frames across partitions (the
+part OS scheduling controls) yields exactly the single-process order, as
+long as each partition's own frames arrive in emission order (which the
+FIFO pipes guarantee).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.channel import BatchFrame, merge_frames
+
+
+@st.composite
+def partition_emissions(draw):
+    """Per-partition sorted item times, split into watermarked frames.
+
+    Returns ``{partition: [BatchFrame, ...]}`` with non-decreasing
+    watermarks and every item time above the preceding watermark —
+    i.e. exactly what a conforming sender may emit.
+    """
+    num_partitions = draw(st.integers(min_value=1, max_value=4))
+    frames_by_partition = {}
+    for partition in range(num_partitions):
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=100.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=0,
+                    max_size=12,
+                )
+            )
+        )
+        num_frames = draw(st.integers(min_value=1, max_value=4))
+        # Random split points partition the sorted times into frames.
+        splits = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(times)),
+                    min_size=num_frames - 1,
+                    max_size=num_frames - 1,
+                )
+            )
+        )
+        bounds = [0, *splits, len(times)]
+        frames = []
+        watermark = -math.inf
+        for start, end in zip(bounds, bounds[1:]):
+            chunk = times[start:end]
+            # A conforming watermark: at or above every item in the
+            # frame, and never below the previous watermark.
+            watermark = max(watermark, *(chunk or [watermark]))
+            frames.append(
+                BatchFrame(
+                    partition,
+                    watermark,
+                    tuple((t, (partition, start + i)) for i, t in enumerate(chunk)),
+                )
+            )
+        frames.append(BatchFrame(partition, math.inf, ()))
+        frames_by_partition[partition] = frames
+    return frames_by_partition
+
+
+@st.composite
+def interleavings(draw):
+    """An emission set plus one arbitrary cross-partition interleaving."""
+    by_partition = draw(partition_emissions())
+    queues = {p: list(frames) for p, frames in by_partition.items()}
+    order = []
+    while any(queues.values()):
+        candidates = sorted(p for p, q in queues.items() if q)
+        pick = draw(st.sampled_from(candidates))
+        order.append(queues[pick].pop(0))
+    return by_partition, order
+
+
+@given(data=interleavings())
+@settings(max_examples=200, deadline=None)
+def test_any_frame_interleaving_merges_to_the_single_process_order(data):
+    by_partition, shuffled = data
+    # The single-process reference: every partition's frames in
+    # emission order, partitions concatenated.
+    reference_frames = [
+        frame for p in sorted(by_partition) for frame in by_partition[p]
+    ]
+    reference = merge_frames(reference_frames)
+    merged = merge_frames(shuffled)
+    assert merged == reference
+
+
+@given(data=interleavings())
+@settings(max_examples=100, deadline=None)
+def test_merged_order_is_sorted_and_stable_within_partitions(data):
+    _, shuffled = data
+    merged = merge_frames(shuffled)
+    keys = [(item.time, item.partition, item.seq) for item in merged]
+    assert keys == sorted(keys)
+    # Within one partition the emission order (seq) is preserved.
+    for partition in {item.partition for item in merged}:
+        seqs = [item.seq for item in merged if item.partition == partition]
+        assert seqs == sorted(seqs)

@@ -1,0 +1,128 @@
+"""Unit tests for the partitioned-run driver (:mod:`repro.sim.partition`)."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.partition import (
+    ERROR_KEY,
+    PartitionTask,
+    run_partition_serially,
+    run_partitioned,
+    window_ends,
+)
+
+
+class TestWindowEnds:
+    def test_coalesces_tiny_lookahead_to_max_windows(self):
+        ends = window_ends(100.0, 1e-6, max_windows=4)
+        assert ends == [25.0, 50.0, 75.0, 100.0]
+
+    def test_large_lookahead_yields_fewer_windows(self):
+        ends = window_ends(10.0, 4.0, max_windows=64)
+        assert ends == [4.0, 8.0, 10.0]
+
+    def test_last_window_is_exactly_the_horizon(self):
+        assert window_ends(7.3, 1.0, max_windows=8)[-1] == 7.3
+
+    def test_watermarks_strictly_increase(self):
+        ends = window_ends(123.4, 0.002, max_windows=64)
+        assert all(a < b for a, b in zip(ends, ends[1:]))
+
+    def test_empty_horizon_means_no_windows(self):
+        assert window_ends(0.0, 1.0) == []
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(SimulationError):
+            window_ends(10.0, -1.0)
+
+    def test_nonpositive_max_windows_rejected(self):
+        with pytest.raises(SimulationError):
+            window_ends(10.0, 1.0, max_windows=0)
+
+
+def emitting_worker(task, sender):
+    """Stage a deterministic pattern derived from the task payload."""
+    base = float(task.payload)
+    for window in range(1, 4):
+        for step in range(2):
+            sender.stage(base + window + step / 10.0, (task.index, window, step))
+        sender.flush(base + window + 0.9)
+
+
+def failing_worker(task, sender):
+    if task.index == 1:
+        raise RuntimeError("boom")
+    emitting_worker(task, sender)
+
+
+TASKS = [PartitionTask(index=i, payload=i * 10.0) for i in range(3)]
+
+
+class TestRunPartitioned:
+    def test_serial_run_emits_frames_and_sentinel(self):
+        frames = run_partition_serially(emitting_worker, TASKS[0])
+        assert [frame.final for frame in frames] == [False, False, False, True]
+        assert all(frame.partition == 0 for frame in frames)
+
+    def test_processes_equals_one_merges_deterministically(self):
+        result = run_partitioned(emitting_worker, TASKS, processes=1)
+        times = [item.time for item in result.items]
+        assert times == sorted(times)
+        assert len(result.items) == 3 * 3 * 2
+
+    def test_multiprocess_run_is_identical_to_serial(self):
+        serial = run_partitioned(emitting_worker, TASKS, processes=1)
+        parallel = run_partitioned(emitting_worker, TASKS, processes=2)
+        assert parallel.items == serial.items
+        assert parallel.summaries == serial.summaries
+
+    def test_worker_summaries_are_collected(self):
+        def summarizing(task, sender):
+            sender.close(summary={"pod": task.index})
+
+        result = run_partitioned(summarizing, TASKS, processes=1)
+        assert result.summaries == {0: {"pod": 0}, 1: {"pod": 1}, 2: {"pod": 2}}
+        assert result.summary_total("pod") == 3
+
+    def test_no_tasks_is_an_empty_result(self):
+        result = run_partitioned(emitting_worker, [], processes=4)
+        assert result.items == [] and result.summaries == {}
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(SimulationError):
+            run_partitioned(
+                emitting_worker,
+                [PartitionTask(0, 0.0), PartitionTask(0, 1.0)],
+            )
+
+    def test_nonpositive_processes_rejected(self):
+        with pytest.raises(SimulationError):
+            run_partitioned(emitting_worker, TASKS, processes=0)
+
+    def test_serial_worker_failure_propagates(self):
+        with pytest.raises(RuntimeError):
+            run_partitioned(failing_worker, TASKS, processes=1)
+
+    def test_multiprocess_worker_failure_is_relayed(self):
+        with pytest.raises(SimulationError) as excinfo:
+            run_partitioned(failing_worker, TASKS, processes=2)
+        message = str(excinfo.value)
+        assert "RuntimeError" in message or "sentinel" in message
+
+    def test_error_key_in_summary_raises_even_serially(self):
+        def poisoned(task, sender):
+            sender.close(summary={ERROR_KEY: "synthetic"})
+
+        with pytest.raises(SimulationError):
+            run_partitioned(poisoned, TASKS[:1], processes=1)
+
+    def test_more_processes_than_tasks_is_fine(self):
+        result = run_partitioned(emitting_worker, TASKS[:2], processes=8)
+        reference = run_partitioned(emitting_worker, TASKS[:2], processes=1)
+        assert result.items == reference.items
+
+    def test_sentinel_watermark_is_infinite(self):
+        frames = run_partition_serially(emitting_worker, TASKS[0])
+        assert math.isinf(frames[-1].window_end)
