@@ -14,6 +14,11 @@
 #                              updates the `latest` slot of BENCH_PERF.json
 #   make perf-smoke          - reduced perf profile (< 2 min) checked against the
 #                              committed BENCH_PERF.json baseline (±30% tolerance)
+#   make profile             - cProfile the poisson-high-load perf cell; writes the
+#                              top-25 cumulative listing under benchmarks/profiles/
+#   make build-fast          - compile the simulator run loop with mypyc (optional;
+#                              prints a notice and succeeds when mypyc is missing).
+#                              Enable the result with REPRO_COMPILED=1.
 #   make coverage            - tier-1 suite under pytest-cov with the pinned
 #                              floor (skipped with a notice when pytest-cov is
 #                              not installed; CI installs it)
@@ -23,7 +28,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke docs-check perf perf-smoke
+.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke docs-check perf perf-smoke profile build-fast
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -68,6 +73,20 @@ perf:
 
 perf-smoke:
 	$(PYTHON) benchmarks/bench_perf_hotpath.py --profile smoke --check --tolerance 0.30 --no-save
+
+# Where the per-event time actually goes: cProfile over the
+# poisson-high-load cell (smoke size, so it finishes quickly), top 25
+# functions by cumulative time, written under benchmarks/profiles/ for
+# before/after comparison in perf-focused PRs.
+profile:
+	$(PYTHON) benchmarks/bench_perf_hotpath.py --profile smoke --cell poisson-high-load \
+		--cprofile benchmarks/profiles --no-save
+
+# Optional compiled run loop (repro.sim._fastloop_c, used only under
+# REPRO_COMPILED=1).  Skips with a notice when mypyc is not installed;
+# the pure-Python loop stays canonical either way.
+build-fast:
+	$(PYTHON) tools/build_fastloop.py
 
 # One representative benchmark per scenario family (figures, ablations,
 # resilience) at a deliberately small scale: a smoke signal, not a

@@ -122,8 +122,13 @@ def _timed_replay(testbed: Testbed, trace: Trace):
     return body
 
 
+# The replay cells measure the shipped-fast pure-Python configuration:
+# packet pooling on.  Pooled runs execute the identical event sequence
+# (the golden-fingerprint tests pin pooled == unpooled bit-for-bit), so
+# events/sec stays comparable with earlier unpooled records — the pool
+# only changes allocation behaviour, never the workload.
 def _poisson_high_load_cell(num_queries: int) -> PerfCell:
-    testbed_config = TestbedConfig(seed=7)
+    testbed_config = TestbedConfig(seed=7, packet_pooling=True)
     service_mean = 0.1
 
     def prepare():
@@ -145,9 +150,9 @@ def _poisson_high_load_cell(num_queries: int) -> PerfCell:
 
 
 def _wikipedia_slice_cell(duration: float) -> PerfCell:
-    config = WikipediaReplayConfig(testbed=TestbedConfig(seed=7)).compressed(
-        duration=duration
-    )
+    config = WikipediaReplayConfig(
+        testbed=TestbedConfig(seed=7, packet_pooling=True)
+    ).compressed(duration=duration)
 
     def prepare():
         trace = make_wikipedia_trace(config)
@@ -169,6 +174,7 @@ def _resilience_churn_cell(num_queries: int) -> PerfCell:
             request_spread=2.0,
             request_chunks=5,
             request_timeout=5.0,
+            packet_pooling=True,
         )
     ).scaled(num_queries)
     scheme = "consistent-hash"
@@ -238,13 +244,51 @@ def profile_cells(profile: str):
     )
 
 
-def run_profile(profile: str, repeats: int = 1) -> Dict[str, CellMeasurement]:
-    """Measure every cell of one profile."""
+#: Cell names accepted by ``--cell`` (profile-independent).
+CELL_NAMES = tuple(cell.name for cell in profile_cells("smoke"))
+
+
+def run_profile(
+    profile: str, repeats: int = 1, cells=None
+) -> Dict[str, CellMeasurement]:
+    """Measure every cell of one profile (or the ``cells`` subset)."""
     measurements: Dict[str, CellMeasurement] = {}
     for cell in profile_cells(profile):
+        if cells is not None and cell.name not in cells:
+            continue
         print(f"[{profile}] {cell.name}: {cell.description} ...", flush=True)
         measurements[cell.name] = time_cell(cell, repeats=repeats)
     return measurements
+
+
+def cprofile_cells(profile: str, cells, out_dir: Path) -> None:
+    """Run cells under cProfile; write top-25 cumulative listings.
+
+    One ``<cell>-<profile>.txt`` per cell under ``out_dir`` (what
+    ``make profile`` produces), also echoed to stdout.  Profiling skews
+    absolute timings, so nothing is recorded in BENCH_PERF.json.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for cell in profile_cells(profile):
+        if cells is not None and cell.name not in cells:
+            continue
+        print(f"[{profile}] profiling {cell.name}: {cell.description} ...", flush=True)
+        body = cell.prepare()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        body()
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        listing = stream.getvalue()
+        path = out_dir / f"{cell.name}-{profile}.txt"
+        path.write_text(listing)
+        print(listing)
+        print(f"wrote {path}")
 
 
 def bench_perf_hotpath_smoke() -> None:
@@ -289,11 +333,31 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-save", action="store_true", help="measure and print only"
     )
+    parser.add_argument(
+        "--cell",
+        action="append",
+        dest="cells",
+        choices=CELL_NAMES,
+        help="restrict to this cell (repeatable; default: all cells)",
+    )
+    parser.add_argument(
+        "--cprofile",
+        type=Path,
+        metavar="DIR",
+        help=(
+            "run the selected cells under cProfile and write top-25 "
+            "cumulative listings under DIR instead of timing them"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.cprofile is not None:
+        cprofile_cells(args.profile, args.cells, args.cprofile)
+        return 0
 
     report = PerfReport.load(args.report)
     report.methodology = METHODOLOGY
-    measurements = run_profile(args.profile, repeats=args.repeats)
+    measurements = run_profile(args.profile, repeats=args.repeats, cells=args.cells)
 
     print()
     print(

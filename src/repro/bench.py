@@ -27,19 +27,36 @@ from __future__ import annotations
 
 import gc
 import json
+import os
+import platform as _platform
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Fields round-tripped through ``BENCH_PERF.json`` for one measurement.
+#: The machine-context fields make "absolute numbers are only comparable
+#: within one machine" checkable in review: two records whose contexts
+#: differ must only be compared as ratios against same-machine peers.
 _RECORD_FIELDS = (
     "events_per_sec",
     "wall_seconds",
     "events",
     "simulated_seconds",
     "queries",
+    "cpu_count",
+    "python",
+    "platform",
 )
+
+
+def machine_context() -> Dict[str, Any]:
+    """The machine identity stamped into every stored perf record."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": _platform.python_version(),
+        "platform": _platform.platform(),
+    }
 
 
 @dataclass(frozen=True)
@@ -61,15 +78,17 @@ class CellMeasurement:
             return 0.0
         return self.events / self.wall_seconds
 
-    def to_record(self) -> Dict[str, float]:
-        """JSON-ready representation (plain floats/ints only)."""
-        return {
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-ready representation (plain scalars only)."""
+        record: Dict[str, Any] = {
             "events_per_sec": round(self.events_per_sec, 1),
             "wall_seconds": round(self.wall_seconds, 4),
             "events": self.events,
             "simulated_seconds": round(self.simulated_seconds, 3),
             "queries": self.queries,
         }
+        record.update(machine_context())
+        return record
 
 
 #: A cell body: builds its platform, replays its workload, and returns

@@ -63,6 +63,16 @@ class CandidateSelector(abc.ABC):
         last element must accept.
         """
 
+    def prepare(self, servers: Sequence[IPv6Address]) -> None:
+        """Precompute pool-derived state for the given server set.
+
+        Called by the load balancer whenever a VIP pool is registered or
+        its membership changes, so selectors that derive state from the
+        pool (the Maglev table) can build it at configuration time
+        instead of on the first packet of the next flow.  The default
+        keeps nothing and does nothing.
+        """
+
     def _validate_pool(self, servers: Sequence[IPv6Address]) -> None:
         if not servers:
             raise SelectionError("cannot select candidates from an empty server pool")
@@ -95,7 +105,9 @@ class RandomCandidateSelector(CandidateSelector):
         indices = self._rng.choice(
             len(servers), size=self.num_candidates, replace=False
         )
-        return [servers[int(index)] for index in indices]
+        # tolist() yields plain ints in one C call — cheaper than
+        # iterating numpy scalars and casting each one.
+        return [servers[index] for index in indices.tolist()]
 
 
 class SingleRandomSelector(RandomCandidateSelector):
@@ -173,6 +185,13 @@ class ConsistentHashCandidateSelector(CandidateSelector):
             self._table = MaglevTable(list(servers), table_size=self._table_size)
             self._table_servers = key
         return self._table
+
+    def prepare(self, servers: Sequence[IPv6Address]) -> None:
+        # Building the table is a pure function of the pool (no RNG, no
+        # scheduling), so doing it eagerly here is observationally
+        # identical to the lazy build the first select would trigger.
+        if servers:
+            self._table_for(servers)
 
     def select(
         self, flow_key: FlowKey, servers: Sequence[IPv6Address]

@@ -18,7 +18,7 @@ a capacity with oldest-idle eviction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FlowTableError
 from repro.net.addressing import IPv6Address
@@ -71,7 +71,25 @@ class FlowTable:
         self.idle_timeout = idle_timeout
         self.capacity = capacity
         self._entries: Dict[FlowKey, FlowEntry] = {}
+        # Time-bucketed expiry index: keys are filed under the bucket of
+        # the last_seen they had when filed, and re-filed lazily — a
+        # steer refreshes last_seen without moving the key, and the
+        # periodic sweep re-files still-fresh keys it encounters.  The
+        # sweep therefore only visits buckets old enough to *possibly*
+        # hold expired entries instead of the whole table (the per-entry
+        # staleness predicate is unchanged, so expiry results are
+        # identical to the full-dict scan this replaced).
+        self._bucket_width = idle_timeout / 8.0
+        self._buckets: Dict[int, List[FlowKey]] = {}
         self.stats = FlowTableStats()
+
+    def _file_key(self, flow_key: FlowKey, time: float) -> None:
+        """File ``flow_key`` under the expiry bucket covering ``time``."""
+        index = int(time / self._bucket_width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = []
+        bucket.append(flow_key)
 
     # ------------------------------------------------------------------
     # mutation
@@ -91,6 +109,7 @@ class FlowTable:
                 flow_key=flow_key, server=server, created_at=now, last_seen=now
             )
             self._entries[flow_key] = entry
+            self._file_key(flow_key, now)
             self.stats.entries_created += 1
         else:
             entry.server = server
@@ -107,16 +126,34 @@ class FlowTable:
         self.stats.entries_evicted += 1
 
     def expire_idle(self, now: float) -> int:
-        """Drop entries idle for longer than the timeout; returns the count."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if now - entry.last_seen > self.idle_timeout
-        ]
-        for key in stale:
-            del self._entries[key]
-        self.stats.entries_expired += len(stale)
-        return len(stale)
+        """Drop entries idle for longer than the timeout; returns the count.
+
+        Scans only the expiry buckets whose time range lies at or before
+        ``now - idle_timeout`` — any entry filed later was seen too
+        recently to have expired.  Keys found fresh (their ``last_seen``
+        was refreshed since filing) are re-filed under their current
+        bucket; keys whose entry is gone (removed or evicted) are simply
+        dropped from the index.
+        """
+        limit = now - self.idle_timeout
+        buckets = self._buckets
+        width = self._bucket_width
+        ripe = [index for index in buckets if index * width <= limit]
+        expired = 0
+        entries = self._entries
+        idle_timeout = self.idle_timeout
+        for index in ripe:
+            for key in buckets.pop(index):
+                entry = entries.get(key)
+                if entry is None:
+                    continue
+                if now - entry.last_seen > idle_timeout:
+                    del entries[key]
+                    expired += 1
+                else:
+                    self._file_key(key, entry.last_seen)
+        self.stats.entries_expired += expired
+        return expired
 
     # ------------------------------------------------------------------
     # lookups

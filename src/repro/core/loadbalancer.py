@@ -124,6 +124,9 @@ class LoadBalancerNode(NetworkNode):
         if not servers:
             raise LoadBalancerError(f"VIP {vip} needs at least one server")
         self._backends[vip] = list(servers)
+        # Let the selector build pool-derived state (the Maglev table)
+        # now, at configuration time, instead of on the first flow.
+        self.selector.prepare(self._backends[vip])
         if self.fabric is not None and self.advertise_vips:
             self.fabric.bind_address(vip, self)
 
@@ -134,6 +137,7 @@ class LoadBalancerNode(NetworkNode):
             raise LoadBalancerError(f"VIP {vip} is not registered")
         if server not in pool:
             pool.append(server)
+            self.selector.prepare(pool)
 
     def remove_backend(self, vip: IPv6Address, server: IPv6Address) -> bool:
         """Remove a server from a VIP pool; existing flows keep steering.
@@ -151,6 +155,7 @@ class LoadBalancerNode(NetworkNode):
                 f"removing {server} would leave VIP {vip} with no servers"
             )
         pool.remove(server)
+        self.selector.prepare(pool)
         return True
 
     def add_steering_alias(self, address: IPv6Address) -> None:
@@ -191,10 +196,19 @@ class LoadBalancerNode(NetworkNode):
         self._housekeeping = PeriodicTask(
             simulator=self.simulator,
             interval=period,
-            callback=lambda: self.flow_table.expire_idle(self.simulator.now),
+            callback=self._expire_idle_flows,
             label=f"{self.name}-flow-expiry",
         )
         self._housekeeping.start()
+
+    def _expire_idle_flows(self) -> None:
+        """One housekeeping tick: reclaim idle flow-table entries.
+
+        A bound method rather than a per-``start_housekeeping`` lambda,
+        so restarting housekeeping (tier recovery re-attaches instances)
+        never stacks up fresh closures.
+        """
+        self.flow_table.expire_idle(self.simulator.now)
 
     def stop_housekeeping(self) -> None:
         """Stop the periodic flow-table expiry task."""
@@ -267,6 +281,7 @@ class LoadBalancerNode(NetworkNode):
                 packet.flow_key(),
                 request_id=packet.tcp.request_id,
                 created_at=self.simulator.now,
+                pool=self.packet_pool,
             )
         )
 

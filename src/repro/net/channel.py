@@ -75,10 +75,12 @@ class InProcessChannel:
     FIFO sequence numbers, same labels).
     """
 
-    __slots__ = ("_simulator",)
+    __slots__ = ("_simulator", "_schedule")
 
     def __init__(self, simulator: Simulator) -> None:
         self._simulator = simulator
+        # Bound method cached once: deliver() runs per packet hop.
+        self._schedule = simulator._schedule_delivery
 
     def deliver(
         self,
@@ -88,17 +90,77 @@ class InProcessChannel:
         label: str,
         guard: Optional[DeliveryGuard] = None,
     ) -> None:
+        # Deliveries are fire-and-forget (never cancelled), so they use
+        # the simulator's handle-free scheduling fast path; validation
+        # and event ordering are identical to schedule_in.
         if guard is None:
-            self._simulator.schedule_in(
-                delay, lambda: sink.receive(packet), label=label
-            )
+            self._schedule(delay, lambda: sink.receive(packet), label)
         else:
 
             def _deliver() -> None:
                 if guard():
                     sink.receive(packet)
 
-            self._simulator.schedule_in(delay, _deliver, label=label)
+            self._schedule(delay, _deliver, label)
+
+
+class PooledInProcessChannel:
+    """:class:`InProcessChannel` that recycles delivered packets.
+
+    Scheduling behaviour (delay, label, event sequence) is identical to
+    the unpooled channel, so pooled runs stay bit-identical; the only
+    addition is lifecycle tracking via :attr:`Packet.in_flight`:
+
+    * ``deliver`` marks the packet in flight;
+    * when the delivery fires, the mark is cleared *before* the guard
+      and ``sink.receive`` run;
+    * if the mark is still clear afterwards, nothing re-sent the packet
+      during ``receive`` — its life ended at this sink (consumed, or
+      dropped by the guard) — and it is released to the pool.
+
+    A re-send during ``receive`` (an LB steering the packet onward, the
+    ECMP router spreading it) goes through the same channel instance,
+    re-marks the packet, and defers the release decision to the final
+    hop.  For that to hold, *every* channel of a pooled testbed must be
+    this one instance — ``build_testbed`` wires the fabric and the ECMP
+    edge router accordingly.
+    """
+
+    __slots__ = ("_simulator", "pool", "_schedule")
+
+    def __init__(self, simulator: Simulator, pool: Any) -> None:
+        self._simulator = simulator
+        self.pool = pool
+        self._schedule = simulator._schedule_delivery
+
+    def deliver(
+        self,
+        sink: PacketSink,
+        packet: Any,
+        delay: float,
+        label: str,
+        guard: Optional[DeliveryGuard] = None,
+    ) -> None:
+        pool = self.pool
+        packet.in_flight = True
+        if guard is None:
+
+            def _deliver() -> None:
+                packet.in_flight = False
+                sink.receive(packet)
+                if not packet.in_flight:
+                    pool.release(packet)
+
+        else:
+
+            def _deliver() -> None:
+                packet.in_flight = False
+                if guard():
+                    sink.receive(packet)
+                if not packet.in_flight:
+                    pool.release(packet)
+
+        self._schedule(delay, _deliver, label)
 
 
 # ----------------------------------------------------------------------

@@ -262,15 +262,19 @@ class EcmpEdgeRouter(NetworkNode):
             self.stats.packets_dropped += 1
 
     def _spread(self, packet: Packet, is_return: bool) -> None:
-        try:
-            # Per-packet hashing: the packet's own 5-tuple, whichever
-            # direction it travels.  A SYN-ACK therefore hashes on the
-            # (VIP, client) tuple and may reach a different hop than the
-            # (client, VIP) SYN did.
-            hop = self.next_hop_for(packet.flow_key())
-        except RoutingError:
-            self.stats.packets_dropped += 1
-            return
+        # Per-packet hashing: the packet's own 5-tuple, whichever
+        # direction it travels.  A SYN-ACK therefore hashes on the
+        # (VIP, client) tuple and may reach a different hop than the
+        # (client, VIP) SYN did.  The memo hit is inlined: this runs
+        # once per spread packet and almost always hits.
+        key = packet.flow_key()
+        hop = self._hop_cache.get(key)
+        if hop is None:
+            try:
+                hop = self.next_hop_for(key)
+            except RoutingError:
+                self.stats.packets_dropped += 1
+                return
         if is_return:
             self.stats.return_packets += 1
         else:

@@ -18,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from repro.errors import RoutingError
+from repro.errors import NetworkError, RoutingError
 from repro.net.addressing import IPv6Address, IPv6Prefix
 from repro.net.channel import DeliveryChannel, InProcessChannel
-from repro.net.packet import Packet
+from repro.net.packet import IPV6_HEADER_SIZE, TCP_HEADER_SIZE, Packet
 from repro.net.router import RoutingTable
 from repro.sim.engine import Simulator
 
@@ -108,9 +108,17 @@ class LANFabric:
         #: ``packets_dropped_sink_detached`` instead of being delivered.
         self._detached: set = set()
         self._taps: List[PacketTap] = []
-        #: Interned per-destination event labels: one f-string per node
-        #: ever delivered to, instead of one per delivered packet.
-        self._deliver_labels: Dict[str, str] = {}
+        #: Memoized send routes: destination address ->
+        #: ``(node, node name, event label, delivery guard)``.  This
+        #: folds the address resolution and the interned per-destination
+        #: label/guard into one dict hit on the per-packet path.  Every
+        #: topology mutation (address bind, prefix advertise/withdraw,
+        #: node registration or detach) clears the memo wholesale, so a
+        #: cached entry is always exactly what resolve() would return.
+        #: The guard itself closes only over per-destination constants
+        #: (the detached set — mutated in place, so shared guards see
+        #: updates — the node name and the stats object).
+        self._send_routes: Dict[IPv6Address, tuple] = {}
         self.stats = FabricStats()
 
     # ------------------------------------------------------------------
@@ -126,6 +134,7 @@ class LANFabric:
         # again; in-flight packets scheduled before the re-attach are
         # delivered to it, matching a real switch re-learning the port.
         self._detached.discard(node.name)
+        self._send_routes.clear()
 
     def bind_address(self, address: IPv6Address, node: "NetworkNode") -> None:
         """Bind an exact address to a node (wins over prefix routes)."""
@@ -135,6 +144,7 @@ class LANFabric:
                 f"address {address} already bound to node {owner.name!r}"
             )
         self._address_map[address] = node
+        self._send_routes.clear()
 
     def advertise_prefix(self, prefix: IPv6Prefix, node: "NetworkNode") -> None:
         """Route a whole prefix (e.g. the VIP range) to a node.
@@ -143,9 +153,11 @@ class LANFabric:
         of the data center.
         """
         self._prefix_routes.add_route(prefix, node)
+        self._send_routes.clear()
 
     def withdraw_prefix(self, prefix: IPv6Prefix) -> bool:
         """Withdraw a previously advertised prefix."""
+        self._send_routes.clear()
         return self._prefix_routes.remove_route(prefix)
 
     def detach_node(self, node: "NetworkNode") -> None:
@@ -170,6 +182,7 @@ class LANFabric:
             if route.next_hop is node:
                 self._prefix_routes.remove_route(route.prefix)
         self._detached.add(node.name)
+        self._send_routes.clear()
 
     def add_tap(self, tap: PacketTap) -> None:
         """Register an observer called for every delivered packet."""
@@ -203,52 +216,74 @@ class LANFabric:
         ``False`` if it was dropped (no route or hop limit exhausted) and
         the fabric is not strict.
         """
-        # Inlined resolve(): exact binding first, prefix fallback second.
-        # This runs once per packet hop, so the extra method call is
-        # worth skipping.
-        dst = packet.dst
-        destination = self._address_map.get(dst)
-        if destination is None:
-            destination = self._prefix_routes.lookup_or_none(dst)
-        origin_name = origin.name if origin is not None else "<external>"
-        if destination is None:
-            self.stats.packets_dropped_no_route += 1
-            if self.strict:
-                raise RoutingError(
-                    f"no route to {packet.dst} for {packet.describe()}"
-                )
-            return False
+        # The resolution, event label and delivery guard for a
+        # destination address are all memoized in one dict hit (see
+        # ``_send_routes``); the miss path below performs the same
+        # resolve() an uncached send would — exact binding first, prefix
+        # fallback second — and the memo is cleared on every topology
+        # mutation, so hits and misses are indistinguishable.  The
+        # hop-limit exception machinery and the Packet.size_bytes() call
+        # are inlined for the same once-per-packet-hop reason.
+        dst = packet._dst
+        route = self._send_routes.get(dst)
+        if route is None:
+            destination = self._address_map.get(dst)
+            if destination is None:
+                destination = self._prefix_routes.lookup_or_none(dst)
+            if destination is None:
+                # Unroutable sends are not cached: a later bind can make
+                # the same address routable.
+                self.stats.packets_dropped_no_route += 1
+                if self.strict:
+                    raise RoutingError(
+                        f"no route to {packet.dst} for {packet.describe()}"
+                    )
+                return False
+            name = destination.name
+            detached = self._detached
+            stats = self.stats
 
-        try:
-            packet.decrement_hop_limit()
-        except Exception:
+            def arrives() -> bool:
+                # Checked when the latency elapses, not at send time:
+                # the sink may detach while the packet is in flight.
+                if detached and name in detached:
+                    stats.packets_dropped_sink_detached += 1
+                    return False
+                return True
+
+            route = self._send_routes[dst] = (
+                destination,
+                name,
+                f"deliver->{name}",
+                arrives,
+            )
+
+        hop_limit = packet.hop_limit
+        if hop_limit <= 1:
             self.stats.packets_dropped_hop_limit += 1
             if self.strict:
-                raise
+                raise NetworkError(
+                    f"hop limit exhausted for packet {packet.packet_id}"
+                )
             return False
+        packet.hop_limit = hop_limit - 1
 
-        for tap in self._taps:
-            tap(packet, origin_name, destination.name)
+        destination, name, label, guard = route
+
+        if self._taps:
+            origin_name = origin.name if origin is not None else "<external>"
+            for tap in self._taps:
+                tap(packet, origin_name, name)
 
         stats = self.stats
         stats.packets_delivered += 1
-        stats.bytes_delivered += packet.size_bytes()
-        name = destination.name
+        srh = packet.srh
+        size = IPV6_HEADER_SIZE + TCP_HEADER_SIZE + packet.tcp.payload_size
+        if srh is not None:
+            size += srh.size_bytes()
+        stats.bytes_delivered += size
         per_node = stats.deliveries_per_node
         per_node[name] = per_node.get(name, 0) + 1
 
-        label = self._deliver_labels.get(name)
-        if label is None:
-            label = self._deliver_labels[name] = f"deliver->{name}"
-        detached = self._detached
-
-        def arrives() -> bool:
-            # Checked when the latency elapses, not at send time: the
-            # sink may detach while the packet is in flight.
-            if detached and name in detached:
-                stats.packets_dropped_sink_detached += 1
-                return False
-            return True
-
-        self.channel.deliver(destination, packet, self.latency, label, arrives)
+        self.channel.deliver(destination, packet, self.latency, label, guard)
         return True

@@ -103,6 +103,30 @@ class Link:
         self._in_flight: Dict[int, int] = {0: 0, 1: 0}
         self._detached: Dict[int, bool] = {0: False, 1: False}
         self.stats: Dict[int, LinkStats] = {0: LinkStats(), 1: LinkStats()}
+        # One arrival guard per direction, interned at construction
+        # instead of one closure per transmitted packet.  The guards
+        # read mutable link state (in-flight counts, detach flags)
+        # through `self`, so sharing them across packets is safe.
+        self._arrival_guards = {
+            0: self._make_arrival_guard(0),
+            1: self._make_arrival_guard(1),
+        }
+
+    def _make_arrival_guard(self, direction: int):
+        stats = self.stats[direction]
+
+        def arrives() -> bool:
+            if self.bandwidth_bps is not None:
+                self._in_flight[direction] -= 1
+            if self._detached[direction]:
+                # Detached while the packet was in flight: same counter
+                # as the send-time case in transmit().
+                stats.packets_dropped += 1
+                stats.packets_dropped_sink_detached += 1
+                return False
+            return True
+
+        return arrives
 
     def detach(self, endpoint: PacketSink) -> None:
         """Detach ``endpoint``: packets toward it are dropped from now on.
@@ -164,18 +188,11 @@ class Link:
         stats.packets_sent += 1
         stats.bytes_sent += packet.size_bytes()
 
-        def arrives() -> bool:
-            if self.bandwidth_bps is not None:
-                self._in_flight[direction] -= 1
-            if self._detached[direction]:
-                # Detached while the packet was in flight: same counter
-                # as the send-time case above.
-                stats.packets_dropped += 1
-                stats.packets_dropped_sink_detached += 1
-                return False
-            return True
-
         self.channel.deliver(
-            receiver, packet, delivery_delay, "link-delivery", arrives
+            receiver,
+            packet,
+            delivery_delay,
+            "link-delivery",
+            self._arrival_guards[direction],
         )
         return True

@@ -220,6 +220,7 @@ class Packet:
         "packet_id",
         "created_at",
         "_flow_key",
+        "in_flight",
     )
 
     def __init__(
@@ -247,6 +248,9 @@ class Packet:
         self.packet_id = next(_packet_ids) if packet_id is None else packet_id
         self.created_at = created_at
         self._flow_key: Optional[FlowKey] = None
+        #: Maintained by pooled delivery channels: True while a delivery
+        #: of this packet is scheduled.  See :class:`PacketPool`.
+        self.in_flight = False
 
     # ------------------------------------------------------------------
     # destination (flow-key cache invalidation point)
@@ -357,6 +361,7 @@ class Packet:
         clone.packet_id = next(_packet_ids)
         clone.created_at = self.created_at
         clone._flow_key = self._flow_key
+        clone.in_flight = False
         return clone
 
     def __eq__(self, other: object) -> bool:
@@ -389,6 +394,105 @@ class Packet:
         )
 
 
+class PacketPool:
+    """Free lists of :class:`Packet` and :class:`TCPSegment` objects.
+
+    A packet-grain replay allocates a handful of packets per query and
+    drops every one of them within microseconds of simulated time; the
+    pool recycles those carcasses so the steady state allocates nothing.
+
+    Reuse can never leak state because :meth:`acquire` *re-runs the
+    ordinary constructor* on the recycled object: every slot — the
+    flow-key cache, SRH, destination, flags, the lot — is reassigned
+    through ``__init__`` with full validation, and a fresh ``packet_id``
+    is drawn from the same global counter a new object would use.  A
+    pooled packet is therefore field-for-field identical to a freshly
+    constructed one (pinned by a hypothesis property test), and pooled
+    runs are bit-identical to unpooled ones.
+
+    Ownership protocol (enforced by the pooled delivery channel, see
+    :class:`~repro.net.channel.PooledInProcessChannel`): the channel
+    sets :attr:`Packet.in_flight` when a delivery is scheduled and
+    clears it when it fires; after ``sink.receive(packet)`` returns, a
+    packet whose flag is still clear was not re-sent, so no component
+    holds it (nodes never retain packets beyond ``receive``) and it goes
+    back on the free list.  Pool use is opt-in per testbed
+    (``TestbedConfig.packet_pooling``); the unpooled path stays the
+    reference.
+    """
+
+    __slots__ = ("max_size", "_packets", "_segments", "reused", "released")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size < 0:
+            raise NetworkError(f"negative pool size {max_size!r}")
+        self.max_size = max_size
+        self._packets: list = []
+        self._segments: list = []
+        #: Acquisitions served from the free list (diagnostics).
+        self.reused = 0
+        #: Objects returned to the free lists (diagnostics).
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def acquire(
+        self,
+        src: IPv6Address,
+        dst: IPv6Address,
+        tcp: TCPSegment,
+        srh: Optional[SegmentRoutingHeader] = None,
+        hop_limit: int = DEFAULT_HOP_LIMIT,
+        packet_id: Optional[int] = None,
+        created_at: float = 0.0,
+    ) -> Packet:
+        """A packet, recycled when possible; same contract as ``Packet(...)``."""
+        packets = self._packets
+        if packets:
+            packet = packets.pop()
+            self.reused += 1
+            packet.__init__(src, dst, tcp, srh, hop_limit, packet_id, created_at)
+            return packet
+        return Packet(src, dst, tcp, srh, hop_limit, packet_id, created_at)
+
+    def acquire_segment(
+        self,
+        src_port: int,
+        dst_port: int,
+        flags: TCPFlag = TCPFlag.NONE,
+        payload_size: int = 0,
+        request_id: Optional[int] = None,
+    ) -> TCPSegment:
+        """A TCP segment, recycled when possible; same contract as ``TCPSegment(...)``."""
+        segments = self._segments
+        if segments:
+            segment = segments.pop()
+            self.reused += 1
+            segment.__init__(src_port, dst_port, flags, payload_size, request_id)
+            return segment
+        return TCPSegment(src_port, dst_port, flags, payload_size, request_id)
+
+    def release(self, packet: Packet) -> None:
+        """Return a dead packet (and its segment) to the free lists.
+
+        The caller asserts nothing references the packet any more.  All
+        object references are dropped here so a parked carcass cannot
+        pin an SRH or a segment; the remaining scalar slots are
+        reassigned by the constructor on reuse.
+        """
+        segment = packet.tcp
+        if segment is not None and len(self._segments) < self.max_size:
+            self._segments.append(segment)
+            self.released += 1
+        packet.tcp = None
+        packet.srh = None
+        packet._flow_key = None
+        if len(self._packets) < self.max_size:
+            self._packets.append(packet)
+            self.released += 1
+
+
 def make_syn(
     src: IPv6Address,
     dst: IPv6Address,
@@ -396,8 +500,21 @@ def make_syn(
     dst_port: int,
     request_id: Optional[int] = None,
     created_at: float = 0.0,
+    pool: Optional[PacketPool] = None,
 ) -> Packet:
     """Convenience constructor for a connection-request (SYN) packet."""
+    if pool is not None:
+        return pool.acquire(
+            src=src,
+            dst=dst,
+            tcp=pool.acquire_segment(
+                src_port=src_port,
+                dst_port=dst_port,
+                flags=TCPFlag.SYN,
+                request_id=request_id,
+            ),
+            created_at=created_at,
+        )
     return Packet(
         src=src,
         dst=dst,
@@ -415,6 +532,7 @@ def make_reset(
     flow_key: FlowKey,
     request_id: Optional[int] = None,
     created_at: float = 0.0,
+    pool: Optional[PacketPool] = None,
 ) -> Packet:
     """RST addressed to the initiator of ``flow_key``.
 
@@ -424,6 +542,18 @@ def make_reset(
     server application (backlog overflow, request timeout) and the
     virtual router (data for a non-existent connection).
     """
+    if pool is not None:
+        return pool.acquire(
+            src=flow_key.dst_address,
+            dst=flow_key.src_address,
+            tcp=pool.acquire_segment(
+                src_port=flow_key.dst_port,
+                dst_port=flow_key.src_port,
+                flags=TCPFlag.RST,
+                request_id=request_id,
+            ),
+            created_at=created_at,
+        )
     return Packet(
         src=flow_key.dst_address,
         dst=flow_key.src_address,

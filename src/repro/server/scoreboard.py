@@ -10,12 +10,21 @@ In the simulation the scoreboard is a plain in-process object updated by
 the worker pool and read by the application agent.  It also keeps simple
 aggregate statistics (peak busy workers, busy-worker time integral) that
 the metrics pipeline uses for Figure 4.
+
+Mirroring the real thing, the slot column is a flat ``array('B')`` of
+0/1 flags rather than a list of enum members: every request start and
+completion toggles a slot, and an unboxed byte store beats a list slot
+holding an enum reference both in time and in memory (one byte per
+worker instead of one pointer).  The :class:`WorkerState` enum remains
+the public vocabulary — :meth:`state_of` and friends translate at the
+API boundary.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from array import array
+from typing import Dict
 
 from repro.errors import ServerError
 from repro.sim.clock import SimulationClock
@@ -26,6 +35,11 @@ class WorkerState(enum.Enum):
 
     IDLE = "idle"
     BUSY = "busy"
+
+
+#: Slot-column encoding of the two states.
+_IDLE = 0
+_BUSY = 1
 
 
 class Scoreboard:
@@ -43,7 +57,7 @@ class Scoreboard:
         if num_slots <= 0:
             raise ServerError(f"scoreboard needs at least one slot, got {num_slots!r}")
         self._clock = clock
-        self._slots: List[WorkerState] = [WorkerState.IDLE] * num_slots
+        self._slots = array("B", bytes(num_slots))
         self._busy_count = 0
         self._peak_busy = 0
         self._busy_time_integral = 0.0
@@ -54,25 +68,26 @@ class Scoreboard:
     # ------------------------------------------------------------------
     def mark_busy(self, slot: int) -> None:
         """Mark worker ``slot`` busy."""
-        self._set_state(slot, WorkerState.BUSY)
+        self._set_state(slot, _BUSY)
 
     def mark_idle(self, slot: int) -> None:
         """Mark worker ``slot`` idle."""
-        self._set_state(slot, WorkerState.IDLE)
+        self._set_state(slot, _IDLE)
 
-    def _set_state(self, slot: int, state: WorkerState) -> None:
-        if not 0 <= slot < len(self._slots):
+    def _set_state(self, slot: int, state: int) -> None:
+        slots = self._slots
+        if not 0 <= slot < len(slots):
             raise ServerError(
-                f"scoreboard slot {slot!r} out of range (0..{len(self._slots) - 1})"
+                f"scoreboard slot {slot!r} out of range (0..{len(slots) - 1})"
             )
-        current = self._slots[slot]
-        if current is state:
+        if slots[slot] == state:
             return
         self._accumulate()
-        self._slots[slot] = state
-        if state is WorkerState.BUSY:
+        slots[slot] = state
+        if state == _BUSY:
             self._busy_count += 1
-            self._peak_busy = max(self._peak_busy, self._busy_count)
+            if self._busy_count > self._peak_busy:
+                self._peak_busy = self._busy_count
         else:
             self._busy_count -= 1
 
@@ -107,12 +122,12 @@ class Scoreboard:
         return self._peak_busy
 
     def state_of(self, slot: int) -> WorkerState:
-        """State of an individual slot."""
+        """State of an individual slot (as the public enum)."""
         if not 0 <= slot < len(self._slots):
             raise ServerError(
                 f"scoreboard slot {slot!r} out of range (0..{len(self._slots) - 1})"
             )
-        return self._slots[slot]
+        return WorkerState.BUSY if self._slots[slot] else WorkerState.IDLE
 
     def snapshot(self) -> Dict[str, int]:
         """Aggregate counters, used by examples and debugging output."""

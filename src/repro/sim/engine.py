@@ -30,21 +30,48 @@ Design points
   :class:`EventHandle` kept around by a component cannot pin the
   callback's closure — and everything it captured, packets included —
   for the rest of a replay.
+* **Batched dispatch.**  The run loop (factored into
+  :mod:`repro.sim._fastloop` so it can optionally be compiled) drains
+  all ready entries sharing the current timestamp in one pass — one
+  clock advance and one cancelled-entry sweep per batch — with a
+  singleton fast path for the common case of a unique timestamp.
+  :attr:`Simulator.batch_stats` reports the observed batch-size
+  distribution.
 * **No wall-clock coupling.**  The engine never sleeps; a 24-hour
   Wikipedia replay runs as fast as Python can drain the event heap.
+
+Setting ``REPRO_COMPILED=1`` in the environment makes this module
+prefer a compiled build of the run loop (``repro.sim._fastloop_c``,
+produced by ``make build-fast``) and fall back to the pure-Python loop
+when no build is present.  :data:`COMPILED_LOOP` reports which one is
+active.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
 from math import isfinite
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.clock import SimulationClock
 from repro.sim.random_streams import RandomStreams
+
+if os.environ.get("REPRO_COMPILED") == "1":
+    try:
+        from repro.sim import _fastloop_c as _fastloop  # type: ignore[no-redef]
+    except ImportError:  # no compiled build present: pure Python is canonical
+        from repro.sim import _fastloop
+else:
+    from repro.sim import _fastloop
+
+_run_loop = _fastloop.run_loop
+#: True when the mypyc-compiled run loop is active (``REPRO_COMPILED=1``
+#: and ``make build-fast`` has produced ``repro.sim._fastloop_c``).
+COMPILED_LOOP: bool = bool(getattr(_fastloop, "COMPILED", False))
 
 EventCallback = Callable[[], None]
 
@@ -131,6 +158,30 @@ class EventHandle:
         return f"EventHandle(time={self.time!r}, label={self.label!r}, {state})"
 
 
+@dataclass(frozen=True)
+class BatchStats:
+    """Batch-size distribution observed by the run loop so far.
+
+    A *batch* is one clock advance: either a singleton (an event whose
+    timestamp no other ready event shared — the overwhelmingly common
+    case in packet-grain replays) or a same-timestamp group executed in
+    one pass.  ``size_counts`` maps batch size to occurrence count,
+    singletons included under size 1.
+    """
+
+    batches: int
+    events: int
+    max_size: int
+    size_counts: Dict[int, int]
+
+    @property
+    def mean_size(self) -> float:
+        """Average events per clock advance (0.0 before any event ran)."""
+        if self.batches == 0:
+            return 0.0
+        return self.events / self.batches
+
+
 class Simulator:
     """Discrete-event simulator with a shared clock and RNG streams.
 
@@ -152,6 +203,14 @@ class Simulator:
         self._stopped = False
         self._events_executed = 0
         self._cancelled_on_heap = 0
+        # Batched-dispatch state: one scratch list reused across batches
+        # (the run loop clears it after each batch) and the batch-size
+        # tallies behind :attr:`batch_stats`.  Singletons are a bare
+        # counter because they are the common case and a dict update per
+        # event would be measurable.
+        self._batch: List[_ScheduledEvent] = []
+        self._batch_singletons = 0
+        self._batch_size_counts: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # scheduling
@@ -170,6 +229,22 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still on the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def batch_stats(self) -> BatchStats:
+        """Batch-size distribution of every event executed so far."""
+        size_counts = dict(self._batch_size_counts)
+        if self._batch_singletons:
+            size_counts[1] = size_counts.get(1, 0) + self._batch_singletons
+        batches = sum(size_counts.values())
+        events = sum(size * count for size, count in size_counts.items())
+        max_size = max(size_counts) if size_counts else 0
+        return BatchStats(
+            batches=batches,
+            events=events,
+            max_size=max_size,
+            size_counts=size_counts,
+        )
 
     def schedule_at(
         self, time: float, callback: EventCallback, label: str = ""
@@ -203,6 +278,27 @@ class Simulator:
         # A NaN delay passes the check above (NaN < 0 is false) but turns
         # the absolute time non-finite, which schedule_at rejects.
         return self.schedule_at(self.clock._now + delay, callback, label)
+
+    def _schedule_delivery(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> None:
+        """Fire-and-forget ``schedule_in`` for the packet-delivery path.
+
+        Per-packet deliveries are never cancelled, so the
+        :class:`EventHandle` that :meth:`schedule_in` allocates for every
+        call is pure overhead on the hottest scheduling site of a replay.
+        This keeps the same validation outcome (negative, NaN and
+        infinite delays all raise :class:`SchedulingError`, since the
+        clock is always finite) and draws from the same sequence counter,
+        so event ordering is identical to the handle-returning path.
+        """
+        time = self.clock._now + delay
+        if not (delay >= 0.0 and isfinite(time)):
+            raise SchedulingError(
+                f"cannot schedule delivery {label!r} with delay {delay!r}"
+            )
+        event = _ScheduledEvent(time, next(self._sequence), callback, label)
+        heapq.heappush(self._heap, (time, event.sequence, event))
 
     # ------------------------------------------------------------------
     # heap hygiene
@@ -280,38 +376,12 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
-        executed_this_run = 0
-        # Local bindings keep the per-event loop free of repeated
-        # attribute lookups; this loop runs once per simulated event.
-        heap = self._heap
-        heappop = heapq.heappop
         clock = self.clock
         try:
-            while heap:
-                if self._stopped:
-                    break
-                if max_events is not None and executed_this_run >= max_events:
-                    break
-                entry = heap[0]
-                event = entry[2]
-                if event.cancelled:
-                    heappop(heap)
-                    self._discard(event)
-                    continue
-                time = entry[0]
-                if until is not None and time > until:
-                    break
-                heappop(heap)
-                event.done = True
-                callback = event.callback
-                event.callback = None
-                # Heap order plus the schedule_at guard make `time`
-                # monotonically non-decreasing, so the clock's own
-                # monotonicity check is redundant here.
-                clock._now = time
-                callback()
-                self._events_executed += 1
-                executed_this_run += 1
+            # The event-execution loop lives in repro.sim._fastloop (the
+            # module-level `_run_loop` binding, possibly the compiled
+            # build) so one source of truth serves both paths.
+            _run_loop(self, until, max_events)
             # Honour `run(until=T) == T` whenever no live event remains
             # at or before the horizon, regardless of why the loop ended
             # (heap drained, next event past the horizon, `max_events`

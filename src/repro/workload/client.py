@@ -189,17 +189,31 @@ class TrafficGeneratorNode(NetworkNode):
             request=request, outcome=outcome, src_port=src_port
         )
         self.queries_started += 1
-        syn = Packet(
-            src=self.primary_address,
-            dst=self.vip,
-            tcp=TCPSegment(
-                src_port=src_port,
-                dst_port=HTTP_PORT,
-                flags=TCPFlag.SYN,
-                request_id=request.request_id,
-            ),
-            created_at=self.simulator.now,
-        )
+        pool = self.packet_pool
+        if pool is None:
+            syn = Packet(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=TCPSegment(
+                    src_port=src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.SYN,
+                    request_id=request.request_id,
+                ),
+                created_at=self.simulator.now,
+            )
+        else:
+            syn = pool.acquire(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=pool.acquire_segment(
+                    src_port=src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.SYN,
+                    request_id=request.request_id,
+                ),
+                created_at=self.simulator.now,
+            )
         self.send(syn)
 
     # ------------------------------------------------------------------
@@ -255,17 +269,31 @@ class TrafficGeneratorNode(NetworkNode):
         if pending is None:
             # The query already finished (e.g. reset); stop uploading.
             return
-        probe = Packet(
-            src=self.primary_address,
-            dst=self.vip,
-            tcp=TCPSegment(
-                src_port=pending.src_port,
-                dst_port=HTTP_PORT,
-                flags=TCPFlag.ACK,
-                request_id=request_id,
-            ),
-            created_at=self.simulator.now,
-        )
+        pool = self.packet_pool
+        if pool is None:
+            probe = Packet(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=TCPSegment(
+                    src_port=pending.src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.ACK,
+                    request_id=request_id,
+                ),
+                created_at=self.simulator.now,
+            )
+        else:
+            probe = pool.acquire(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=pool.acquire_segment(
+                    src_port=pending.src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.ACK,
+                    request_id=request_id,
+                ),
+                created_at=self.simulator.now,
+            )
         self.send(probe)
 
     def _finish_upload(self, request_id: int) -> None:
@@ -275,18 +303,33 @@ class TrafficGeneratorNode(NetworkNode):
         self._send_request_data(pending)
 
     def _send_request_data(self, pending: _PendingQuery) -> None:
-        data = Packet(
-            src=self.primary_address,
-            dst=self.vip,
-            tcp=TCPSegment(
-                src_port=pending.src_port,
-                dst_port=HTTP_PORT,
-                flags=TCPFlag.PSH | TCPFlag.ACK,
-                payload_size=REQUEST_PAYLOAD_SIZE,
-                request_id=pending.request.request_id,
-            ),
-            created_at=self.simulator.now,
-        )
+        pool = self.packet_pool
+        if pool is None:
+            data = Packet(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=TCPSegment(
+                    src_port=pending.src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.PSH | TCPFlag.ACK,
+                    payload_size=REQUEST_PAYLOAD_SIZE,
+                    request_id=pending.request.request_id,
+                ),
+                created_at=self.simulator.now,
+            )
+        else:
+            data = pool.acquire(
+                src=self.primary_address,
+                dst=self.vip,
+                tcp=pool.acquire_segment(
+                    src_port=pending.src_port,
+                    dst_port=HTTP_PORT,
+                    flags=TCPFlag.PSH | TCPFlag.ACK,
+                    payload_size=REQUEST_PAYLOAD_SIZE,
+                    request_id=pending.request.request_id,
+                ),
+                created_at=self.simulator.now,
+            )
         self.send(data)
 
     def _finish(

@@ -36,17 +36,18 @@ class TestInProcessChannel:
         assert simulator.now == pytest.approx(0.25)
 
     def test_is_one_schedule_call_with_the_given_label(self, simulator):
-        # The bit-identity guarantee: one schedule_in per delivery, with
-        # the caller's label, so event ordering matches the historical
-        # direct-receive scheduling exactly.
+        # The bit-identity guarantee: one scheduling call per delivery,
+        # with the caller's label, so event ordering matches the
+        # historical direct-receive scheduling exactly.  Deliveries go
+        # through the simulator's handle-free fast path.
         calls = []
-        original = simulator.schedule_in
+        original = simulator._schedule_delivery
 
-        def spying(delay, action, label=None):
+        def spying(delay, action, label=""):
             calls.append((delay, label))
-            return original(delay, action, label=label)
+            return original(delay, action, label)
 
-        simulator.schedule_in = spying
+        simulator._schedule_delivery = spying
         InProcessChannel(simulator).deliver(FakeSink(), "pkt", 0.5, "my-label")
         assert calls == [(0.5, "my-label")]
 

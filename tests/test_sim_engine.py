@@ -449,3 +449,112 @@ class TestCallbackRelease:
         handle = simulator.schedule_at(1.0, lambda: None)
         assert simulator.drain() == 1
         assert handle._event.callback is None
+
+
+class TestBatchedDispatch:
+    """The run loop drains same-timestamp events as one batch; the
+    observable contract (order, cancellation, max_events, step) must be
+    indistinguishable from one-at-a-time dispatch."""
+
+    def test_same_timestamp_events_run_in_scheduling_order(self, simulator):
+        order = []
+        for index in range(8):
+            simulator.schedule_at(2.0, lambda i=index: order.append(i))
+        simulator.schedule_at(1.0, lambda: order.append("early"))
+        simulator.run()
+        assert order == ["early"] + list(range(8))
+
+    def test_events_scheduled_during_a_batch_run_after_it(self, simulator):
+        order = []
+
+        def spawn():
+            order.append("spawn")
+            # Same timestamp as the batch being executed: the new event
+            # has a higher sequence number, so it lands in the *next*
+            # batch at this time, after every member of the current one.
+            simulator.schedule_at(1.0, lambda: order.append("spawned"))
+
+        simulator.schedule_at(1.0, spawn)
+        simulator.schedule_at(1.0, lambda: order.append("sibling"))
+        simulator.run()
+        assert order == ["spawn", "sibling", "spawned"]
+
+    def test_in_batch_cancellation_is_honoured(self, simulator):
+        fired = []
+        handles = {}
+
+        def cancel_later():
+            fired.append("canceller")
+            handles["victim"].cancel()
+
+        simulator.schedule_at(1.0, cancel_later)
+        handles["victim"] = simulator.schedule_at(
+            1.0, lambda: fired.append("victim")
+        )
+        simulator.schedule_at(1.0, lambda: fired.append("survivor"))
+        simulator.run()
+        assert fired == ["canceller", "survivor"]
+        assert simulator.pending_events == 0
+
+    def test_max_events_can_split_a_batch(self, simulator):
+        fired = []
+        for index in range(6):
+            simulator.schedule_at(1.0, lambda i=index: fired.append(i))
+        simulator.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        assert simulator.pending_events == 2
+        # The remainder of the split batch runs on resume, still in order.
+        simulator.run()
+        assert fired == list(range(6))
+
+    def test_stop_mid_batch_preserves_the_rest(self, simulator):
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append("first"))
+        simulator.schedule_at(1.0, simulator.stop)
+        simulator.schedule_at(1.0, lambda: fired.append("after-stop"))
+        simulator.run()
+        assert fired == ["first"]
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert fired == ["first", "after-stop"]
+
+    def test_step_is_unchanged_by_batching(self, simulator):
+        fired = []
+        for index in range(3):
+            simulator.schedule_at(1.0, lambda i=index: fired.append(i))
+        assert simulator.step() is True
+        assert fired == [0]
+        assert simulator.pending_events == 2
+        assert simulator.step() is True
+        assert simulator.step() is True
+        assert simulator.step() is False
+        assert fired == [0, 1, 2]
+
+    def test_batch_stats_distinguish_singletons_from_batches(self, simulator):
+        for index in range(5):
+            simulator.schedule_at(1.0, lambda: None)
+        simulator.schedule_at(2.0, lambda: None)
+        simulator.schedule_at(3.0, lambda: None)
+        simulator.run()
+        stats = simulator.batch_stats
+        assert stats.events == 7
+        assert stats.batches == 3
+        assert stats.max_size == 5
+        assert stats.size_counts == {1: 2, 5: 1}
+        assert stats.mean_size == pytest.approx(7 / 3)
+
+    def test_exception_mid_batch_keeps_unexecuted_events(self, simulator):
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append("ok"))
+
+        def boom():
+            raise RuntimeError("mid-batch failure")
+
+        simulator.schedule_at(1.0, boom)
+        simulator.schedule_at(1.0, lambda: fired.append("later"))
+        with pytest.raises(RuntimeError):
+            simulator.run()
+        assert fired == ["ok"]
+        # The unexecuted member survived the abort and runs on resume.
+        simulator.run()
+        assert fired == ["ok", "later"]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Build the optional compiled run loop (``repro.sim._fastloop_c``).
+
+The simulator's inner loop lives in ``src/repro/sim/_fastloop.py``; this
+script produces a mypyc-compiled twin under the *different* module name
+``_fastloop_c`` so a plain import can never silently shadow the
+canonical pure-Python loop.  ``repro.sim.engine`` only looks for the
+compiled module when ``REPRO_COMPILED=1`` is set, and falls back to pure
+Python when the build is absent.
+
+The build is best-effort by design: when mypyc is not installed (it is
+an optional tool, not a runtime dependency) the script prints a notice
+and exits 0, so ``make build-fast`` is safe to run anywhere.
+
+Steps:
+
+1. copy ``_fastloop.py`` into a temp dir as ``_fastloop_c.py``, flipping
+   its ``COMPILED`` flag to ``True``;
+2. run mypyc on the copy;
+3. move the resulting extension module next to ``_fastloop.py`` (the
+   ``.py`` copy is *not* installed — only the extension, so importing
+   ``_fastloop_c`` either gets compiled code or fails cleanly).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SIM_DIR = REPO_ROOT / "src" / "repro" / "sim"
+SOURCE = SIM_DIR / "_fastloop.py"
+
+
+def main() -> int:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print(
+            "build-fast: mypyc is not installed (pip install mypy to enable); "
+            "keeping the pure-Python run loop"
+        )
+        return 0
+
+    text = SOURCE.read_text()
+    flipped = text.replace("COMPILED = False", "COMPILED = True", 1)
+    if flipped == text:
+        print("build-fast: COMPILED flag not found in _fastloop.py", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="fastloop-build-") as tmp:
+        work = Path(tmp)
+        (work / "_fastloop_c.py").write_text(flipped)
+        result = subprocess.run(
+            [sys.executable, "-m", "mypyc", "_fastloop_c.py"],
+            cwd=work,
+        )
+        if result.returncode != 0:
+            print(
+                "build-fast: mypyc failed; keeping the pure-Python run loop",
+                file=sys.stderr,
+            )
+            return result.returncode
+        built = sorted(work.glob("_fastloop_c.*.so")) + sorted(
+            work.glob("_fastloop_c.*.pyd")
+        )
+        if not built:
+            print(
+                "build-fast: mypyc reported success but produced no extension",
+                file=sys.stderr,
+            )
+            return 1
+        for extension in built:
+            destination = SIM_DIR / extension.name
+            shutil.copy2(extension, destination)
+            print(f"build-fast: installed {destination.relative_to(REPO_ROOT)}")
+    print("build-fast: run benchmarks with REPRO_COMPILED=1 to use the compiled loop")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
