@@ -8,6 +8,9 @@
 #                              runner (jobs=2), so CI exercises the pool path
 #   make scale-smoke         - the scale scenario at partitions=1 and 2; asserts the
 #                              merged results are bit-identical (fingerprint check)
+#   make chaos-smoke         - the chaos scenario at two seeds; asserts jobs=1 and
+#                              jobs=2 fingerprints match per seed, differ across
+#                              seeds, and the loss cell recovers >= 99% of queries
 #   make docs-check          - doc-vs-code consistency tests (CLI + performance docs)
 #   make bench               - the full benchmark suite at default (reduced) scale
 #   make perf                - hot-path throughput cells (events/sec), full profile;
@@ -28,7 +31,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke docs-check perf perf-smoke profile build-fast
+.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke chaos-smoke docs-check perf perf-smoke profile build-fast
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -121,6 +124,16 @@ scale-smoke:
 	REPRO_BENCH_SCALE_QUERIES=2000 REPRO_BENCH_SCALE_PARTITIONS=2 \
 		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
 		benchmarks/bench_scale.py
+
+# The chaos scenario at smoke scale under two seeds, each run serially
+# and again over a 2-process pool; the benchmark asserts per-seed
+# jobs=1/jobs=2 fingerprints are bit-identical, the two seeds disagree
+# (the injectors really draw from the seed), drop counters reconcile,
+# and client retransmission recovers >= 99% of the loss cell's queries.
+chaos-smoke:
+	REPRO_BENCH_CHAOS_QUERIES=600 REPRO_BENCH_CHAOS_JOBS=2 \
+		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
+		benchmarks/bench_chaos.py
 
 bench:
 	$(PYTHON) -m pytest -q $(BENCH_OPTS) benchmarks

@@ -50,6 +50,13 @@ Installed as the ``srlb-repro`` console script (also runnable as
     failure (degraded-but-alive server, watchdog quarantine) happens
     mid-run, and print what the legitimate flows experienced.
 
+``chaos``
+    Replay a legitimate Poisson workload while the fabric misbehaves —
+    i.i.d./bursty packet loss with corruption, scheduled link flaps, or
+    latency jitter with bounded reordering — with client SYN
+    retransmission, bounded retries and server load-shedding armed, and
+    print per-cell recovery next to the fault counters.
+
 ``scale``
     Run one partitioned million-client replay: the aggregate query
     stream is ECMP-sharded over identical pods, each pod simulated by
@@ -85,6 +92,7 @@ from repro.experiments.config import (
     LIGHT_LOAD_FACTOR,
     AdversarialConfig,
     AutoscaleConfig,
+    ChaosConfig,
     ChurnEvent,
     FlashCrowdConfig,
     HeavyTailConfig,
@@ -103,6 +111,7 @@ from repro.experiments.config import (
 from repro.experiments import figures, registry
 from repro.experiments.adversarial_experiment import run_adversarial
 from repro.experiments.autoscale_experiment import run_autoscale
+from repro.experiments.chaos_experiment import run_chaos
 from repro.experiments.heavy_tail_experiment import run_heavy_tail
 from repro.experiments.flash_crowd_experiment import run_flash_crowd
 from repro.experiments.heterogeneous_experiment import run_heterogeneous_fleet
@@ -517,6 +526,38 @@ def _command_adversarial(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    modes = tuple(
+        dict.fromkeys(args.mode or ["baseline", "loss", "flap", "jitter"])
+    )
+    testbed = dataclasses.replace(
+        _testbed_from_args(args),
+        num_load_balancers=args.lbs,
+        flow_idle_timeout=5.0,
+        request_timeout=2.0,
+        syn_retransmit_timeout=args.syn_rto,
+        syn_retransmit_cap=args.syn_rto_cap,
+        syn_retransmit_limit=args.syn_rto_limit,
+        retry_timeout=args.retry_timeout,
+        max_retries=args.max_retries,
+        backlog_shed_watermark=args.shed_watermark,
+    )
+    config = ChaosConfig(
+        testbed=testbed,
+        load_factor=args.rho,
+        num_queries=args.queries,
+        service_mean=args.service_mean,
+        modes=modes,
+        loss_rate=args.loss_rate,
+        flap_count=args.flap_count,
+        flap_down=args.flap_down,
+        jitter_mean=args.jitter_mean,
+    )
+    result = run_chaos(config, jobs=args.jobs)
+    print(figures.render_scenario_figure("chaos", result))
+    return 0
+
+
 def _command_scale(args: argparse.Namespace) -> int:
     _check_parallelism_budget(args.jobs, args.partitions)
     config = ScaleConfig(
@@ -896,6 +937,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(adversarial)
     adversarial.set_defaults(handler=_command_adversarial)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="packet loss, link flaps and jitter against a retrying client",
+    )
+    _add_testbed_arguments(chaos)
+    chaos.add_argument(
+        "--lbs", type=int, default=2, help="load-balancer tier size (>= 2)"
+    )
+    chaos.add_argument(
+        "--rho", type=float, default=0.6, help="legitimate load factor"
+    )
+    chaos.add_argument(
+        "--queries", type=int, default=4_000, help="legitimate queries"
+    )
+    chaos.add_argument("--service-mean", type=float, default=0.05)
+    chaos.add_argument(
+        "--mode",
+        action="append",
+        choices=["baseline", "loss", "flap", "jitter"],
+        help="impairment cell to run; repeatable; default all four",
+    )
+    chaos.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.01,
+        help="i.i.d. packet loss probability of the loss cell",
+    )
+    chaos.add_argument(
+        "--flap-count",
+        type=int,
+        default=2,
+        help="scheduled link-down windows of the flap cell",
+    )
+    chaos.add_argument(
+        "--flap-down",
+        type=float,
+        default=0.25,
+        help="length of each link-down window in seconds",
+    )
+    chaos.add_argument(
+        "--jitter-mean",
+        type=float,
+        default=0.002,
+        help="mean exponential extra latency (s) of the jitter cell",
+    )
+    chaos.add_argument(
+        "--syn-rto",
+        type=float,
+        default=0.2,
+        help="initial SYN retransmission timeout in seconds (0 disables)",
+    )
+    chaos.add_argument(
+        "--syn-rto-cap",
+        type=float,
+        default=2.0,
+        help="upper bound on the exponentially backed-off SYN RTO",
+    )
+    chaos.add_argument(
+        "--syn-rto-limit",
+        type=int,
+        default=4,
+        help="maximum SYN retransmissions per connection attempt",
+    )
+    chaos.add_argument(
+        "--retry-timeout",
+        type=float,
+        default=1.5,
+        help="per-attempt client deadline before retrying on a fresh port",
+    )
+    chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="full-connection retries before the client gives up",
+    )
+    chaos.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=112,
+        help="backlog depth above which servers fast-RST new SYNs (0 disables)",
+    )
+    _add_jobs_argument(chaos)
+    chaos.set_defaults(handler=_command_chaos)
 
     scale = subparsers.add_parser(
         "scale",

@@ -367,7 +367,7 @@ def run_adversarial_once(
         connections_timed_out=sum(
             server.app.stats.connections_timed_out for server in testbed.servers
         ),
-        queries_hung=testbed.client.in_flight,
+        queries_hung=testbed.client.queries_swept,
         steering_misses=testbed.total_steering_misses(),
         recovery_hunts=tier.recovery_hunts(),
         peak_concurrent_connections=max(
@@ -514,7 +514,9 @@ def render_adversarial_table(comparison: AdversarialComparison) -> str:
             [
                 mode,
                 f"{100 * run.completion_rate:.1f}%",
-                run.collector.totals.failed + run.queries_hung,
+                # Swept (hung) queries are recorded as failed outcomes by
+                # the end-of-run sweep, so the total already covers them.
+                run.collector.totals.failed,
                 run.summary.mean,
                 run.summary.p99,
                 run.attack_syns_sent,

@@ -1,0 +1,467 @@
+"""Fault injection against the SRLB tier: the ``chaos`` scenario family.
+
+Every other family runs over a perfect network.  This one replays one
+legitimate Poisson workload through a :mod:`repro.net.faults` pipeline
+installed on the fabric's delivery channel, one impairment recipe per
+cell:
+
+* ``baseline`` — the pipeline is installed but every injector is
+  *disabled*.  This cell exists to pin, as a golden fingerprint, that an
+  idle fault plane is bit-identical to no fault plane at all;
+* ``loss`` — i.i.d. packet loss plus corruption-as-drop plus a
+  Gilbert–Elliott burst process.  The headline robustness cell: with the
+  client's SYN retransmission and bounded retries armed, ≥ 99 % of
+  queries must still complete under 1 % loss, and every query that does
+  not must be accounted for by ``gave_up``;
+* ``flap`` — scheduled link-down windows during which the fabric drops
+  everything, exercising recovery after total (but bounded) outages;
+* ``jitter`` — latency jitter plus bounded reordering: nothing is lost,
+  but timing shifts everywhere and spurious client timeouts retry flows
+  onto fresh ECMP paths.
+
+The testbed arms client retransmission/retries and server load-shedding
+(see :class:`~repro.experiments.config.ChaosConfig`), so the cells
+measure *recovery*, not just damage.  Per-cell fingerprints are SHA-256
+over the sorted per-query outcome matrix — computed in the worker so the
+jobs=1 and jobs=2 paths hash exactly the same data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.calibration import analytic_saturation_rate
+from repro.experiments.config import ChaosConfig, TestbedConfig
+from repro.experiments.platform import Testbed, build_testbed
+from repro.experiments.scenario import (
+    ScenarioCell,
+    ScenarioSpec,
+    TraceProvider,
+    run_scenario,
+)
+from repro.metrics.collector import CollectorPayload, ResponseTimeCollector
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import SummaryStatistics
+from repro.net.faults import FaultConfig, install_fault_channel
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.requests import RequestCatalog
+from repro.workload.service_models import ExponentialServiceTime
+from repro.workload.trace import Trace
+
+
+def make_chaos_trace(config: ChaosConfig) -> Trace:
+    """The legitimate Poisson trace shared by every chaos cell."""
+    saturation = analytic_saturation_rate(config.testbed, config.service_mean)
+    workload = PoissonWorkload.from_load_factor(
+        rho=config.load_factor,
+        saturation_rate=saturation,
+        num_queries=config.num_queries,
+        service_model=ExponentialServiceTime(config.service_mean),
+    )
+    rng = np.random.default_rng([config.workload_seed, config.num_queries])
+    return workload.generate(rng)
+
+
+def _flap_windows(
+    config: ChaosConfig, trace_duration: float
+) -> Tuple[Tuple[float, float], ...]:
+    """``flap_count`` down-windows spread evenly over the trace."""
+    count = config.flap_count
+    if count <= 0:
+        return ()
+    half = config.flap_down / 2.0
+    windows = []
+    for index in range(count):
+        center = trace_duration * (index + 1) / (count + 1)
+        windows.append((max(0.0, center - half), center + half))
+    return tuple(windows)
+
+
+def fault_config_for(
+    config: ChaosConfig, mode: str, trace_duration: float
+) -> FaultConfig:
+    """The fault recipe one cell installs on the fabric."""
+    if mode == "baseline":
+        # Installed but fully disabled: pins that an idle pipeline is
+        # bit-identical to no pipeline.
+        return FaultConfig()
+    if mode == "loss":
+        return FaultConfig(
+            loss_rate=config.loss_rate,
+            corruption_rate=config.corruption_rate,
+            burst_enter=config.burst_enter,
+            burst_exit=config.burst_exit,
+            burst_loss=config.burst_loss,
+        )
+    if mode == "flap":
+        return FaultConfig(
+            flap_windows=_flap_windows(config, trace_duration)
+        )
+    if mode == "jitter":
+        return FaultConfig(
+            jitter_mean=config.jitter_mean,
+            jitter_cap=config.jitter_cap,
+            reorder_rate=config.reorder_rate,
+            reorder_window=config.reorder_window,
+        )
+    raise ExperimentError(f"unknown chaos mode {mode!r}")
+
+
+def outcome_fingerprint(collector: ResponseTimeCollector) -> str:
+    """SHA-256 over the sorted per-query outcome matrix.
+
+    One float64 row per recorded query — ``(request_id, sent_at,
+    response_time | -1, retries, gave_up, failed)`` sorted by request
+    id — so the fingerprint is invariant to completion order (and hence
+    to the jobs fan-out) but pins every outcome bit the chaos cells care
+    about, including the retry accounting that the compact collector
+    payload does not round-trip.
+    """
+    outcomes = collector.outcomes() + collector.failures()
+    rows = sorted(
+        (
+            float(outcome.request_id),
+            outcome.sent_at,
+            outcome.response_time if outcome.response_time is not None else -1.0,
+            float(outcome.retries),
+            float(outcome.gave_up),
+            float(outcome.failed),
+        )
+        for outcome in outcomes
+    )
+    matrix = np.asarray(rows, dtype=np.float64)
+    return hashlib.sha256(matrix.tobytes()).hexdigest()
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one (impairment mode, legitimate trace) run."""
+
+    mode: str
+    config: ChaosConfig
+    collector: ResponseTimeCollector
+    requests_served: int
+    connections_reset: int
+    connections_shed: int
+    connections_timed_out: int
+    queries_retried: int
+    queries_gave_up: int
+    queries_swept: int
+    syn_retransmits: int
+    #: Fault-pipeline counters (the pipeline's LinkStats, by reason).
+    fault_packets_seen: int
+    fault_packets_dropped: int
+    fault_dropped_loss: int
+    fault_dropped_burst: int
+    fault_dropped_corrupted: int
+    fault_dropped_link_down: int
+    fault_delayed_jitter: int
+    fault_reordered: int
+    simulated_duration: float
+    #: SHA-256 of the per-query outcome matrix, computed in the worker.
+    fingerprint: str
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of queries that completed."""
+        return self.collector.totals.completed / self.config.num_queries
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Response-time summary of the queries that completed."""
+        return self.collector.summary()
+
+    def export_payload(self) -> "ChaosRunPayload":
+        """Compact, picklable export of this run (for the scenario runner)."""
+        return ChaosRunPayload(
+            mode=self.mode,
+            config=self.config,
+            collector=self.collector.export_payload(),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            connections_shed=self.connections_shed,
+            connections_timed_out=self.connections_timed_out,
+            queries_retried=self.queries_retried,
+            queries_gave_up=self.queries_gave_up,
+            queries_swept=self.queries_swept,
+            syn_retransmits=self.syn_retransmits,
+            fault_packets_seen=self.fault_packets_seen,
+            fault_packets_dropped=self.fault_packets_dropped,
+            fault_dropped_loss=self.fault_dropped_loss,
+            fault_dropped_burst=self.fault_dropped_burst,
+            fault_dropped_corrupted=self.fault_dropped_corrupted,
+            fault_dropped_link_down=self.fault_dropped_link_down,
+            fault_delayed_jitter=self.fault_delayed_jitter,
+            fault_reordered=self.fault_reordered,
+            simulated_duration=self.simulated_duration,
+            fingerprint=self.fingerprint,
+        )
+
+
+@dataclass
+class ChaosRunPayload:
+    """Picklable compact form of a :class:`ChaosRunResult`.
+
+    The fingerprint travels as a string because the compact collector
+    payload does not round-trip ``retries``/``gave_up`` — it must be
+    computed worker-side, before the pickle boundary.
+    """
+
+    mode: str
+    config: ChaosConfig
+    collector: CollectorPayload
+    requests_served: int
+    connections_reset: int
+    connections_shed: int
+    connections_timed_out: int
+    queries_retried: int
+    queries_gave_up: int
+    queries_swept: int
+    syn_retransmits: int
+    fault_packets_seen: int
+    fault_packets_dropped: int
+    fault_dropped_loss: int
+    fault_dropped_burst: int
+    fault_dropped_corrupted: int
+    fault_dropped_link_down: int
+    fault_delayed_jitter: int
+    fault_reordered: int
+    simulated_duration: float
+    fingerprint: str
+
+    def to_result(self) -> ChaosRunResult:
+        """Rebuild the full result object in the parent process."""
+        return ChaosRunResult(
+            mode=self.mode,
+            config=self.config,
+            collector=ResponseTimeCollector.from_payload(self.collector),
+            requests_served=self.requests_served,
+            connections_reset=self.connections_reset,
+            connections_shed=self.connections_shed,
+            connections_timed_out=self.connections_timed_out,
+            queries_retried=self.queries_retried,
+            queries_gave_up=self.queries_gave_up,
+            queries_swept=self.queries_swept,
+            syn_retransmits=self.syn_retransmits,
+            fault_packets_seen=self.fault_packets_seen,
+            fault_packets_dropped=self.fault_packets_dropped,
+            fault_dropped_loss=self.fault_dropped_loss,
+            fault_dropped_burst=self.fault_dropped_burst,
+            fault_dropped_corrupted=self.fault_dropped_corrupted,
+            fault_dropped_link_down=self.fault_dropped_link_down,
+            fault_delayed_jitter=self.fault_delayed_jitter,
+            fault_reordered=self.fault_reordered,
+            simulated_duration=self.simulated_duration,
+            fingerprint=self.fingerprint,
+        )
+
+
+def _build_chaos_platform(config: ChaosConfig, mode: str) -> Testbed:
+    """A fresh tier-fronted testbed for one chaos cell's run."""
+    return build_testbed(
+        config.testbed,
+        config.policy,
+        catalog=RequestCatalog(),
+        run_name=f"chaos-{mode}",
+    )
+
+
+def run_chaos_once(
+    config: ChaosConfig,
+    mode: str,
+    trace: Optional[Trace] = None,
+) -> ChaosRunResult:
+    """Replay the legitimate workload under one impairment mode."""
+    if mode not in config.modes:
+        raise ExperimentError(
+            f"mode {mode!r} is not in the configuration's modes {config.modes!r}"
+        )
+    if trace is None:
+        trace = make_chaos_trace(config)
+    testbed = _build_chaos_platform(config, mode)
+    if testbed.lb_tier is None:
+        raise ExperimentError("chaos experiments require num_load_balancers >= 2")
+
+    pipeline = install_fault_channel(
+        testbed.simulator,
+        testbed.fabric,
+        fault_config_for(config, mode, trace.duration),
+    )
+
+    duration = testbed.run_trace(trace)
+
+    client = testbed.client
+    stats = pipeline.stats
+    return ChaosRunResult(
+        mode=mode,
+        config=config,
+        collector=testbed.collector,
+        requests_served=testbed.total_requests_served(),
+        connections_reset=testbed.total_resets(),
+        connections_shed=sum(
+            server.app.stats.connections_shed for server in testbed.servers
+        ),
+        connections_timed_out=sum(
+            server.app.stats.connections_timed_out for server in testbed.servers
+        ),
+        queries_retried=client.queries_retried,
+        queries_gave_up=client.queries_gave_up,
+        queries_swept=client.queries_swept,
+        syn_retransmits=client.syn_retransmits,
+        fault_packets_seen=stats.packets_sent,
+        fault_packets_dropped=stats.packets_dropped,
+        fault_dropped_loss=stats.packets_dropped_loss,
+        fault_dropped_burst=stats.packets_dropped_burst,
+        fault_dropped_corrupted=stats.packets_dropped_corrupted,
+        fault_dropped_link_down=stats.packets_dropped_link_down,
+        fault_delayed_jitter=stats.packets_delayed_jitter,
+        fault_reordered=stats.packets_reordered,
+        simulated_duration=duration,
+        fingerprint=outcome_fingerprint(testbed.collector),
+    )
+
+
+@dataclass
+class ChaosComparison:
+    """All impairment modes of one comparison, over the same workload."""
+
+    config: ChaosConfig
+    runs: Dict[str, ChaosRunResult] = field(default_factory=dict)
+
+    def modes(self) -> List[str]:
+        """Mode names, in configuration order."""
+        return list(self.config.modes)
+
+    def run(self, mode: str) -> ChaosRunResult:
+        """The run for one impairment mode."""
+        try:
+            return self.runs[mode]
+        except KeyError as exc:
+            raise ExperimentError(f"no run for mode {mode!r}") from exc
+
+
+class ChaosScenario(ScenarioSpec):
+    """The fault-injection comparison as a declarative scenario."""
+
+    name = "chaos"
+    title = "Query recovery under packet loss, link flaps and jitter"
+
+    def default_config(self) -> ChaosConfig:
+        return ChaosConfig()
+
+    def smoke_config(self) -> ChaosConfig:
+        return ChaosConfig(
+            testbed=TestbedConfig(
+                num_servers=4,
+                workers_per_server=8,
+                cores_per_server=2,
+                backlog_capacity=16,
+                num_load_balancers=2,
+                flow_idle_timeout=5.0,
+                request_timeout=2.0,
+                syn_retransmit_timeout=0.2,
+                syn_retransmit_cap=2.0,
+                syn_retransmit_limit=4,
+                retry_timeout=1.5,
+                max_retries=3,
+                backlog_shed_watermark=14,
+            ),
+            num_queries=600,
+        )
+
+    def cells(self, config: ChaosConfig) -> List[ScenarioCell]:
+        return [
+            ScenarioCell(key=mode, params={"mode": mode})
+            for mode in config.modes
+        ]
+
+    # trace_key: the default (one shared trace for every mode).
+
+    def make_trace(self, config: ChaosConfig, cell: ScenarioCell) -> Trace:
+        return make_chaos_trace(config)
+
+    def build_platform(self, config: ChaosConfig, cell: ScenarioCell) -> Testbed:
+        return _build_chaos_platform(config, cell.param("mode"))
+
+    def run_once(
+        self, config: ChaosConfig, cell: ScenarioCell, trace: Trace
+    ) -> ChaosRunPayload:
+        return run_chaos_once(config, cell.param("mode"), trace=trace).export_payload()
+
+    def aggregate(
+        self,
+        config: ChaosConfig,
+        cells: Sequence[ScenarioCell],
+        payloads: Sequence[ChaosRunPayload],
+        trace_for: TraceProvider,
+    ) -> ChaosComparison:
+        comparison = ChaosComparison(config=config)
+        for payload in payloads:
+            comparison.runs[payload.mode] = payload.to_result()
+        return comparison
+
+    def render(self, result: ChaosComparison) -> str:
+        return render_chaos_table(result)
+
+
+#: The registered spec instance (also reachable via ``registry.get``).
+CHAOS_SCENARIO = registry.register(ChaosScenario())
+
+
+def run_chaos(config: ChaosConfig, jobs: Optional[int] = 1) -> ChaosComparison:
+    """Replay the workload under every configured impairment mode.
+
+    ``jobs`` fans the per-mode runs out over a process pool
+    (``None``/``0`` = all cores); results are identical for any value —
+    see :mod:`repro.experiments.runner` for the determinism contract.
+    """
+    return run_scenario(CHAOS_SCENARIO, config, jobs=jobs)
+
+
+def render_chaos_table(comparison: ChaosComparison) -> str:
+    """Text table of the per-mode chaos comparison."""
+    config = comparison.config
+    rows: List[List[object]] = []
+    for mode in comparison.modes():
+        run = comparison.run(mode)
+        rows.append(
+            [
+                mode,
+                f"{100 * run.completion_rate:.1f}%",
+                run.collector.totals.failed,
+                run.queries_retried,
+                run.queries_gave_up,
+                run.syn_retransmits,
+                run.summary.p99,
+                run.fault_packets_dropped,
+                run.fault_delayed_jitter + run.fault_reordered,
+                run.connections_shed,
+            ]
+        )
+    return format_table(
+        [
+            "mode",
+            "done",
+            "failed",
+            "retried",
+            "gave up",
+            "SYN rtx",
+            "p99 (s)",
+            "net drops",
+            "net delays",
+            "sheds",
+        ],
+        rows,
+        title=(
+            f"Chaos: {config.testbed.num_load_balancers} LBs, "
+            f"{config.testbed.num_servers} servers, rho={config.load_factor:g}, "
+            f"loss={config.loss_rate:g}, flaps={config.flap_count} x "
+            f"{config.flap_down:g}s, jitter mean={config.jitter_mean:g}s"
+        ),
+    )

@@ -77,6 +77,22 @@ class TestbedConfig:
     packet_pooling: bool = field(
         default_factory=lambda: os.environ.get("REPRO_PACKET_POOLING", "") == "1"
     )
+    #: Client SYN retransmission: initial RTO in seconds (doubles per
+    #: retransmit up to the cap, at most ``syn_retransmit_limit`` times).
+    #: 0 (the default) disables retransmission — the pre-fault-plane
+    #: behaviour, under which every existing golden was pinned.
+    syn_retransmit_timeout: float = 0.0
+    syn_retransmit_cap: float = 60.0
+    syn_retransmit_limit: int = 6
+    #: Per-attempt client deadline (0 disables): when it fires, the query
+    #: is retried from scratch on a fresh source port, at most
+    #: ``max_retries`` times before the client gives up.
+    retry_timeout: float = 0.0
+    max_retries: int = 0
+    #: Server load-shedding high-water mark on the listen backlog (0
+    #: disables): SYNs arriving at or above this depth are fast-RST'd
+    #: before admission and counted as ``connections_shed``.
+    backlog_shed_watermark: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -115,6 +131,35 @@ class TestbedConfig:
         if self.backlog_capacity <= 0:
             raise ExperimentError(
                 f"backlog_capacity must be positive, got {self.backlog_capacity!r}"
+            )
+        if self.syn_retransmit_timeout < 0:
+            raise ExperimentError(
+                "syn_retransmit_timeout must be non-negative, got "
+                f"{self.syn_retransmit_timeout!r}"
+            )
+        if self.syn_retransmit_cap <= 0:
+            raise ExperimentError(
+                "syn_retransmit_cap must be positive, got "
+                f"{self.syn_retransmit_cap!r}"
+            )
+        if self.syn_retransmit_limit < 0:
+            raise ExperimentError(
+                "syn_retransmit_limit must be non-negative, got "
+                f"{self.syn_retransmit_limit!r}"
+            )
+        if self.retry_timeout < 0:
+            raise ExperimentError(
+                f"retry_timeout must be non-negative, got {self.retry_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
+        if not 0 <= self.backlog_shed_watermark <= self.backlog_capacity:
+            raise ExperimentError(
+                "backlog_shed_watermark must be in [0, backlog_capacity], got "
+                f"{self.backlog_shed_watermark!r} with capacity "
+                f"{self.backlog_capacity!r}"
             )
         if self.server_speed_factors:
             if len(self.server_speed_factors) != self.num_servers:
@@ -1131,3 +1176,135 @@ class ScaleConfig:
             num_queries=num_queries,
             pods=pods if pods is not None else self.pods,
         )
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Configuration of the fault-injection ``chaos`` scenario family.
+
+    One legitimate Poisson workload is replayed against a 2-LB ECMP tier
+    while :mod:`repro.net.faults` impairs the fabric: ``loss`` mixes
+    i.i.d. loss, corruption-as-drop and Gilbert–Elliott bursts; ``flap``
+    schedules link-down windows; ``jitter`` adds latency jitter plus
+    bounded reordering.  ``baseline`` runs the same workload through a
+    fully *disabled* fault pipeline — pinning that an installed-but-idle
+    pipeline stays bit-identical to no pipeline at all.  The testbed
+    arms the client's SYN retransmission and bounded retries and the
+    servers' load-shedding watermark, so the cells measure recovery, not
+    just damage.
+    """
+
+    testbed: TestbedConfig = field(
+        default_factory=lambda: TestbedConfig(
+            num_servers=12,
+            num_load_balancers=2,
+            # Reap flow-table entries orphaned by dropped packets in-run,
+            # and free workers pinned by half-open connections whose
+            # request payload was lost.
+            flow_idle_timeout=5.0,
+            request_timeout=2.0,
+            # Client robustness: fast initial RTO (the simulated RTTs are
+            # sub-millisecond), doubling to a 2 s cap, then bounded
+            # full-connection retries on fresh source ports.
+            syn_retransmit_timeout=0.2,
+            syn_retransmit_cap=2.0,
+            syn_retransmit_limit=4,
+            retry_timeout=1.5,
+            max_retries=3,
+            # Shed just below the backlog capacity of 128.
+            backlog_shed_watermark=112,
+        )
+    )
+    load_factor: float = 0.6
+    num_queries: int = 4_000
+    service_mean: float = 0.05
+    acceptance_policy: str = "SR8"
+    num_candidates: int = 2
+    modes: Tuple[str, ...] = ("baseline", "loss", "flap", "jitter")
+    #: ``loss`` cell: i.i.d. loss and corruption rates, plus the
+    #: Gilbert–Elliott burst process (enter/exit per packet, loss
+    #: probability while in the bad state).
+    loss_rate: float = 0.01
+    corruption_rate: float = 0.001
+    burst_enter: float = 0.0005
+    burst_exit: float = 0.2
+    burst_loss: float = 0.9
+    #: ``flap`` cell: number of link-down windows and each one's length
+    #: in seconds, spread evenly over the trace.
+    flap_count: int = 2
+    flap_down: float = 0.25
+    #: ``jitter`` cell: exponential extra latency (mean/cap seconds) and
+    #: bounded reordering (rate, hold-back window seconds).
+    jitter_mean: float = 0.002
+    jitter_cap: float = 0.02
+    reorder_rate: float = 0.02
+    reorder_window: float = 0.001
+    workload_seed: int = 97_531
+
+    _KNOWN_MODES = ("baseline", "loss", "flap", "jitter")
+
+    def __post_init__(self) -> None:
+        if self.testbed.num_load_balancers < 2:
+            raise ExperimentError(
+                "chaos experiments need a tier of at least 2 load "
+                f"balancers, got {self.testbed.num_load_balancers!r}"
+            )
+        if self.load_factor <= 0:
+            raise ExperimentError(
+                f"load_factor must be positive, got {self.load_factor!r}"
+            )
+        if self.num_queries <= 0:
+            raise ExperimentError(
+                f"num_queries must be positive, got {self.num_queries!r}"
+            )
+        if self.service_mean <= 0:
+            raise ExperimentError(
+                f"service_mean must be positive, got {self.service_mean!r}"
+            )
+        if not self.modes:
+            raise ExperimentError("at least one chaos mode is required")
+        for mode in self.modes:
+            if mode not in self._KNOWN_MODES:
+                raise ExperimentError(
+                    f"unknown chaos mode {mode!r}: expected one of "
+                    f"{self._KNOWN_MODES}"
+                )
+        for name in (
+            "loss_rate",
+            "corruption_rate",
+            "burst_enter",
+            "burst_exit",
+            "burst_loss",
+            "reorder_rate",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ExperimentError(
+                    f"{name} must be in [0, 1], got {value!r}"
+                )
+        if self.flap_count < 0:
+            raise ExperimentError(
+                f"flap_count must be non-negative, got {self.flap_count!r}"
+            )
+        if self.flap_down <= 0:
+            raise ExperimentError(
+                f"flap_down must be positive, got {self.flap_down!r}"
+            )
+        for name in ("jitter_mean", "jitter_cap", "reorder_window"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ExperimentError(
+                    f"{name} must be non-negative, got {value!r}"
+                )
+
+    @property
+    def policy(self) -> PolicySpec:
+        """The Service Hunting policy every cell runs under."""
+        return PolicySpec(
+            name=self.acceptance_policy,
+            acceptance_policy=self.acceptance_policy,
+            num_candidates=self.num_candidates,
+        )
+
+    def scaled(self, num_queries: int) -> "ChaosConfig":
+        """A cheaper copy of the configuration (for tests and CI)."""
+        return replace(self, num_queries=num_queries)

@@ -71,6 +71,7 @@ def _build_server(
         demand_lookup=catalog.demand_of,
         abort_on_overflow=config.abort_on_overflow,
         request_timeout=config.request_timeout or None,
+        shed_watermark=config.backlog_shed_watermark or None,
     )
     server = ServerNode(
         simulator=simulator,
@@ -266,6 +267,12 @@ class Testbed:
         every event has been processed.  When a load sampler is active it
         is stopped once the arrival phase (plus ``settle_margin`` seconds)
         is over, so the event heap can drain.
+
+        Once the heap is empty the client sweeps every still-pending
+        query into a failed outcome (``queries_swept``): a query whose
+        SYN or final data packet was lost must not silently vanish from
+        the completion-rate metrics.  On fault-free paths the sweep is a
+        no-op (nothing is pending once the heap drains).
         """
         for request in trace:
             if request.request_id in self.catalog:
@@ -293,7 +300,9 @@ class Testbed:
             hooks, self._horizon_hooks = self._horizon_hooks, []
             for hook in hooks:
                 hook()
-        return self.simulator.run()
+        duration = self.simulator.run()
+        self.client.sweep_unfinished()
+        return duration
 
     # ------------------------------------------------------------------
     # convenience accessors used by experiments and tests
@@ -460,6 +469,11 @@ def build_testbed(
         collector=collector,
         request_spread=config.request_spread,
         request_chunks=config.request_chunks,
+        syn_retransmit_timeout=config.syn_retransmit_timeout,
+        syn_retransmit_cap=config.syn_retransmit_cap,
+        syn_retransmit_limit=config.syn_retransmit_limit,
+        retry_timeout=config.retry_timeout,
+        max_retries=config.max_retries,
     )
     client.attach(fabric)
     if packet_pool is not None:

@@ -35,6 +35,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.heavy_tail_experiment",
     "repro.experiments.adversarial_experiment",
     "repro.experiments.scale_experiment",
+    "repro.experiments.chaos_experiment",
 )
 
 _SCENARIOS: Dict[str, "ScenarioSpec"] = {}

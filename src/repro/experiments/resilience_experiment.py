@@ -272,7 +272,7 @@ def run_resilience_once(
         observations=observations,
         broken_flows=broken,
         in_flight_at_churn=len(exposed),
-        queries_hung=testbed.client.in_flight,
+        queries_hung=testbed.client.queries_swept,
         recovery_hunts=tier.recovery_hunts(),
         steering_misses=testbed.total_steering_misses(),
         signals_relayed=tier.signals_relayed(),
@@ -393,7 +393,9 @@ def render_resilience_table(comparison: ResilienceComparison) -> str:
                 run.broken_flows,
                 f"{100 * run.broken_fraction:.1f}%",
                 run.recovery_hunts,
-                totals.failed + run.queries_hung,
+                # The end-of-run sweep records hung queries as failed
+                # outcomes, so the total already covers them.
+                totals.failed,
                 run.summary.mean,
                 run.summary.p90,
             ]

@@ -1,0 +1,439 @@
+"""Fault-injection plane: composable impairments on the delivery seam.
+
+Every packet hop of the testbed goes through one
+:class:`~repro.net.channel.DeliveryChannel` (the fabric's, the link's,
+or the ECMP edge's).  :class:`FaultInjectionChannel` wraps any of them
+with a pipeline of *injectors* — deterministic, seed-derived models of
+the ways real networks misbehave:
+
+* :class:`IIDLossInjector` — independent per-packet loss;
+* :class:`GilbertElliottLossInjector` — bursty loss from the classic
+  two-state (good/bad) Markov channel;
+* :class:`CorruptionInjector` — corruption-as-drop: a corrupted frame
+  fails its checksum at the receiver and is discarded, which at this
+  abstraction level is indistinguishable from a loss (but worth its own
+  counter, because the remedies differ);
+* :class:`JitterInjector` — extra per-packet latency (exponential,
+  optionally capped);
+* :class:`ReorderInjector` — bounded reordering: a fraction of packets
+  is held back by a bounded extra delay so later packets overtake them;
+* :class:`LinkFlapInjector` — scheduled link-down windows during which
+  every packet offered to the hop is dropped (no RNG at all).
+
+Determinism and bit-identity
+----------------------------
+Each randomized injector draws from its **own** named
+:class:`~repro.sim.random_streams.RandomStreams` substream (the
+``STREAM`` class attribute), so enabling one impairment never perturbs
+the draws of any other component — the same isolation contract the
+candidate selector and the workload generators already rely on.
+
+A *disabled* injector (zero rate / zero mean / empty schedule) returns
+immediately without drawing a single random value, and the pipeline
+forwards ``deliver`` with the delay object untouched.  An all-disabled
+pipeline is therefore **bit-identical** to the bare inner channel: same
+event times, same FIFO sequence numbers, same labels, same RNG states —
+pinned by the hypothesis property test in
+``tests/test_faults_property.py`` and by the ``chaos`` family's
+``baseline`` golden fingerprint.
+
+Accounting
+----------
+The pipeline owns a :class:`~repro.net.link.LinkStats` instance:
+``packets_sent`` counts every packet offered to the pipeline,
+``packets_dropped`` is the unified drop total, and each injector counts
+its drops (or delays) under its own reason counter — the same
+one-drop/one-reason scheme as the fabric and the link (see
+docs/architecture.md).  ``packets_sent - packets_dropped`` always equals
+the number of packets handed to the inner channel.
+
+Pooled packets: a fault drop happens *before* the pooled channel marks
+the packet in flight, so a dropped packet is simply left to the garbage
+collector instead of returning to the free list — correctness is
+unaffected, the pool just recycles one packet fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.net.channel import DeliveryChannel, DeliveryGuard, PacketSink
+from repro.net.link import LinkStats
+from repro.sim.engine import Simulator
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise NetworkError(f"{name} must be in [0, 1], got {value!r}")
+
+
+class FaultInjector:
+    """One impairment stage of a fault pipeline.
+
+    :meth:`assess` is called once per offered packet, in pipeline order,
+    at the packet's *send* time.  It returns ``None`` to drop the packet
+    (after counting the drop under its reason counter on ``stats``) or a
+    non-negative extra delay in seconds.  A disabled injector must
+    return ``0.0`` without touching its RNG — that is what keeps an
+    all-disabled pipeline bit-identical to the bare channel.
+    """
+
+    #: Name of the injector's :class:`RandomStreams` substream (``None``
+    #: for purely scheduled injectors).
+    STREAM: Optional[str] = None
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        raise NotImplementedError
+
+
+class IIDLossInjector(FaultInjector):
+    """Drop each packet independently with probability ``rate``."""
+
+    STREAM = "fault-iid-loss"
+    __slots__ = ("rate", "_rng")
+
+    def __init__(self, rng: Any, rate: float) -> None:
+        _check_probability("loss rate", rate)
+        self.rate = rate
+        self._rng = rng
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        if self.rate <= 0.0:
+            return 0.0
+        if self._rng.random() < self.rate:
+            stats.packets_dropped_loss += 1
+            return None
+        return 0.0
+
+
+class CorruptionInjector(FaultInjector):
+    """Corrupt (and therefore drop) each packet with probability ``rate``."""
+
+    STREAM = "fault-corruption"
+    __slots__ = ("rate", "_rng")
+
+    def __init__(self, rng: Any, rate: float) -> None:
+        _check_probability("corruption rate", rate)
+        self.rate = rate
+        self._rng = rng
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        if self.rate <= 0.0:
+            return 0.0
+        if self._rng.random() < self.rate:
+            stats.packets_dropped_corrupted += 1
+            return None
+        return 0.0
+
+
+class GilbertElliottLossInjector(FaultInjector):
+    """Bursty loss from the two-state Gilbert–Elliott channel.
+
+    The channel is ``good`` or ``bad``; each offered packet first drives
+    one Markov transition (``enter``: good→bad, ``exit``: bad→good),
+    then is lost with the state's loss probability (``loss_good`` /
+    ``loss_bad``).  ``enter = 0`` with ``loss_good = 0`` disables the
+    injector entirely (the chain can neither leave the good state nor
+    drop in it), in which case no random values are drawn.
+    """
+
+    STREAM = "fault-burst-loss"
+    __slots__ = ("enter", "exit", "loss_good", "loss_bad", "bad", "_rng")
+
+    def __init__(
+        self,
+        rng: Any,
+        enter: float,
+        exit: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        _check_probability("burst enter probability", enter)
+        _check_probability("burst exit probability", exit)
+        _check_probability("good-state loss probability", loss_good)
+        _check_probability("bad-state loss probability", loss_bad)
+        self.enter = enter
+        self.exit = exit
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        self._rng = rng
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        if self.enter <= 0.0 and self.loss_good <= 0.0:
+            return 0.0
+        rng = self._rng
+        if self.bad:
+            if rng.random() < self.exit:
+                self.bad = False
+        elif rng.random() < self.enter:
+            self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        if loss > 0.0 and rng.random() < loss:
+            stats.packets_dropped_burst += 1
+            return None
+        return 0.0
+
+
+class JitterInjector(FaultInjector):
+    """Add exponentially distributed extra latency (mean ``mean``).
+
+    ``cap`` truncates the draw (0 = uncapped), bounding how far one
+    packet can fall behind its peers.
+    """
+
+    STREAM = "fault-jitter"
+    __slots__ = ("mean", "cap", "_rng")
+
+    def __init__(self, rng: Any, mean: float, cap: float = 0.0) -> None:
+        if mean < 0.0:
+            raise NetworkError(f"jitter mean must be non-negative, got {mean!r}")
+        if cap < 0.0:
+            raise NetworkError(f"jitter cap must be non-negative, got {cap!r}")
+        self.mean = mean
+        self.cap = cap
+        self._rng = rng
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        if self.mean <= 0.0:
+            return 0.0
+        extra = self._rng.exponential(self.mean)
+        if self.cap > 0.0 and extra > self.cap:
+            extra = self.cap
+        stats.packets_delayed_jitter += 1
+        return extra
+
+
+class ReorderInjector(FaultInjector):
+    """Bounded reordering: hold back a fraction of packets.
+
+    With probability ``rate`` a packet is delayed by a uniform draw from
+    ``[0, window]`` seconds, so packets sent later (within the window)
+    overtake it.  The bound is the window: no packet is ever displaced
+    by more than ``window`` seconds.
+    """
+
+    STREAM = "fault-reorder"
+    __slots__ = ("rate", "window", "_rng")
+
+    def __init__(self, rng: Any, rate: float, window: float) -> None:
+        _check_probability("reorder rate", rate)
+        if window < 0.0:
+            raise NetworkError(
+                f"reorder window must be non-negative, got {window!r}"
+            )
+        if rate > 0.0 and window <= 0.0:
+            raise NetworkError(
+                "a positive reorder rate needs a positive reorder window"
+            )
+        self.rate = rate
+        self.window = window
+        self._rng = rng
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        if self.rate <= 0.0:
+            return 0.0
+        if self._rng.random() < self.rate:
+            stats.packets_reordered += 1
+            return self._rng.random() * self.window
+        return 0.0
+
+
+class LinkFlapInjector(FaultInjector):
+    """Scheduled link flaps: drop every packet offered inside a window.
+
+    ``windows`` is a sorted, non-overlapping sequence of
+    ``(down_at, up_at)`` intervals in simulated seconds.  Purely
+    scheduled — no RNG — so an empty schedule is trivially disabled.
+    Deliveries are assessed in non-decreasing simulated time, so a
+    cursor over the schedule suffices.
+    """
+
+    STREAM = None
+    __slots__ = ("windows", "_cursor")
+
+    def __init__(self, windows: Sequence[Tuple[float, float]]) -> None:
+        ordered = tuple((float(start), float(end)) for start, end in windows)
+        previous_end = 0.0
+        for start, end in ordered:
+            if start < 0.0 or end <= start:
+                raise NetworkError(
+                    f"flap window must satisfy 0 <= start < end, got "
+                    f"({start!r}, {end!r})"
+                )
+            if start < previous_end:
+                raise NetworkError(
+                    "flap windows must be sorted and non-overlapping, got "
+                    f"{ordered!r}"
+                )
+            previous_end = end
+        self.windows = ordered
+        self._cursor = 0
+
+    def assess(self, now: float, stats: LinkStats) -> Optional[float]:
+        windows = self.windows
+        cursor = self._cursor
+        while cursor < len(windows) and now >= windows[cursor][1]:
+            cursor += 1
+        self._cursor = cursor
+        if cursor < len(windows) and now >= windows[cursor][0]:
+            stats.packets_dropped_link_down += 1
+            return None
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of one fault pipeline.
+
+    The all-zero default describes a pipeline that is constructed but
+    entirely disabled — bit-identical to no pipeline at all.
+    """
+
+    #: Independent per-packet loss probability.
+    loss_rate: float = 0.0
+    #: Gilbert–Elliott transition/loss probabilities (per packet).
+    burst_enter: float = 0.0
+    burst_exit: float = 0.25
+    burst_loss: float = 1.0
+    #: Mean (and truncation cap, 0 = uncapped) of the exponential
+    #: per-packet extra latency, in seconds.
+    jitter_mean: float = 0.0
+    jitter_cap: float = 0.0
+    #: Fraction of packets held back, and the bound on how long.
+    reorder_rate: float = 0.0
+    reorder_window: float = 0.0
+    #: Corruption-as-drop probability.
+    corruption_rate: float = 0.0
+    #: Scheduled ``(down_at, up_at)`` link-down windows, in seconds.
+    flap_windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Construction of throwaway injectors performs the full
+        # validation; an invalid field raises here, not mid-run.
+        build_injectors(None, self)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any impairment is actually active."""
+        return bool(
+            self.loss_rate
+            or self.burst_enter
+            or self.jitter_mean
+            or self.reorder_rate
+            or self.corruption_rate
+            or self.flap_windows
+        )
+
+
+def build_injectors(
+    simulator: Optional[Simulator], config: FaultConfig
+) -> Tuple[FaultInjector, ...]:
+    """The full pipeline described by ``config``, in canonical order.
+
+    Order: structural outage first (flaps), then the loss processes,
+    then the delay shaping — so a packet that survives every loss stage
+    accumulates the delay stages' extra latency.  Every injector is
+    constructed even when disabled (a disabled injector draws nothing),
+    which is exactly the configuration the bit-identity property test
+    exercises.  ``simulator=None`` builds RNG-less throwaway injectors,
+    used only to validate a :class:`FaultConfig`.
+    """
+
+    def stream(name: Optional[str]) -> Any:
+        if simulator is None or name is None:
+            return None
+        return simulator.streams.stream(name)
+
+    return (
+        LinkFlapInjector(config.flap_windows),
+        IIDLossInjector(stream(IIDLossInjector.STREAM), config.loss_rate),
+        GilbertElliottLossInjector(
+            stream(GilbertElliottLossInjector.STREAM),
+            enter=config.burst_enter,
+            exit=config.burst_exit,
+            loss_good=0.0,
+            loss_bad=config.burst_loss,
+        ),
+        CorruptionInjector(
+            stream(CorruptionInjector.STREAM), config.corruption_rate
+        ),
+        JitterInjector(
+            stream(JitterInjector.STREAM), config.jitter_mean, config.jitter_cap
+        ),
+        ReorderInjector(
+            stream(ReorderInjector.STREAM),
+            config.reorder_rate,
+            config.reorder_window,
+        ),
+    )
+
+
+class FaultInjectionChannel:
+    """:class:`DeliveryChannel` wrapper running packets through injectors.
+
+    Wraps any inner channel (plain, pooled, or another fault channel).
+    Offered packets traverse the pipeline at send time: the first
+    injector returning ``None`` drops the packet (counted once in
+    ``stats.packets_dropped`` plus the injector's reason counter);
+    otherwise the injectors' extra delays are summed onto the hop delay
+    and the packet is forwarded to the inner channel unchanged.
+    """
+
+    __slots__ = ("simulator", "inner", "injectors", "stats")
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        inner: DeliveryChannel,
+        injectors: Sequence[FaultInjector],
+    ) -> None:
+        self.simulator = simulator
+        self.inner = inner
+        self.injectors = tuple(injectors)
+        self.stats = LinkStats()
+
+    @property
+    def packets_delivered(self) -> int:
+        """Packets handed to the inner channel (sent minus dropped)."""
+        return self.stats.packets_sent - self.stats.packets_dropped
+
+    def deliver(
+        self,
+        sink: PacketSink,
+        packet: Any,
+        delay: float,
+        label: str,
+        guard: Optional[DeliveryGuard] = None,
+    ) -> None:
+        stats = self.stats
+        stats.packets_sent += 1
+        now = self.simulator.now
+        extra = 0.0
+        for injector in self.injectors:
+            verdict = injector.assess(now, stats)
+            if verdict is None:
+                stats.packets_dropped += 1
+                return
+            extra += verdict
+        if extra > 0.0:
+            delay = delay + extra
+        self.inner.deliver(sink, packet, delay, label, guard)
+
+
+def install_fault_channel(
+    simulator: Simulator, fabric: Any, config: FaultConfig
+) -> FaultInjectionChannel:
+    """Wrap ``fabric``'s delivery channel with a pipeline from ``config``.
+
+    Works on anything exposing a ``channel`` attribute (the LAN fabric,
+    a point-to-point link, the ECMP edge router).  Returns the installed
+    channel so callers can read its drop/delay counters after the run.
+    """
+    channel = FaultInjectionChannel(
+        simulator, fabric.channel, build_injectors(simulator, config)
+    )
+    fabric.channel = channel
+    return channel

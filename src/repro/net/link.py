@@ -45,6 +45,20 @@ class LinkStats:
       detached, either at send time or while the packet was in flight.
       Mid-flight drops are also counted in ``packets_sent`` (the link
       carried the packet; the sink was gone on arrival).
+
+    The remaining reason counters are incremented only by the fault
+    pipelines of :mod:`repro.net.faults`, which reuse this stats record
+    so fault drops live in the same unified taxonomy:
+
+    * ``packets_dropped_loss`` — independent (i.i.d.) packet loss;
+    * ``packets_dropped_burst`` — Gilbert–Elliott bursty loss;
+    * ``packets_dropped_corrupted`` — corruption-as-drop (the frame
+      fails its checksum at the receiver);
+    * ``packets_dropped_link_down`` — offered during a scheduled flap
+      window.
+
+    ``packets_delayed_jitter`` and ``packets_reordered`` count delay
+    shaping, not drops — they do not contribute to ``packets_dropped``.
     """
 
     packets_sent: int = 0
@@ -52,6 +66,12 @@ class LinkStats:
     bytes_sent: int = 0
     packets_dropped_queue_full: int = 0
     packets_dropped_sink_detached: int = 0
+    packets_dropped_loss: int = 0
+    packets_dropped_burst: int = 0
+    packets_dropped_corrupted: int = 0
+    packets_dropped_link_down: int = 0
+    packets_delayed_jitter: int = 0
+    packets_reordered: int = 0
 
 
 class Link:

@@ -83,6 +83,11 @@ class ServerAppStats:
 
     connections_received: int = 0
     connections_reset: int = 0
+    #: Connections fast-RST'd by load shedding: the backlog depth was at
+    #: or above ``shed_watermark`` when the SYN arrived.  Counted
+    #: separately from ``connections_reset`` (backlog overflow) because
+    #: shedding is a *policy* drop taken while capacity still remains.
+    connections_shed: int = 0
     #: Accepted connections reset because the request payload never
     #: arrived within ``request_timeout`` (client gone mid-upload).
     connections_timed_out: int = 0
@@ -120,6 +125,13 @@ class HTTPServerInstance:
         (the default) disables the timeout; long-lived-flow scenarios
         need it so that clients that abandoned a broken flow do not pin
         workers forever.
+    shed_watermark:
+        Load-shedding high-water mark on the listen backlog: a SYN
+        arriving while ``backlog.depth >= shed_watermark`` is fast-RST'd
+        *before* admission and counted as ``connections_shed``.  A
+        client with retries gets an immediate, cheap signal to go try
+        another instance instead of queueing behind a saturated one.
+        ``None`` (the default) disables shedding.
     """
 
     def __init__(
@@ -133,12 +145,17 @@ class HTTPServerInstance:
         response_payload_size: int = 8_000,
         abort_on_overflow: bool = True,
         request_timeout: Optional[float] = None,
+        shed_watermark: Optional[int] = None,
     ) -> None:
         if num_workers <= 0:
             raise ServerError(f"num_workers must be positive, got {num_workers!r}")
         if request_timeout is not None and request_timeout <= 0:
             raise ServerError(
                 f"request_timeout must be positive, got {request_timeout!r}"
+            )
+        if shed_watermark is not None and shed_watermark <= 0:
+            raise ServerError(
+                f"shed_watermark must be positive, got {shed_watermark!r}"
             )
         self.simulator = simulator
         self.name = name
@@ -149,6 +166,7 @@ class HTTPServerInstance:
         self.demand_lookup = demand_lookup
         self.response_payload_size = response_payload_size
         self.request_timeout = request_timeout
+        self.shed_watermark = shed_watermark
         self.transport: Optional[ServerTransport] = None
         self.stats = ServerAppStats()
         self._connections: Dict[int, ServerConnection] = {}
@@ -190,6 +208,13 @@ class HTTPServerInstance:
             request_id=request_id,
             arrived_at=self.simulator.now,
         )
+        shed = self.shed_watermark
+        if shed is not None and self.backlog.depth >= shed:
+            # Load shedding: refuse while capacity remains so the reset
+            # reaches the client before the backlog actually overflows.
+            self.stats.connections_shed += 1
+            transport.send_reset(connection)
+            return connection
         if not self.backlog.try_admit(connection.connection_id):
             self.stats.connections_reset += 1
             transport.send_reset(connection)

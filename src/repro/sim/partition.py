@@ -32,6 +32,7 @@ family and the hypothesis property test in
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -54,6 +55,26 @@ PartitionWorker = Callable[["PartitionTask", FrameSender], None]
 
 #: Summary key carrying a worker failure back to the coordinator.
 ERROR_KEY = "error"
+
+
+class PartitionSupervisionError(SimulationError):
+    """A partition stalled past the heartbeat deadline (or crashed).
+
+    Carries the indices of the offending partitions and whatever
+    closing-frame summaries the healthy partitions had already
+    delivered, so callers can report partial progress instead of
+    blocking forever on a hung child.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partitions: Sequence[int],
+        summaries: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.partitions = tuple(partitions)
+        self.summaries: Dict[int, Dict[str, Any]] = dict(summaries or {})
 
 
 @dataclass(frozen=True)
@@ -145,14 +166,25 @@ def run_partitioned(
     tasks: Sequence[PartitionTask],
     processes: int = 1,
     mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    heartbeat_timeout: Optional[float] = None,
 ) -> PartitionResult:
     """Execute every partition task and merge the emitted frames.
 
     ``processes=1`` runs all partitions serially in this process (no
     pipes, no pickling); ``processes=N`` distributes partitions
-    round-robin over N worker processes speaking pickled frames.  Both
-    paths run the same worker code and the same deterministic merge, so
-    the result is identical for any ``processes`` value.
+    round-robin over N worker processes speaking pickled frames — at
+    most ``len(tasks)`` of them, so extra processes never spawn idle
+    workers.  Both paths run the same worker code and the same
+    deterministic merge, so the result is identical for any
+    ``processes`` value.
+
+    ``heartbeat_timeout`` supervises the multi-process path: a partition
+    that sends nothing (not even a window's null frame) for that many
+    wall-clock seconds is declared hung, its siblings are terminated,
+    and :class:`PartitionSupervisionError` is raised naming the stalled
+    partitions with the summaries collected so far attached — instead of
+    the coordinator blocking in its drain loop forever.  ``None`` (the
+    default) disables supervision.
     """
     if not tasks:
         return PartitionResult(items=[])
@@ -161,6 +193,10 @@ def run_partitioned(
         raise SimulationError(f"partition indices must be unique, got {indices!r}")
     if processes < 1:
         raise SimulationError(f"processes must be positive, got {processes!r}")
+    if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+        raise SimulationError(
+            f"heartbeat_timeout must be positive, got {heartbeat_timeout!r}"
+        )
 
     frames: List[BatchFrame] = []
     if processes == 1 or len(tasks) == 1:
@@ -189,7 +225,14 @@ def run_partitioned(
             for _, send_end in plan:
                 send_end.close()
         try:
-            frames = _drain(receivers)
+            frames = _drain(receivers, indices, heartbeat_timeout)
+        except BaseException:
+            # A supervision (or any other) failure must not leave the
+            # finally-block joining a hung child forever.
+            for child in children:
+                if child.is_alive():
+                    child.terminate()
+            raise
         finally:
             for child in children:
                 child.join()
@@ -210,20 +253,36 @@ def run_partitioned(
     return result
 
 
-def _drain(receivers: Sequence[PipeChannelReceiver]) -> List[BatchFrame]:
+def _drain(
+    receivers: Sequence[PipeChannelReceiver],
+    partitions: Sequence[int],
+    heartbeat_timeout: Optional[float] = None,
+) -> List[BatchFrame]:
     """Collect frames until every receiver has delivered its sentinel.
 
     Like :func:`repro.net.channel.drain_receivers`, but a crashed child
     (EOF before the sentinel) raises :class:`SimulationError` naming the
-    partitions still open instead of a bare channel error.
+    partitions still open instead of a bare channel error; and when
+    ``heartbeat_timeout`` is set, a partition heard from less recently
+    than that many wall-clock seconds raises
+    :class:`PartitionSupervisionError` (every frame — even a window's
+    empty null message — counts as a heartbeat).
     """
     from multiprocessing.connection import wait
 
     by_connection = {receiver.connection: receiver for receiver in receivers}
+    partition_of = {
+        receiver.connection: partition
+        for receiver, partition in zip(receivers, partitions)
+    }
     open_connections = list(by_connection)
     frames: List[BatchFrame] = []
+    last_heard = {connection: time.monotonic() for connection in open_connections}
     while open_connections:
-        for connection in wait(open_connections):
+        ready = wait(open_connections, timeout=heartbeat_timeout)
+        now = time.monotonic()
+        for connection in ready:
+            last_heard[connection] = now
             try:
                 frame = by_connection[connection].recv()
             except EOFError:
@@ -234,4 +293,25 @@ def _drain(receivers: Sequence[PipeChannelReceiver]) -> List[BatchFrame]:
             frames.append(frame)
             if frame.final:
                 open_connections.remove(connection)
+        if heartbeat_timeout is None:
+            continue
+        stalled = sorted(
+            partition_of[connection]
+            for connection in open_connections
+            if now - last_heard[connection] > heartbeat_timeout
+        )
+        if stalled:
+            summaries = {
+                frame.partition: frame.summary
+                for frame in frames
+                if frame.final and frame.summary is not None
+            }
+            names = ", ".join(str(partition) for partition in stalled)
+            raise PartitionSupervisionError(
+                f"partition(s) {names} sent no frame for more than "
+                f"{heartbeat_timeout:g}s (hung or crashed worker); "
+                f"{len(summaries)} partition(s) had already completed",
+                partitions=stalled,
+                summaries=summaries,
+            )
     return frames

@@ -28,7 +28,7 @@ from repro.net.addressing import IPv6Address
 from repro.net.packet import Packet, TCPFlag, TCPSegment
 from repro.net.router import NetworkNode
 from repro.net.tcp import EphemeralPortAllocator, HTTP_PORT
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.workload.requests import Request
 from repro.workload.trace import Trace
 
@@ -52,6 +52,11 @@ class RequestOutcome:
     completed_at: Optional[float] = None
     failed: bool = False
     failure_reason: Optional[str] = None
+    #: Full-connection retries performed (fresh source port each time).
+    retries: int = 0
+    #: True when the client exhausted its retry/retransmit budget (or the
+    #: run ended) and abandoned the query rather than receiving an answer.
+    gave_up: bool = False
 
     @property
     def response_time(self) -> Optional[float]:
@@ -80,6 +85,15 @@ class _PendingQuery:
     request: Request
     outcome: RequestOutcome
     src_port: int
+    #: Connection attempt number (0 = the original, bumped per retry).
+    #: Stale timers and packets from earlier attempts check it and bail.
+    attempt: int = 0
+    #: SYN retransmissions performed within the current attempt.
+    syn_retransmits: int = 0
+    #: Current SYN retransmission timeout (doubles per retransmit).
+    rto: float = 0.0
+    syn_timer: Optional[EventHandle] = None
+    retry_timer: Optional[EventHandle] = None
 
 
 class TrafficGeneratorNode(NetworkNode):
@@ -108,6 +122,26 @@ class TrafficGeneratorNode(NetworkNode):
         breaking (or not breaking) in-flight flows.
     request_chunks:
         Number of segments the spread upload is split into (>= 1).
+    syn_retransmit_timeout:
+        Initial SYN retransmission timeout in seconds; the RTO doubles
+        after each retransmit up to ``syn_retransmit_cap`` (the classic
+        exponential backoff).  ``0`` (the default) disables SYN
+        retransmission entirely — no timer is ever scheduled, keeping
+        the default client bit-identical to the pre-fault-plane one.
+    syn_retransmit_cap:
+        Upper bound on the doubled RTO, in seconds.
+    syn_retransmit_limit:
+        Maximum SYN retransmissions per connection attempt; once
+        exhausted the query gives up (unless a ``retry_timeout`` is
+        armed, in which case the per-attempt deadline decides).
+    retry_timeout:
+        Per-attempt client deadline in seconds.  When it fires before a
+        response arrives the whole connection is retried from scratch on
+        a **fresh source port**, so the ECMP edge re-hashes the flow to
+        a (likely) different load-balancer path.  ``0`` disables it.
+    max_retries:
+        Bounded number of full-connection retries before the client
+        gives up and records the query as failed with ``gave_up`` set.
     """
 
     def __init__(
@@ -119,6 +153,11 @@ class TrafficGeneratorNode(NetworkNode):
         collector: Optional[OutcomeSink] = None,
         request_spread: float = 0.0,
         request_chunks: int = 1,
+        syn_retransmit_timeout: float = 0.0,
+        syn_retransmit_cap: float = 60.0,
+        syn_retransmit_limit: int = 6,
+        retry_timeout: float = 0.0,
+        max_retries: int = 0,
     ) -> None:
         super().__init__(simulator, name)
         if request_spread < 0:
@@ -129,16 +168,47 @@ class TrafficGeneratorNode(NetworkNode):
             raise WorkloadError(
                 f"request_chunks must be positive, got {request_chunks!r}"
             )
+        if syn_retransmit_timeout < 0:
+            raise WorkloadError(
+                "syn_retransmit_timeout must be non-negative, got "
+                f"{syn_retransmit_timeout!r}"
+            )
+        if syn_retransmit_cap <= 0:
+            raise WorkloadError(
+                f"syn_retransmit_cap must be positive, got {syn_retransmit_cap!r}"
+            )
+        if syn_retransmit_limit < 0:
+            raise WorkloadError(
+                "syn_retransmit_limit must be non-negative, got "
+                f"{syn_retransmit_limit!r}"
+            )
+        if retry_timeout < 0:
+            raise WorkloadError(
+                f"retry_timeout must be non-negative, got {retry_timeout!r}"
+            )
+        if max_retries < 0:
+            raise WorkloadError(
+                f"max_retries must be non-negative, got {max_retries!r}"
+            )
         self.add_address(address)
         self.vip = vip
         self.collector = collector
         self.request_spread = request_spread
         self.request_chunks = request_chunks
+        self.syn_retransmit_timeout = syn_retransmit_timeout
+        self.syn_retransmit_cap = syn_retransmit_cap
+        self.syn_retransmit_limit = syn_retransmit_limit
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
         self._ports = EphemeralPortAllocator()
         self._pending: Dict[int, _PendingQuery] = {}
         self.queries_started = 0
         self.queries_completed = 0
         self.queries_failed = 0
+        self.syn_retransmits = 0
+        self.queries_retried = 0
+        self.queries_gave_up = 0
+        self.queries_swept = 0
 
     # ------------------------------------------------------------------
     # trace replay
@@ -185,20 +255,26 @@ class TrafficGeneratorNode(NetworkNode):
             url=request.url,
             sent_at=self.simulator.now,
         )
-        self._pending[request.request_id] = _PendingQuery(
+        pending = _PendingQuery(
             request=request, outcome=outcome, src_port=src_port
         )
+        self._pending[request.request_id] = pending
         self.queries_started += 1
+        self._send_syn(pending)
+        self._arm_timers(pending)
+
+    def _send_syn(self, pending: _PendingQuery) -> None:
+        """(Re)send the SYN of ``pending``'s current connection attempt."""
         pool = self.packet_pool
         if pool is None:
             syn = Packet(
                 src=self.primary_address,
                 dst=self.vip,
                 tcp=TCPSegment(
-                    src_port=src_port,
+                    src_port=pending.src_port,
                     dst_port=HTTP_PORT,
                     flags=TCPFlag.SYN,
-                    request_id=request.request_id,
+                    request_id=pending.request.request_id,
                 ),
                 created_at=self.simulator.now,
             )
@@ -207,14 +283,99 @@ class TrafficGeneratorNode(NetworkNode):
                 src=self.primary_address,
                 dst=self.vip,
                 tcp=pool.acquire_segment(
-                    src_port=src_port,
+                    src_port=pending.src_port,
                     dst_port=HTTP_PORT,
                     flags=TCPFlag.SYN,
-                    request_id=request.request_id,
+                    request_id=pending.request.request_id,
                 ),
                 created_at=self.simulator.now,
             )
         self.send(syn)
+
+    # ------------------------------------------------------------------
+    # retransmission and retries
+    # ------------------------------------------------------------------
+    def _arm_timers(self, pending: _PendingQuery) -> None:
+        """Schedule SYN-RTO and per-attempt deadline timers (if enabled)."""
+        request_id = pending.request.request_id
+        attempt = pending.attempt
+        if self.syn_retransmit_timeout > 0.0:
+            pending.rto = self.syn_retransmit_timeout
+            pending.syn_timer = self.simulator.schedule_in(
+                pending.rto,
+                lambda: self._retransmit_syn(request_id, attempt),
+                label="syn-rto",
+            )
+        if self.retry_timeout > 0.0:
+            pending.retry_timer = self.simulator.schedule_in(
+                self.retry_timeout,
+                lambda: self._attempt_deadline(request_id, attempt),
+                label="client-timeout",
+            )
+
+    def _retransmit_syn(self, request_id: int, attempt: int) -> None:
+        pending = self._pending.get(request_id)
+        if (
+            pending is None
+            or pending.attempt != attempt
+            or pending.outcome.established_at is not None
+        ):
+            return
+        if pending.syn_retransmits >= self.syn_retransmit_limit:
+            if self.retry_timeout > 0.0:
+                # The per-attempt deadline decides what happens next.
+                return
+            pending.outcome.gave_up = True
+            self._finish(
+                pending, failed=True, reason="syn retransmissions exhausted"
+            )
+            return
+        pending.syn_retransmits += 1
+        self.syn_retransmits += 1
+        self._send_syn(pending)
+        pending.rto = min(pending.rto * 2.0, self.syn_retransmit_cap)
+        pending.syn_timer = self.simulator.schedule_in(
+            pending.rto,
+            lambda: self._retransmit_syn(request_id, attempt),
+            label="syn-rto",
+        )
+
+    def _attempt_deadline(self, request_id: int, attempt: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.attempt != attempt:
+            return
+        if pending.outcome.retries >= self.max_retries:
+            pending.outcome.gave_up = True
+            self._finish(pending, failed=True, reason="client timeout")
+            return
+        # Retry the whole connection on a fresh source port so the ECMP
+        # edge re-hashes the flow (the previous path may be the problem).
+        self._cancel_timers(pending)
+        self._retire_port(pending.src_port)
+        pending.attempt += 1
+        pending.outcome.retries += 1
+        pending.outcome.established_at = None
+        pending.syn_retransmits = 0
+        pending.src_port = self._allocate_port(pending.request)
+        self.queries_retried += 1
+        self._send_syn(pending)
+        self._arm_timers(pending)
+
+    def _cancel_timers(self, pending: _PendingQuery) -> None:
+        if pending.syn_timer is not None:
+            pending.syn_timer.cancel()
+            pending.syn_timer = None
+        if pending.retry_timer is not None:
+            pending.retry_timer.cancel()
+            pending.retry_timer = None
+
+    def _retire_port(self, port: int) -> None:
+        """Release a source port abandoned by a retry.
+
+        The base allocator round-robins and never reuses within a run,
+        so there is nothing to do; the session-affinity client overrides
+        this to release the port from its active set.
+        """
 
     # ------------------------------------------------------------------
     # packet handling
@@ -227,11 +388,21 @@ class TrafficGeneratorNode(NetworkNode):
         pending = self._pending[request_id]
         tcp = packet.tcp
 
+        # Replies carry the client's source port as their destination
+        # port, so after a retry any packet from a previous attempt's
+        # connection no longer matches and must be ignored (never true
+        # before the first retry: attempt == 0).
+        if pending.attempt and tcp.dst_port != pending.src_port:
+            return
+
         if tcp.has(TCPFlag.RST):
             self._finish(pending, failed=True, reason="connection reset")
             return
 
         if tcp.has(TCPFlag.SYN) and tcp.has(TCPFlag.ACK):
+            if pending.syn_timer is not None:
+                pending.syn_timer.cancel()
+                pending.syn_timer = None
             pending.outcome.established_at = self.simulator.now
             if self.request_spread > 0:
                 # Paced upload; with request_chunks == 1 this degenerates
@@ -250,24 +421,26 @@ class TrafficGeneratorNode(NetworkNode):
     def _schedule_spread_upload(self, pending: _PendingQuery) -> None:
         """Pace the request upload over :attr:`request_spread` seconds."""
         request_id = pending.request.request_id
+        attempt = pending.attempt
         interval = self.request_spread / self.request_chunks
         for chunk in range(1, self.request_chunks):
             self.simulator.schedule_in(
                 chunk * interval,
-                lambda: self._send_upload_probe(request_id),
+                lambda: self._send_upload_probe(request_id, attempt),
                 label="upload",
             )
         self.simulator.schedule_in(
             self.request_spread,
-            lambda: self._finish_upload(request_id),
+            lambda: self._finish_upload(request_id, attempt),
             label="upload-final",
         )
 
-    def _send_upload_probe(self, request_id: int) -> None:
+    def _send_upload_probe(self, request_id: int, attempt: int = 0) -> None:
         """One paced mid-upload segment (a bare ACK steered by the LB)."""
         pending = self._pending.get(request_id)
-        if pending is None:
-            # The query already finished (e.g. reset); stop uploading.
+        if pending is None or pending.attempt != attempt:
+            # The query already finished (e.g. reset) or was retried on a
+            # new connection; stop uploading on the stale one.
             return
         pool = self.packet_pool
         if pool is None:
@@ -296,9 +469,9 @@ class TrafficGeneratorNode(NetworkNode):
             )
         self.send(probe)
 
-    def _finish_upload(self, request_id: int) -> None:
+    def _finish_upload(self, request_id: int, attempt: int = 0) -> None:
         pending = self._pending.get(request_id)
-        if pending is None:
+        if pending is None or pending.attempt != attempt:
             return
         self._send_request_data(pending)
 
@@ -335,15 +508,33 @@ class TrafficGeneratorNode(NetworkNode):
     def _finish(
         self, pending: _PendingQuery, failed: bool, reason: Optional[str] = None
     ) -> None:
+        self._cancel_timers(pending)
         pending.outcome.failed = failed
         pending.outcome.failure_reason = reason
         del self._pending[pending.request.request_id]
         if failed:
             self.queries_failed += 1
+            if pending.outcome.gave_up:
+                self.queries_gave_up += 1
         else:
             self.queries_completed += 1
         if self.collector is not None:
             self.collector.record(pending.outcome)
+
+    def sweep_unfinished(self, reason: str = "unfinished at end of run") -> int:
+        """Record every still-pending query as a failed outcome.
+
+        Called at the end of a run so that queries whose SYN (or final
+        data packet) was lost do not silently leak ``_PendingQuery``
+        entries — completion-rate metrics stay conservative.  Returns
+        the number of queries swept.
+        """
+        swept = list(self._pending.values())
+        for pending in swept:
+            pending.outcome.gave_up = True
+            self._finish(pending, failed=True, reason=reason)
+        self.queries_swept += len(swept)
+        return len(swept)
 
     # ------------------------------------------------------------------
     # introspection

@@ -336,6 +336,11 @@ class SessionAffinityClient(TrafficGeneratorNode):
         self._active_ports.add(port)
         return port
 
+    def _retire_port(self, port: int) -> None:
+        # A retry abandons its previous connection's port; release it so
+        # the user's stable port (or a fallback) can be reused later.
+        self._active_ports.discard(port)
+
     def _finish(self, pending, failed, reason=None) -> None:
         self._active_ports.discard(pending.src_port)
         super()._finish(pending, failed, reason)

@@ -254,6 +254,84 @@ class TestAdversarialGolden:
         assert comparison.run("gray-failure").completion_rate == 1.0
 
 
+class TestChaosGolden:
+    @pytest.fixture(scope="class", params=JOBS)
+    def comparison(self, request):
+        from repro.experiments.chaos_experiment import (
+            CHAOS_SCENARIO,
+            run_chaos,
+        )
+
+        return run_chaos(CHAOS_SCENARIO.smoke_config(), jobs=request.param)
+
+    @pytest.mark.parametrize("mode", ["baseline", "loss", "flap", "jitter"])
+    def test_run_results_bitwise(self, golden, comparison, mode):
+        expected = golden["chaos"][mode]
+        run = comparison.run(mode)
+        assert run.fingerprint == expected["fingerprint"]
+        assert run.collector.totals.completed == expected["completed"]
+        assert run.collector.totals.failed == expected["failed"]
+        assert run.requests_served == expected["requests_served"]
+        assert run.connections_reset == expected["connections_reset"]
+        assert run.connections_shed == expected["connections_shed"]
+        assert run.queries_retried == expected["queries_retried"]
+        assert run.queries_gave_up == expected["queries_gave_up"]
+        assert run.queries_swept == expected["queries_swept"]
+        assert run.syn_retransmits == expected["syn_retransmits"]
+        assert run.fault_packets_seen == expected["fault_packets_seen"]
+        assert run.fault_packets_dropped == expected["fault_packets_dropped"]
+        assert run.fault_dropped_loss == expected["fault_dropped_loss"]
+        assert run.fault_dropped_burst == expected["fault_dropped_burst"]
+        assert run.fault_dropped_corrupted == expected["fault_dropped_corrupted"]
+        assert run.fault_dropped_link_down == expected["fault_dropped_link_down"]
+        assert run.fault_delayed_jitter == expected["fault_delayed_jitter"]
+        assert run.fault_reordered == expected["fault_reordered"]
+        assert repr(run.summary.mean) == expected["mean"]
+        assert repr(run.summary.p99) == expected["p99"]
+
+    def test_baseline_is_bit_identical_to_no_fault_plane(self, comparison):
+        # The ``baseline`` cell installs the pipeline with every injector
+        # disabled; it must fingerprint identically to a run with no
+        # pipeline installed at all.
+        from repro.experiments.chaos_experiment import (
+            CHAOS_SCENARIO,
+            _build_chaos_platform,
+            make_chaos_trace,
+            outcome_fingerprint,
+        )
+
+        config = CHAOS_SCENARIO.smoke_config()
+        testbed = _build_chaos_platform(config, "baseline")
+        testbed.run_trace(make_chaos_trace(config))
+        bare = outcome_fingerprint(testbed.collector)
+        assert comparison.run("baseline").fingerprint == bare
+
+    def test_loss_cell_recovers_queries(self, comparison):
+        # Acceptance criterion: under the 1% loss cell the client's
+        # retransmission/retry path must recover at least 99% of the
+        # queries, and every query that did not complete must be
+        # accounted for by the give-up counter (no silent leaks).
+        run = comparison.run("loss")
+        assert run.completion_rate >= 0.99
+        assert run.queries_gave_up == run.collector.totals.failed
+        assert (
+            run.collector.totals.completed + run.collector.totals.failed
+            == run.config.num_queries
+        )
+
+    def test_fault_drop_counters_reconcile(self, comparison):
+        # Every drop is counted once in the unified total and once in
+        # exactly one reason counter, for every cell.
+        for mode in comparison.modes():
+            run = comparison.run(mode)
+            assert run.fault_packets_dropped == (
+                run.fault_dropped_loss
+                + run.fault_dropped_burst
+                + run.fault_dropped_corrupted
+                + run.fault_dropped_link_down
+            )
+
+
 class TestResilienceGolden:
     @pytest.fixture(scope="class", params=JOBS)
     def comparison(self, request):

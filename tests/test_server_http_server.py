@@ -220,3 +220,65 @@ class TestRequestTimeout:
                 simulator, "bad", cpu, num_workers=1,
                 demand_lookup=lambda r: 0.1, request_timeout=0.0,
             )
+
+
+class TestLoadShedding:
+    def _shed_server(self, simulator, num_workers=1, backlog=4, shed=2):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        server = HTTPServerInstance(
+            simulator=simulator,
+            name="shed-test",
+            cpu=cpu,
+            num_workers=num_workers,
+            backlog_capacity=backlog,
+            demand_lookup=lambda request_id: 1.0,
+            shed_watermark=shed,
+        )
+        transport = FakeTransport()
+        server.bind_transport(transport)
+        return server, transport
+
+    def test_sheds_above_the_watermark(self, simulator):
+        # 1 worker, backlog 4, shed at depth 2: the first connection
+        # grabs the worker, the next two fill the backlog to the
+        # watermark, the fourth is shed even though the backlog still
+        # has room.
+        server, transport = self._shed_server(simulator)
+        for port in range(1000, 1004):
+            server.handle_connection_request(_flow_key(port), request_id=port)
+        assert server.stats.connections_shed == 1
+        assert server.stats.connections_reset == 0
+        assert len(transport.resets) == 1
+        assert len(transport.syn_acks) == 3
+
+    def test_below_the_watermark_admits_normally(self, simulator):
+        server, transport = self._shed_server(simulator)
+        for port in range(1000, 1003):
+            server.handle_connection_request(_flow_key(port), request_id=port)
+        assert server.stats.connections_shed == 0
+        assert transport.resets == []
+        assert len(transport.syn_acks) == 3
+
+    def test_shed_is_not_counted_as_overflow(self, simulator):
+        # Watermark equal to capacity: shedding fires exactly where the
+        # overflow reset would, and claims the drop for itself.
+        server, transport = self._shed_server(simulator, backlog=2, shed=2)
+        for port in range(1000, 1005):
+            server.handle_connection_request(_flow_key(port), request_id=port)
+        assert server.stats.connections_shed == 2
+        assert server.stats.connections_reset == 0
+
+    def test_no_watermark_keeps_overflow_semantics(self, simulator):
+        server, transport = _make_server(simulator, num_workers=1, backlog=2)
+        for port in range(1000, 1005):
+            server.handle_connection_request(_flow_key(port), request_id=port)
+        assert server.stats.connections_shed == 0
+        assert server.stats.connections_reset == 2
+
+    def test_invalid_watermark_rejected(self, simulator):
+        cpu = ProcessorSharingCPU(simulator, num_cores=1)
+        with pytest.raises(ServerError):
+            HTTPServerInstance(
+                simulator, "bad-shed", cpu, num_workers=1,
+                demand_lookup=lambda r: 0.1, shed_watermark=0,
+            )

@@ -1,12 +1,15 @@
 """Unit tests for the partitioned-run driver (:mod:`repro.sim.partition`)."""
 
 import math
+import multiprocessing
+import time
 
 import pytest
 
 from repro.errors import SimulationError
 from repro.sim.partition import (
     ERROR_KEY,
+    PartitionSupervisionError,
     PartitionTask,
     run_partition_serially,
     run_partitioned,
@@ -126,3 +129,72 @@ class TestRunPartitioned:
     def test_sentinel_watermark_is_infinite(self):
         frames = run_partition_serially(emitting_worker, TASKS[0])
         assert math.isinf(frames[-1].window_end)
+
+
+def hanging_worker(task, sender):
+    """Partition 1 never emits a frame; the others finish cleanly."""
+    if task.index == 1:
+        time.sleep(60.0)
+    sender.close(summary={"pod": task.index})
+
+
+class SpyContext:
+    """Wraps the real multiprocessing context, counting Process() calls."""
+
+    def __init__(self):
+        self._context = multiprocessing.get_context()
+        self.process_count = 0
+
+    def Pipe(self, duplex=False):
+        return self._context.Pipe(duplex=duplex)
+
+    def Process(self, *args, **kwargs):
+        self.process_count += 1
+        return self._context.Process(*args, **kwargs)
+
+
+class TestProcessClamp:
+    def test_spawns_at_most_one_process_per_task(self):
+        # Regression: processes > len(tasks) must not spawn idle workers.
+        spy = SpyContext()
+        result = run_partitioned(
+            emitting_worker, TASKS[:2], processes=8, mp_context=spy
+        )
+        assert spy.process_count == 2
+        reference = run_partitioned(emitting_worker, TASKS[:2], processes=1)
+        assert result.items == reference.items
+
+
+class TestSupervision:
+    def test_hung_partition_raises_supervision_error(self):
+        with pytest.raises(PartitionSupervisionError) as excinfo:
+            run_partitioned(
+                hanging_worker, TASKS, processes=3, heartbeat_timeout=0.5
+            )
+        error = excinfo.value
+        assert error.partitions == (1,)
+        assert "partition(s) 1" in str(error)
+        # The healthy partitions' closing summaries rode along.
+        assert error.summaries == {0: {"pod": 0}, 2: {"pod": 2}}
+
+    def test_healthy_run_is_unchanged_under_supervision(self):
+        supervised = run_partitioned(
+            emitting_worker, TASKS, processes=2, heartbeat_timeout=30.0
+        )
+        reference = run_partitioned(emitting_worker, TASKS, processes=1)
+        assert supervised.items == reference.items
+        assert supervised.summaries == reference.summaries
+
+    def test_supervision_ignores_the_serial_path(self):
+        # processes=1 never blocks on pipes, so the heartbeat is moot —
+        # but passing one must not break the serial path.
+        result = run_partitioned(
+            emitting_worker, TASKS, processes=1, heartbeat_timeout=0.001
+        )
+        assert len(result.items) == 3 * 3 * 2
+
+    def test_invalid_heartbeat_rejected(self):
+        with pytest.raises(SimulationError):
+            run_partitioned(
+                emitting_worker, TASKS, processes=2, heartbeat_timeout=0.0
+            )

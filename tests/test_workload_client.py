@@ -238,3 +238,226 @@ class TestSpreadUpload:
         assert len(data) == 1
         # Established at ~0.5 + spread 2.0 (plus one fabric hop).
         assert data[0][0] == pytest.approx(2.5, abs=1e-3)
+
+class SelectiveService(NetworkNode):
+    """Answers only the SYNs an ``answer`` predicate admits.
+
+    Unanswered SYNs model packet loss / a black-holed path; answered
+    ones get the full SYN-ACK + response exchange of ``EchoService``.
+    """
+
+    def __init__(self, simulator, answer=lambda packet: True, response_delay=0.01):
+        super().__init__(simulator, "service")
+        self.add_address(VIP)
+        self.answer = answer
+        self.response_delay = response_delay
+        self.syns = []
+        self.answered = []
+
+    def handle_packet(self, packet):
+        tcp = packet.tcp
+        if tcp.has(TCPFlag.SYN):
+            self.syns.append(packet)
+            if not self.answer(packet):
+                return
+            self.answered.append(packet)
+            self.send(
+                Packet(
+                    src=VIP,
+                    dst=packet.src,
+                    tcp=TCPSegment(
+                        src_port=HTTP_PORT,
+                        dst_port=tcp.src_port,
+                        flags=TCPFlag.SYN | TCPFlag.ACK,
+                        request_id=tcp.request_id,
+                    ),
+                )
+            )
+        elif tcp.payload_size > 0:
+            reply = Packet(
+                src=VIP,
+                dst=packet.src,
+                tcp=TCPSegment(
+                    src_port=HTTP_PORT,
+                    dst_port=tcp.src_port,
+                    flags=TCPFlag.PSH | TCPFlag.ACK,
+                    payload_size=1_000,
+                    request_id=tcp.request_id,
+                ),
+            )
+            self.simulator.schedule_in(self.response_delay, lambda: self.send(reply))
+
+
+def _build_lossy(simulator, answer, **client_kwargs):
+    fabric = LANFabric(simulator, latency=1e-4)
+    collector = ResponseTimeCollector()
+    client = TrafficGeneratorNode(
+        simulator, "client", CLIENT, VIP, collector, **client_kwargs
+    )
+    service = SelectiveService(simulator, answer=answer)
+    client.attach(fabric)
+    service.attach(fabric)
+    return client, service, collector
+
+
+class TestSynRetransmission:
+    def test_retransmits_recover_a_lost_syn(self, simulator):
+        # The service ignores the first two SYNs (as if dropped in the
+        # network); the client's RTO timer must retransmit and complete.
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: len(service.syns) > 2,
+            syn_retransmit_timeout=0.1,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_completed == 1
+        assert client.syn_retransmits == 2
+        outcome = collector.outcomes()[0]
+        assert outcome.succeeded
+        assert outcome.retries == 0  # same connection attempt throughout
+
+    def test_backoff_doubles_up_to_the_cap(self, simulator):
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: False,
+            syn_retransmit_timeout=0.1,
+            syn_retransmit_cap=0.3,
+            syn_retransmit_limit=4,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        # SYNs at 0, then RTOs 0.1, 0.2, 0.3 (capped), 0.3.
+        times = [packet.created_at for packet in service.syns]
+        gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
+        assert gaps == [0.1, 0.2, 0.3, 0.3]
+
+    def test_gives_up_after_the_retransmit_limit(self, simulator):
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: False,
+            syn_retransmit_timeout=0.05,
+            syn_retransmit_limit=2,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_failed == 1
+        assert client.queries_gave_up == 1
+        assert client.in_flight == 0
+        failure = collector.failures()[0]
+        assert failure.gave_up
+        assert failure.failure_reason == "syn retransmissions exhausted"
+
+    def test_syn_timer_is_cancelled_by_the_syn_ack(self, simulator):
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: True,
+            syn_retransmit_timeout=0.5,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.syn_retransmits == 0
+        assert len(service.syns) == 1
+
+
+class TestClientRetries:
+    def test_retry_uses_a_fresh_source_port(self, simulator):
+        # The service black-holes the client's first source port; the
+        # per-attempt deadline must retry on a new port (ECMP re-hash)
+        # and complete.
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: packet.tcp.src_port != 10_000,
+            retry_timeout=0.5,
+            max_retries=2,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_completed == 1
+        assert client.queries_retried == 1
+        outcome = collector.outcomes()[0]
+        assert outcome.retries == 1
+        ports = [packet.tcp.src_port for packet in service.syns]
+        assert ports == [10_000, 10_001]
+
+    def test_gives_up_after_max_retries(self, simulator):
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: False,
+            retry_timeout=0.2,
+            max_retries=1,
+        )
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_failed == 1
+        assert client.queries_retried == 1
+        assert client.queries_gave_up == 1
+        failure = collector.failures()[0]
+        assert failure.gave_up
+        assert failure.retries == 1
+        assert failure.failure_reason == "client timeout"
+
+    def test_stale_reply_from_a_previous_attempt_is_ignored(self, simulator):
+        # The service answers the first attempt's SYN only *after* the
+        # client has already retried on a new port: the late SYN-ACK
+        # addresses the old port and must not confuse the new attempt.
+        client, service, collector = _build_lossy(
+            simulator,
+            answer=lambda packet: packet.tcp.src_port != 10_000,
+            retry_timeout=0.5,
+            max_retries=2,
+        )
+
+        def late_syn_ack():
+            first = service.syns[0]
+            service.send(
+                Packet(
+                    src=VIP,
+                    dst=first.src,
+                    tcp=TCPSegment(
+                        src_port=HTTP_PORT,
+                        dst_port=first.tcp.src_port,
+                        flags=TCPFlag.SYN | TCPFlag.ACK,
+                        request_id=first.tcp.request_id,
+                    ),
+                )
+            )
+
+        simulator.schedule_at(0.6, late_syn_ack, label="late-syn-ack")
+        client.schedule_trace(_trace(1))
+        simulator.run()
+        assert client.queries_completed == 1
+        outcome = collector.outcomes()[0]
+        assert outcome.retries == 1
+        # Exactly one request payload was sent — on the second attempt.
+        requests = [p for p in service.syns if p.tcp.src_port == 10_001]
+        assert len(requests) == 1
+
+
+class TestSweepUnfinished:
+    def test_sweep_records_pending_queries_as_failed(self, simulator):
+        # No retransmission, no retries: a lost SYN strands the query.
+        client, service, collector = _build_lossy(
+            simulator, answer=lambda packet: False
+        )
+        client.schedule_trace(_trace(2))
+        simulator.run()
+        assert client.in_flight == 2
+        assert collector.totals.failed == 0
+        swept = client.sweep_unfinished()
+        assert swept == 2
+        assert client.in_flight == 0
+        assert client.queries_swept == 2
+        assert client.queries_gave_up == 2
+        assert collector.totals.failed == 2
+        for failure in collector.failures():
+            assert failure.gave_up
+            assert failure.failure_reason == "unfinished at end of run"
+
+    def test_sweep_is_a_noop_on_a_clean_run(self, simulator):
+        client, service, collector = _build(simulator)
+        client.schedule_trace(_trace(3))
+        simulator.run()
+        assert client.sweep_unfinished() == 0
+        assert client.queries_swept == 0
+        assert collector.totals.failed == 0
