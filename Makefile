@@ -11,6 +11,10 @@
 #   make chaos-smoke         - the chaos scenario at two seeds; asserts jobs=1 and
 #                              jobs=2 fingerprints match per seed, differ across
 #                              seeds, and the loss cell recovers >= 99% of queries
+#   make telemetry-smoke     - a reduced chaos run with the streaming telemetry
+#                              probe attached (writes telemetry-artifacts/), a
+#                              dashboard re-render from the saved report, then the
+#                              scenario goldens re-run under REPRO_TELEMETRY=1
 #   make docs-check          - doc-vs-code consistency tests (CLI + performance docs)
 #   make bench               - the full benchmark suite at default (reduced) scale
 #   make perf                - hot-path throughput cells (events/sec), full profile;
@@ -31,7 +35,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 BENCH_OPTS := -o python_files='bench_*.py' -o python_functions='bench_*'
 
-.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke chaos-smoke docs-check perf perf-smoke profile build-fast
+.PHONY: test lint coverage bench bench-smoke bench-smoke-parallel scale-smoke chaos-smoke telemetry-smoke docs-check perf perf-smoke profile build-fast
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -134,6 +138,21 @@ chaos-smoke:
 	REPRO_BENCH_CHAOS_QUERIES=600 REPRO_BENCH_CHAOS_JOBS=2 \
 		$(PYTHON) -m pytest -q $(BENCH_OPTS) \
 		benchmarks/bench_chaos.py
+
+# The telemetry plane end to end: a reduced chaos run with the
+# streaming probe attached and the dashboard artifacts written (console
+# sparklines plus telemetry.json and dashboard.html under
+# telemetry-artifacts/), a dashboard re-render from the saved report,
+# then the scenario goldens re-run with REPRO_TELEMETRY=1 — the
+# bit-identity gate that an attached probe never moves a result.
+telemetry-smoke:
+	$(PYTHON) -m repro.cli chaos --servers 4 --queries 600 \
+		--mode baseline --mode loss --jobs 2 \
+		--telemetry-out telemetry-artifacts
+	$(PYTHON) -m repro.cli dashboard telemetry-artifacts/telemetry.json \
+		--out telemetry-artifacts/dashboard-rerendered.html \
+		--title "chaos telemetry smoke"
+	REPRO_TELEMETRY=1 $(PYTHON) -m pytest -q tests/test_scenario_golden.py
 
 bench:
 	$(PYTHON) -m pytest -q $(BENCH_OPTS) benchmarks

@@ -18,6 +18,9 @@ engine and packet layers are optimised for:
   >= 4 free cores the per-pod replays overlap and aggregate events/sec
   exceeds the serial cells' — the ``busy/wall`` ratio printed by the
   scenario is the cores-of-useful-work signal (see docs/performance.md).
+* ``telemetry-overhead`` — the ``poisson-high-load`` workload rerun with
+  the streaming telemetry probe attached; its events/sec relative to
+  ``poisson-high-load`` is the sampling plane's measured overhead.
 
 For the first three cells the timed section is ``Testbed.run_trace``
 only; trace generation and testbed construction happen outside the
@@ -206,6 +209,45 @@ def _resilience_churn_cell(num_queries: int) -> PerfCell:
     )
 
 
+def _telemetry_overhead_cell(num_queries: int) -> PerfCell:
+    # Identical workload, seed and testbed to ``poisson-high-load``, but
+    # with the streaming telemetry probe attached: the ratio between the
+    # two cells' events/sec is the sampling plane's measured cost.  The
+    # timed body includes the probe's periodic samples and the final
+    # publish, exactly what a ``--telemetry`` run pays.
+    testbed_config = TestbedConfig(seed=7, packet_pooling=True)
+    service_mean = 0.1
+
+    def prepare():
+        from repro.telemetry import runtime as telemetry_runtime
+
+        workload = PoissonWorkload.from_load_factor(
+            rho=0.9,
+            saturation_rate=analytic_saturation_rate(testbed_config, service_mean),
+            num_queries=num_queries,
+            service_model=ExponentialServiceTime(service_mean),
+        )
+        trace = workload.generate(np.random.default_rng(424_242))
+        telemetry_runtime.enable()
+        try:
+            testbed = build_testbed(
+                testbed_config, sr_policy(4), run_name="perf-telemetry"
+            )
+        finally:
+            telemetry_runtime.disable()
+        assert testbed.telemetry is not None and testbed.telemetry.active
+        return _timed_replay(testbed, trace)
+
+    return PerfCell(
+        name="telemetry-overhead",
+        description=(
+            f"the poisson-high-load workload ({num_queries} queries) with "
+            "the telemetry probe sampling every tier"
+        ),
+        prepare=prepare,
+    )
+
+
 def _scale_partitioned_cell(num_queries: int) -> PerfCell:
     config = ScaleConfig(num_queries=num_queries)
 
@@ -241,6 +283,7 @@ def profile_cells(profile: str):
         _wikipedia_slice_cell(sizes["wiki_duration"]),
         _resilience_churn_cell(sizes["resilience_queries"]),
         _scale_partitioned_cell(sizes["scale_queries"]),
+        _telemetry_overhead_cell(sizes["poisson_queries"]),
     )
 
 

@@ -67,8 +67,17 @@ Installed as the ``srlb-repro`` console script (also runnable as
     List every scenario family registered in
     :mod:`repro.experiments.registry` (``--json`` for tooling).
 
+``dashboard``
+    Render a telemetry report JSON (written by ``--telemetry-out``)
+    into a self-contained HTML dashboard and print the terminal
+    sparkline summary.
+
 Most commands accept ``--servers`` / ``--workers`` / ``--cores`` to
 resize the simulated testbed; defaults match the paper's platform.
+Every scenario sub-command additionally accepts ``--telemetry`` (stream
+in-sim counters during the run and print a sparkline summary) and
+``--telemetry-out DIR`` (also save ``telemetry.json`` plus
+``dashboard.html``); telemetry never changes results.
 """
 
 from __future__ import annotations
@@ -186,6 +195,57 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         "0 = all cores); distinct from --partitions, which splits one "
         "run across processes; results are identical for any value",
     )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream in-sim counters during the run and print a "
+        "sparkline summary afterwards (never changes results)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        help="write telemetry.json and dashboard.html to this directory "
+        "(implies --telemetry)",
+    )
+
+
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "telemetry", False) or getattr(args, "telemetry_out", None)
+    )
+
+
+def _emit_telemetry(args: argparse.Namespace) -> None:
+    """Print the sparkline summary and save the report, post-run."""
+    from repro.telemetry import render as telemetry_render
+    from repro.telemetry import runtime as telemetry_runtime
+
+    report = telemetry_runtime.last_report()
+    if not report:
+        print("\ntelemetry: no payloads were published by this run")
+        return
+    for key, payload in report.items():
+        print()
+        print(telemetry_render.render_summary(payload, title=f"telemetry [{key}]"))
+    out_dir = getattr(args, "telemetry_out", None)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        report_path = telemetry_render.save_report(
+            os.path.join(out_dir, "telemetry.json"), report.items()
+        )
+        html_path = os.path.join(out_dir, "dashboard.html")
+        page = telemetry_render.render_dashboard(
+            {str(key): payload for key, payload in report.items()},
+            title=f"srlb-repro {args.command}",
+        )
+        with open(html_path, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print()
+        print(f"telemetry report : {report_path}")
+        print(f"dashboard        : {html_path}")
 
 
 def _partitions_count(text: str) -> int:
@@ -575,6 +635,22 @@ def _command_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dashboard(args: argparse.Namespace) -> int:
+    from repro.telemetry import render as telemetry_render
+
+    cells = telemetry_render.load_report(args.report)
+    for key, payload in cells:
+        print(telemetry_render.render_summary(payload, title=f"telemetry [{key}]"))
+        print()
+    page = telemetry_render.render_dashboard(dict(cells), title=args.title)
+    out = args.out
+    os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(page)
+    print(f"dashboard written to {out}")
+    return 0
+
+
 def _command_scenarios(args: argparse.Namespace) -> int:
     import json
 
@@ -640,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     poisson.add_argument("--queries", type=int, default=3_000)
     poisson.add_argument("--service-mean", type=float, default=0.1)
     _add_jobs_argument(poisson)
+    _add_telemetry_arguments(poisson)
     poisson.set_defaults(handler=_command_poisson)
 
     wikipedia = subparsers.add_parser(
@@ -652,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     wikipedia.add_argument("--replay-fraction", type=float, default=0.5)
     wikipedia.add_argument("--static-per-wiki", type=float, default=0.5)
     _add_jobs_argument(wikipedia)
+    _add_telemetry_arguments(wikipedia)
     wikipedia.set_defaults(handler=_command_wikipedia)
 
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper (2-8)")
@@ -663,6 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=480.0, help="compressed day for figures 6-8"
     )
     _add_jobs_argument(figure)
+    _add_telemetry_arguments(figure)
     figure.set_defaults(handler=_command_figure)
 
     resilience = subparsers.add_parser(
@@ -708,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunks", type=int, default=5, help="segments per spread upload"
     )
     _add_jobs_argument(resilience)
+    _add_telemetry_arguments(resilience)
     resilience.set_defaults(handler=_command_resilience)
 
     flash_crowd = subparsers.add_parser(
@@ -739,6 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--bin-width", type=float, default=5.0, help="figure time-bin width, seconds"
     )
     _add_jobs_argument(flash_crowd)
+    _add_telemetry_arguments(flash_crowd)
     flash_crowd.set_defaults(handler=_command_flash_crowd)
 
     heterogeneous = subparsers.add_parser(
@@ -774,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     heterogeneous.add_argument("--queries", type=int, default=4_000)
     _add_jobs_argument(heterogeneous)
+    _add_telemetry_arguments(heterogeneous)
     heterogeneous.set_defaults(handler=_command_heterogeneous_fleet)
 
     autoscale = subparsers.add_parser(
@@ -830,6 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compress the day and every control-plane clock by this factor",
     )
     _add_jobs_argument(autoscale)
+    _add_telemetry_arguments(autoscale)
     autoscale.set_defaults(handler=_command_autoscale)
 
     heavy_tail = subparsers.add_parser(
@@ -870,6 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Zipf exponent of user popularity (> 1)",
     )
     _add_jobs_argument(heavy_tail)
+    _add_telemetry_arguments(heavy_tail)
     heavy_tail.set_defaults(handler=_command_heavy_tail)
 
     adversarial = subparsers.add_parser(
@@ -936,6 +1020,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="server-side request timeout freeing workers pinned by the flood",
     )
     _add_jobs_argument(adversarial)
+    _add_telemetry_arguments(adversarial)
     adversarial.set_defaults(handler=_command_adversarial)
 
     chaos = subparsers.add_parser(
@@ -1020,6 +1105,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="backlog depth above which servers fast-RST new SYNs (0 disables)",
     )
     _add_jobs_argument(chaos)
+    _add_telemetry_arguments(chaos)
     chaos.set_defaults(handler=_command_chaos)
 
     scale = subparsers.add_parser(
@@ -1067,6 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="max synchronization windows per run (lookahead coalescing)",
     )
     _add_jobs_argument(scale)
+    _add_telemetry_arguments(scale)
     scale.set_defaults(handler=_command_scale)
 
     scenarios = subparsers.add_parser(
@@ -1079,6 +1166,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.set_defaults(handler=_command_scenarios)
 
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="render a saved telemetry report into an HTML dashboard",
+    )
+    dashboard.add_argument(
+        "report", help="telemetry report JSON written by --telemetry-out"
+    )
+    dashboard.add_argument(
+        "--out",
+        default="dashboard.html",
+        help="HTML file to write (default dashboard.html)",
+    )
+    dashboard.add_argument(
+        "--title",
+        default="Telemetry dashboard",
+        help="page title of the rendered dashboard",
+    )
+    dashboard.set_defaults(handler=_command_dashboard)
+
     return parser
 
 
@@ -1086,11 +1192,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``srlb-repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry_on = _telemetry_requested(args)
+    was_enabled = False
+    if telemetry_on:
+        from repro.telemetry import runtime as telemetry_runtime
+
+        was_enabled = telemetry_runtime.telemetry_enabled()
+        telemetry_runtime.enable()
     try:
-        return args.handler(args)
+        status = args.handler(args)
+        if telemetry_on and status == 0:
+            _emit_telemetry(args)
+        return status
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry_on and not was_enabled:
+            from repro.telemetry import runtime as telemetry_runtime
+
+            telemetry_runtime.disable()
 
 
 if __name__ == "__main__":

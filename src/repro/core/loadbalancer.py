@@ -65,6 +65,25 @@ class LoadBalancerStats:
     #: How many flows each server ended up accepting.
     acceptances_per_server: Dict[IPv6Address, int] = field(default_factory=dict)
 
+    def snapshot(self) -> Dict[str, int]:
+        """Flat numeric counters (the uniform telemetry-sampler API).
+
+        Per-server breakdown dicts are flattened to fleet totals so the
+        result is a plain ``name -> number`` mapping like every other
+        ``snapshot()`` in the tree.
+        """
+        return {
+            "syn_received": self.syn_received,
+            "syn_dispatched": self.syn_dispatched,
+            "steering_packets": self.steering_packets,
+            "steering_misses": self.steering_misses,
+            "acceptances_learned": self.acceptances_learned,
+            "resets_sent": self.resets_sent,
+            "unknown_vip_drops": self.unknown_vip_drops,
+            "first_candidate_offers": sum(self.first_candidate_offers.values()),
+            "acceptances_total": sum(self.acceptances_per_server.values()),
+        }
+
 
 class LoadBalancerNode(NetworkNode):
     """SRLB edge load balancer (one instance).

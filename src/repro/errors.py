@@ -80,6 +80,10 @@ class MetricsValidationError(ReproError, ValueError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry bus, recorder or detector usage."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload or trace configuration."""
 

@@ -285,6 +285,25 @@ def _attach_gray_failure(
 
         on_quarantine = drain_and_replace
 
+    # Under telemetry, the watchdog samples busy counts through the bus
+    # (the same integers at the same tick instant — decisions stay
+    # bit-identical to the direct scoreboard reads, pinned by goldens),
+    # and every quarantine freezes the flight recorder's recent window.
+    sample_busy = None
+    if testbed.telemetry is not None:
+        probe = testbed.telemetry
+        sample_busy = probe.watchdog_feed()
+        inner_quarantine = on_quarantine
+
+        def quarantine_and_dump(server) -> None:
+            probe.recorder.trip(
+                f"quarantine:{server.name}", testbed.simulator.now
+            )
+            if inner_quarantine is not None:
+                inner_quarantine(server)
+
+        on_quarantine = quarantine_and_dump
+
     watchdog = GrayFailureWatchdog(
         testbed.simulator,
         servers=lambda: testbed.servers,
@@ -293,6 +312,7 @@ def _attach_gray_failure(
         slow_factor=config.watchdog_slow_factor,
         min_busy=config.watchdog_min_busy,
         consecutive=config.watchdog_consecutive,
+        sample_busy=sample_busy,
     )
     watchdog.start()
     testbed.at_horizon(watchdog.stop)

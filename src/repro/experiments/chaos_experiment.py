@@ -166,6 +166,9 @@ class ChaosRunResult:
     simulated_duration: float
     #: SHA-256 of the per-query outcome matrix, computed in the worker.
     fingerprint: str
+    #: Full pipeline ``LinkStats.snapshot()`` — every reason counter by
+    #: name, so new drop reasons surface without a new named field.
+    fault_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def completion_rate(self) -> float:
@@ -201,6 +204,7 @@ class ChaosRunResult:
             fault_reordered=self.fault_reordered,
             simulated_duration=self.simulated_duration,
             fingerprint=self.fingerprint,
+            fault_stats=dict(self.fault_stats),
         )
 
 
@@ -234,6 +238,7 @@ class ChaosRunPayload:
     fault_reordered: int
     simulated_duration: float
     fingerprint: str
+    fault_stats: Dict[str, int] = field(default_factory=dict)
 
     def to_result(self) -> ChaosRunResult:
         """Rebuild the full result object in the parent process."""
@@ -259,6 +264,7 @@ class ChaosRunPayload:
             fault_reordered=self.fault_reordered,
             simulated_duration=self.simulated_duration,
             fingerprint=self.fingerprint,
+            fault_stats=dict(self.fault_stats),
         )
 
 
@@ -293,6 +299,9 @@ def run_chaos_once(
         testbed.fabric,
         fault_config_for(config, mode, trace.duration),
     )
+    testbed.fault_pipeline = pipeline
+    if testbed.telemetry is not None:
+        testbed.telemetry.watch_faults(pipeline)
 
     duration = testbed.run_trace(trace)
 
@@ -324,6 +333,7 @@ def run_chaos_once(
         fault_reordered=stats.packets_reordered,
         simulated_duration=duration,
         fingerprint=outcome_fingerprint(testbed.collector),
+        fault_stats=stats.snapshot(),
     )
 
 

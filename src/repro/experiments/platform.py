@@ -27,6 +27,8 @@ from repro.server.cpu import make_cpu
 from repro.server.http_server import HTTPServerInstance
 from repro.server.virtual_router import ServerNode
 from repro.sim.engine import PeriodicTask, Simulator
+from repro.telemetry.probe import attach_telemetry
+from repro.telemetry.runtime import telemetry_enabled
 from repro.workload.client import TrafficGeneratorNode
 from repro.workload.requests import RequestCatalog
 from repro.workload.trace import Trace
@@ -110,6 +112,15 @@ class Testbed:
     #: load-balancer tier instead of a single instance.
     lb_tier: Optional[LoadBalancerTier] = None
     load_sampler: Optional[ServerLoadSampler] = None
+    #: Streaming telemetry probe, attached by :func:`build_testbed` when
+    #: :func:`repro.telemetry.runtime.telemetry_enabled` is true (see
+    #: :mod:`repro.telemetry.probe`).  ``None`` on ordinary runs —
+    #: telemetry is strictly opt-in.
+    telemetry: Optional[object] = field(default=None, repr=False)
+    #: The fault-injection pipeline when one is installed on the fabric
+    #: (the chaos family sets this), so the telemetry probe can stream
+    #: its per-reason drop counters.
+    fault_pipeline: Optional[object] = field(default=None, repr=False)
     _sampler_task: Optional[PeriodicTask] = field(default=None, repr=False)
     #: Allocator the server addresses were drawn from; the elastic
     #: control plane allocates mid-run additions from the same sequence.
@@ -293,15 +304,25 @@ class Testbed:
                 continue
             self.catalog.add(request)
         self.client.schedule_trace(trace)
-        if self._sampler_task is not None or self._horizon_hooks:
+        if (
+            self._sampler_task is not None
+            or self._horizon_hooks
+            or self.telemetry is not None
+        ):
             horizon = self.simulator.now + trace.duration + settle_margin
             self.simulator.run(until=horizon)
             self.stop_load_sampler()
+            if self.telemetry is not None:
+                # Final sample + stop, so the sampling task cannot keep
+                # the event heap alive past the horizon.
+                self.telemetry.stop()
             hooks, self._horizon_hooks = self._horizon_hooks, []
             for hook in hooks:
                 hook()
         duration = self.simulator.run()
         self.client.sweep_unfinished()
+        if self.telemetry is not None:
+            self.telemetry.publish()
         return duration
 
     # ------------------------------------------------------------------
@@ -479,7 +500,7 @@ def build_testbed(
     if packet_pool is not None:
         client.packet_pool = packet_pool
 
-    return Testbed(
+    testbed = Testbed(
         config=config,
         policy_spec=policy_spec,
         simulator=simulator,
@@ -496,3 +517,11 @@ def build_testbed(
         packet_pool=packet_pool,
         _next_server_index=config.num_servers,
     )
+    # Streaming telemetry is strictly opt-in: with the flag off, the
+    # testbed is byte-for-byte what it was before the telemetry plane
+    # existed.  With it on, the probe only *reads* simulation state and
+    # draws no randomness, so run outcomes are still bit-identical (the
+    # goldens are re-checked under REPRO_TELEMETRY=1 in CI).
+    if telemetry_enabled():
+        attach_telemetry(testbed)
+    return testbed

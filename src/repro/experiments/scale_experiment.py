@@ -239,25 +239,33 @@ def scale_partition_worker(task: PartitionTask, sender: FrameSender) -> None:
         # One frame per window; an empty frame is a pure watermark
         # advance (the null message of conservative synchronization).
         sender.flush(window_end)
+    # The telemetry probe's periodic sampler would keep the heap alive
+    # forever — stop it (taking a final sample) before the drain below.
+    if testbed.telemetry is not None:
+        testbed.telemetry.stop()
     # Stragglers past the horizon (idle-flow expiries, late timeouts)
     # drain here and ride in the sentinel frame.
     testbed.simulator.run()
     wall_seconds = time.perf_counter() - start
 
     totals = collector.totals
-    sender.close(
-        summary={
-            "pod": pod_index,
-            "queries": len(trace),
-            "completed": totals.completed,
-            "failed": totals.failed,
-            "requests_served": testbed.total_requests_served(),
-            "connections_reset": testbed.total_resets(),
-            "events_executed": testbed.simulator.events_executed,
-            "simulated_seconds": testbed.simulator.now,
-            "wall_seconds": wall_seconds,
-        }
-    )
+    summary = {
+        "pod": pod_index,
+        "queries": len(trace),
+        "completed": totals.completed,
+        "failed": totals.failed,
+        "requests_served": testbed.total_requests_served(),
+        "connections_reset": testbed.total_resets(),
+        "events_executed": testbed.simulator.events_executed,
+        "simulated_seconds": testbed.simulator.now,
+        "wall_seconds": wall_seconds,
+    }
+    if testbed.telemetry is not None:
+        # Ship the pod's payload home inside the summary frame; the
+        # coordinator merges pods in index order and publishes one
+        # deployment-wide payload.
+        summary["telemetry"] = testbed.telemetry.export_payload()
+    sender.close(summary=summary)
 
 
 @dataclass
@@ -377,6 +385,25 @@ def run_scale(config: ScaleConfig, partitions: int = 1) -> ScaleRunResult:
             float("nan") if response_time is None else response_time
         )
         pod_indices[row] = item.partition
+
+    pod_summaries = dict(sorted(outcome.summaries.items()))
+    # Pods ship their telemetry payloads inside the summary frames; pop
+    # them out (the summaries stay plain numbers), merge in pod-index
+    # order — deterministic for any ``partitions`` value — and publish
+    # one deployment-wide payload for the scenario plumbing to collect.
+    pod_payloads = [
+        summary.pop("telemetry")
+        for summary in pod_summaries.values()
+        if "telemetry" in summary
+    ]
+    if pod_payloads:
+        from repro.telemetry import runtime as telemetry_runtime
+        from repro.telemetry.bus import TelemetryPayload
+
+        telemetry_runtime.publish(
+            "scale", TelemetryPayload.merge(pod_payloads)
+        )
+
     return ScaleRunResult(
         config=config,
         partitions=partitions,
@@ -384,7 +411,7 @@ def run_scale(config: ScaleConfig, partitions: int = 1) -> ScaleRunResult:
         request_ids=request_ids,
         response_times=response_times,
         pod_indices=pod_indices,
-        pod_summaries=dict(sorted(outcome.summaries.items())),
+        pod_summaries=pod_summaries,
         wall_seconds=wall_seconds,
     )
 

@@ -217,9 +217,24 @@ class ScenarioTask:
     trace: Optional[Trace] = None
 
 
+@dataclass(frozen=True)
+class _CellOutcome:
+    """Worker return wrapper carrying the telemetry published by a cell.
+
+    Only used when telemetry is enabled (the wrapper itself must not
+    perturb the telemetry-off pickle traffic).  ``telemetry`` is the
+    worker-side publish buffer drained right after ``run_once`` — a
+    tuple of ``(run_name, TelemetryPayload)`` pairs.
+    """
+
+    payload: Any
+    telemetry: Sequence[Any] = ()
+
+
 def _run_scenario_cell(task: ScenarioTask) -> Any:
     """Pool worker: resolve the spec, rebuild the trace, run one cell."""
     from repro.experiments import registry
+    from repro.telemetry import runtime as telemetry_runtime
 
     spec = registry.get(task.scenario)
     trace = (
@@ -227,7 +242,10 @@ def _run_scenario_cell(task: ScenarioTask) -> Any:
         if task.trace is not None
         else spec.make_trace(task.config, task.cell)
     )
-    return spec.run_once(task.config, task.cell, trace)
+    payload = spec.run_once(task.config, task.cell, trace)
+    if telemetry_runtime.telemetry_enabled():
+        return _CellOutcome(payload, tuple(telemetry_runtime.drain()))
+    return payload
 
 
 def run_scenario(
@@ -276,13 +294,35 @@ def run_scenario(
             )
         return trace_cache[key]
 
+    from repro.telemetry import runtime as telemetry_runtime
+
+    telemetry_on = telemetry_runtime.telemetry_enabled()
+    report = telemetry_runtime.TelemetryReport() if telemetry_on else None
+
     runner = SweepRunner(jobs=jobs)
     if runner.serial:
-        payloads = [spec.run_once(config, cell, trace_for(cell)) for cell in cells]
+        payloads = []
+        for cell in cells:
+            payloads.append(spec.run_once(config, cell, trace_for(cell)))
+            if report is not None:
+                report.add(cell.key, telemetry_runtime.drain())
     else:
         tasks = [
             ScenarioTask(scenario=spec.name, config=config, cell=cell, trace=trace)
             for cell in cells
         ]
-        payloads = runner.map(_run_scenario_cell, tasks)
+        outcomes = runner.map(_run_scenario_cell, tasks)
+        if telemetry_on:
+            payloads = []
+            for cell, outcome in zip(cells, outcomes):
+                if isinstance(outcome, _CellOutcome):
+                    payloads.append(outcome.payload)
+                    if report is not None:
+                        report.add(cell.key, list(outcome.telemetry))
+                else:  # pragma: no cover - worker raced the env flag off
+                    payloads.append(outcome)
+        else:
+            payloads = outcomes
+    if report is not None:
+        telemetry_runtime.set_last_report(report)
     return spec.aggregate(config, cells, payloads, trace_for)

@@ -102,6 +102,16 @@ class EcmpEdgeStats:
     #: Packets handed to each next hop, by name.
     per_next_hop: Dict[str, int] = field(default_factory=dict)
 
+    def snapshot(self) -> Dict[str, int]:
+        """Flat numeric counters (the uniform telemetry-sampler API)."""
+        return {
+            "forward_packets": self.forward_packets,
+            "return_packets": self.return_packets,
+            "packets_dropped": self.packets_dropped,
+            "membership_changes": self.membership_changes,
+            "next_hops": len(self.per_next_hop),
+        }
+
 
 class EcmpEdgeRouter(NetworkNode):
     """Data-center edge router spreading packets over equal-cost next hops.

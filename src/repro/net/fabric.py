@@ -64,6 +64,17 @@ class FabricStats:
             + self.packets_dropped_sink_detached
         )
 
+    def snapshot(self) -> Dict[str, int]:
+        """Flat numeric counters (the uniform telemetry-sampler API)."""
+        return {
+            "packets_delivered": self.packets_delivered,
+            "bytes_delivered": self.bytes_delivered,
+            "packets_dropped": self.packets_dropped,
+            "packets_dropped_no_route": self.packets_dropped_no_route,
+            "packets_dropped_hop_limit": self.packets_dropped_hop_limit,
+            "packets_dropped_sink_detached": self.packets_dropped_sink_detached,
+        }
+
 
 class LANFabric:
     """Single-segment data-center fabric with static routing.

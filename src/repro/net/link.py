@@ -73,6 +73,28 @@ class LinkStats:
     packets_delayed_jitter: int = 0
     packets_reordered: int = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Flat numeric counters (the uniform telemetry-sampler API).
+
+        One entry per counter, drop reasons included — this is how the
+        telemetry probe streams fault-plane accounting as time series
+        and how the chaos scenario exposes per-reason totals in its
+        payload without naming each field.
+        """
+        return {
+            "packets_sent": self.packets_sent,
+            "packets_dropped": self.packets_dropped,
+            "bytes_sent": self.bytes_sent,
+            "packets_dropped_queue_full": self.packets_dropped_queue_full,
+            "packets_dropped_sink_detached": self.packets_dropped_sink_detached,
+            "packets_dropped_loss": self.packets_dropped_loss,
+            "packets_dropped_burst": self.packets_dropped_burst,
+            "packets_dropped_corrupted": self.packets_dropped_corrupted,
+            "packets_dropped_link_down": self.packets_dropped_link_down,
+            "packets_delayed_jitter": self.packets_delayed_jitter,
+            "packets_reordered": self.packets_reordered,
+        }
+
 
 class Link:
     """Bidirectional point-to-point link between two packet sinks.

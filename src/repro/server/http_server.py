@@ -96,6 +96,19 @@ class ServerAppStats:
     total_sojourn_time: float = 0.0
     peak_concurrent_connections: int = 0
 
+    def snapshot(self) -> Dict[str, float]:
+        """Flat numeric counters (the uniform telemetry-sampler API)."""
+        return {
+            "connections_received": self.connections_received,
+            "connections_reset": self.connections_reset,
+            "connections_shed": self.connections_shed,
+            "connections_timed_out": self.connections_timed_out,
+            "requests_served": self.requests_served,
+            "total_service_demand": self.total_service_demand,
+            "total_sojourn_time": self.total_sojourn_time,
+            "peak_concurrent_connections": self.peak_concurrent_connections,
+        }
+
 
 class HTTPServerInstance:
     """One simulated Apache httpd instance.

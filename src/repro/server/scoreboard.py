@@ -130,7 +130,12 @@ class Scoreboard:
         return WorkerState.BUSY if self._slots[slot] else WorkerState.IDLE
 
     def snapshot(self) -> Dict[str, int]:
-        """Aggregate counters, used by examples and debugging output."""
+        """Flat numeric counters (the uniform telemetry-sampler API).
+
+        The same ``name -> number`` shape as ``LinkStats.snapshot`` and
+        ``LoadBalancerStats.snapshot``; the telemetry probe reads the
+        fleet's busy fraction from these entries every sampling tick.
+        """
         return {
             "slots": self.num_slots,
             "busy": self.busy_count,

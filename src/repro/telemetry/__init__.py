@@ -1,0 +1,43 @@
+"""Streaming telemetry plane: in-sim counters, flight recorder, anomaly
+detection, and run dashboards.
+
+See docs/architecture.md ("Telemetry plane") for the cast:
+
+* :mod:`repro.telemetry.bus` — named per-tier series in fixed-size ring
+  buffers, with the picklable :class:`TelemetryPayload` export;
+* :mod:`repro.telemetry.recorder` — the bounded flight recorder that
+  dumps the last N simulated seconds on an SLO breach or quarantine;
+* :mod:`repro.telemetry.anomaly` — EWMA-residual detectors emitting
+  typed :class:`AnomalyEvent` objects;
+* :mod:`repro.telemetry.probe` — the periodic sampling task wired onto
+  a testbed when :func:`repro.telemetry.runtime.telemetry_enabled`;
+* :mod:`repro.telemetry.sources` — telemetry-fed control-plane sources
+  (gray-failure watchdog feed, autoscaler fleet monitor);
+* :mod:`repro.telemetry.render` — terminal sparklines and the
+  self-contained HTML dashboard.
+
+Telemetry is strictly opt-in and purely observational: with it off,
+runs are bit-identical to a build without the subsystem; with it on,
+sampling draws no randomness and the goldens still hold (re-checked in
+CI with ``REPRO_TELEMETRY=1``).
+"""
+
+from repro.telemetry.anomaly import AnomalyEvent, AnomalyMonitor, EWMAResidualDetector
+from repro.telemetry.bus import RingBuffer, TelemetryBus, TelemetryPayload, TelemetrySeries
+from repro.telemetry.recorder import FlightDump, FlightEvent, FlightRecorder
+from repro.telemetry.sources import TelemetryFleetMonitor, WatchdogTelemetryFeed
+
+__all__ = [
+    "AnomalyEvent",
+    "AnomalyMonitor",
+    "EWMAResidualDetector",
+    "FlightDump",
+    "FlightEvent",
+    "FlightRecorder",
+    "RingBuffer",
+    "TelemetryBus",
+    "TelemetryFleetMonitor",
+    "TelemetryPayload",
+    "TelemetrySeries",
+    "WatchdogTelemetryFeed",
+]

@@ -1,0 +1,186 @@
+"""EWMA-residual anomaly detection over telemetry series.
+
+The detector reuses the paper's own smoothing primitive
+(:class:`~repro.metrics.ewma.EWMAFilter`, α = 1 − exp(−δt/τ)) twice per
+series: once to predict the next sample (the smoothed level) and once to
+track the typical deviation (an EWMA of absolute residuals).  A sample
+whose residual exceeds ``threshold ×`` the tracked deviation is flagged
+as a typed :class:`AnomalyEvent` — a spike or a drop, relative to the
+prediction.
+
+Edge-case semantics (pinned by tests/test_telemetry_anomaly.py):
+
+* a constant series has zero residual and zero tracked deviation, so it
+  never alarms;
+* the first sample of a series *defines* the baseline — a step change
+  at t=0 is a level, not an anomaly;
+* a single-sample series therefore emits nothing;
+* non-finite samples are rejected loudly
+  (:class:`~repro.errors.MetricsValidationError`), matching the EWMA
+  filter's own validation.
+
+Detection is arithmetic over observed values only — no RNG, no
+simulation state — so an attached detector never perturbs a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MetricsValidationError, TelemetryError
+from repro.metrics.ewma import EWMAFilter
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detector firing: a sample far from its EWMA prediction."""
+
+    time: float
+    #: Name of the telemetry series the sample belongs to.
+    series: str
+    #: ``"spike"`` (above prediction) or ``"drop"`` (below).
+    kind: str
+    #: The observed sample.
+    value: float
+    #: The EWMA prediction the sample was compared against.
+    expected: float
+    #: ``value - expected``.
+    residual: float
+    #: The deviation bound the residual exceeded.
+    threshold: float
+
+
+class EWMAResidualDetector:
+    """Per-series anomaly detector: residuals against an EWMA baseline.
+
+    Parameters
+    ----------
+    series:
+        Name stamped on emitted events.
+    time_constant:
+        τ of both the level filter and the deviation filter, seconds.
+    threshold:
+        Alarm multiplier: a residual beyond ``threshold × deviation``
+        fires (deviation being the EWMA of past absolute residuals).
+    min_samples:
+        Samples to observe before the detector may fire; the deviation
+        estimate needs a short warmup or the first wiggle after a flat
+        start would alarm.
+    """
+
+    def __init__(
+        self,
+        series: str,
+        time_constant: float = 5.0,
+        threshold: float = 4.0,
+        min_samples: int = 5,
+    ) -> None:
+        if threshold <= 0:
+            raise TelemetryError(
+                f"anomaly threshold must be positive, got {threshold!r}"
+            )
+        if min_samples < 1:
+            raise TelemetryError(
+                f"min_samples must be >= 1, got {min_samples!r}"
+            )
+        self.series = series
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._level = EWMAFilter(time_constant)
+        self._deviation = EWMAFilter(time_constant)
+        self.samples_seen = 0
+
+    def update(self, time: float, sample: float) -> Optional[AnomalyEvent]:
+        """Observe one sample; returns an event when it is anomalous."""
+        if not math.isfinite(sample):
+            raise MetricsValidationError(
+                f"telemetry sample for {self.series!r} must be finite, "
+                f"got {sample!r}"
+            )
+        self.samples_seen += 1
+        if self.samples_seen == 1:
+            # The first sample defines the baseline: a step at t=0 is a
+            # level, not an anomaly, and a single-sample series emits
+            # nothing.
+            self._level.update(time, sample)
+            self._deviation.update(time, 0.0)
+            return None
+        expected = self._level.value
+        assert expected is not None  # samples_seen > 1
+        residual = sample - expected
+        deviation = self._deviation.value or 0.0
+        bound = self.threshold * deviation
+        event: Optional[AnomalyEvent] = None
+        if self.samples_seen > self.min_samples and deviation > 0.0:
+            if abs(residual) > bound:
+                event = AnomalyEvent(
+                    time=time,
+                    series=self.series,
+                    kind="spike" if residual > 0 else "drop",
+                    value=sample,
+                    expected=expected,
+                    residual=residual,
+                    threshold=bound,
+                )
+        self._level.update(time, sample)
+        self._deviation.update(time, abs(residual))
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"EWMAResidualDetector(series={self.series!r}, "
+            f"threshold={self.threshold:g}, samples={self.samples_seen})"
+        )
+
+
+class AnomalyMonitor:
+    """A pack of per-series detectors plus the event log they feed.
+
+    The telemetry probe calls :meth:`observe` for each watched series
+    every sampling tick; fired events accumulate in :attr:`events` (and
+    ride into the run's :class:`~repro.telemetry.bus.TelemetryPayload`).
+    """
+
+    def __init__(
+        self,
+        time_constant: float = 5.0,
+        threshold: float = 4.0,
+        min_samples: int = 5,
+    ) -> None:
+        self.time_constant = time_constant
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._detectors: Dict[str, EWMAResidualDetector] = {}
+        self.events: List[AnomalyEvent] = []
+
+    def watch(self, series: str) -> EWMAResidualDetector:
+        """Ensure a detector exists for ``series`` and return it."""
+        detector = self._detectors.get(series)
+        if detector is None:
+            detector = EWMAResidualDetector(
+                series,
+                time_constant=self.time_constant,
+                threshold=self.threshold,
+                min_samples=self.min_samples,
+            )
+            self._detectors[series] = detector
+        return detector
+
+    def watched(self) -> Tuple[str, ...]:
+        """Names of the series under detection, in insertion order."""
+        return tuple(self._detectors)
+
+    def observe(self, series: str, time: float, sample: float) -> Optional[AnomalyEvent]:
+        """Feed one sample of a watched series; log and return any event."""
+        event = self.watch(series).update(time, sample)
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"AnomalyMonitor(detectors={len(self._detectors)}, "
+            f"events={len(self.events)})"
+        )

@@ -1,0 +1,88 @@
+"""Telemetry-fed control-plane sources.
+
+Two adapters let existing control loops consume the telemetry bus
+instead of reading node state directly, without changing a single
+decision bit:
+
+* :class:`WatchdogTelemetryFeed` — the gray-failure watchdog's
+  ``sample_busy`` source.  On each watchdog tick it records every
+  eligible server's busy-thread count into a per-server bus gauge and
+  hands the watchdog the values *read back from those series*, so the
+  detector's inputs are exactly the telemetry stream.  The recorded
+  integers are the same ones a direct scoreboard read yields at the
+  same simulated instant, which is why the adversarial goldens stay
+  bit-identical with telemetry enabled (pinned in CI).
+* :class:`TelemetryFleetMonitor` — a drop-in
+  :class:`~repro.control.monitor.FleetMonitor` that additionally
+  streams each fleet observation (busy fraction, smoothed fraction,
+  backlog depth) onto the bus, giving the autoscaler's control signal a
+  live telemetry trace at zero behavioural difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.control.monitor import FleetMonitor, FleetSample
+from repro.server.virtual_router import ServerNode
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.recorder import FlightRecorder
+
+
+class WatchdogTelemetryFeed:
+    """Busy-count source for the watchdog, routed through the bus.
+
+    Matches the ``sample_busy`` callable contract of
+    :class:`~repro.control.gray_failure.GrayFailureWatchdog`: called
+    once per tick with the eligible servers, returns their busy-thread
+    counts by name.  Each count is recorded as the gauge
+    ``watchdog.busy.<server>`` before being read back out of the series
+    — the watchdog literally consumes telemetry, not scoreboards.
+    """
+
+    def __init__(
+        self, bus: TelemetryBus, recorder: Optional[FlightRecorder] = None
+    ) -> None:
+        self.bus = bus
+        self.recorder = recorder
+
+    def __call__(
+        self, now: float, servers: Sequence[ServerNode]
+    ) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for server in servers:
+            series = self.bus.gauge(f"watchdog.busy.{server.name}", tier="server")
+            series.record(now, server.app.busy_threads)
+            counts[server.name] = int(series.latest)
+        return counts
+
+
+class TelemetryFleetMonitor(FleetMonitor):
+    """A fleet monitor that mirrors every observation onto the bus.
+
+    ``observe`` produces byte-identical :class:`FleetSample` values to
+    the base class (the bus write happens after the sample is computed
+    and draws nothing), so swapping this in under telemetry cannot move
+    an autoscaling decision.
+    """
+
+    def __init__(self, bus: TelemetryBus, time_constant: float = 5.0) -> None:
+        super().__init__(time_constant=time_constant)
+        self.bus = bus
+
+    def observe(self, time: float, servers: Sequence[ServerNode]) -> FleetSample:
+        sample = super().observe(time, servers)
+        self.bus.record("fleet.busy_fraction", time, sample.busy_fraction, tier="server")
+        self.bus.record(
+            "fleet.smoothed_busy_fraction",
+            time,
+            sample.smoothed_busy_fraction,
+            tier="server",
+        )
+        self.bus.record(
+            "fleet.backlog_depth", time, float(sample.backlog_depth), tier="server"
+        )
+        self.bus.record(
+            "fleet.serving_servers", time, float(sample.serving_servers), tier="server"
+        )
+        return sample

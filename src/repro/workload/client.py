@@ -209,6 +209,12 @@ class TrafficGeneratorNode(NetworkNode):
         self.queries_retried = 0
         self.queries_gave_up = 0
         self.queries_swept = 0
+        #: Optional telemetry flight recorder
+        #: (:class:`repro.telemetry.recorder.FlightRecorder`).  Set by
+        #: the telemetry probe when attached; the client feeds it
+        #: retransmission/retry/give-up events from these cold paths.
+        #: ``None`` (the default) costs one predicate per event.
+        self.flight_recorder = None
 
     # ------------------------------------------------------------------
     # trace replay
@@ -332,6 +338,10 @@ class TrafficGeneratorNode(NetworkNode):
             return
         pending.syn_retransmits += 1
         self.syn_retransmits += 1
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                self.simulator.now, "client", "syn-retransmit", request_id
+            )
         self._send_syn(pending)
         pending.rto = min(pending.rto * 2.0, self.syn_retransmit_cap)
         pending.syn_timer = self.simulator.schedule_in(
@@ -358,6 +368,10 @@ class TrafficGeneratorNode(NetworkNode):
         pending.syn_retransmits = 0
         pending.src_port = self._allocate_port(pending.request)
         self.queries_retried += 1
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                self.simulator.now, "client", "retry", request_id
+            )
         self._send_syn(pending)
         self._arm_timers(pending)
 
@@ -516,6 +530,13 @@ class TrafficGeneratorNode(NetworkNode):
             self.queries_failed += 1
             if pending.outcome.gave_up:
                 self.queries_gave_up += 1
+            if self.flight_recorder is not None:
+                self.flight_recorder.record(
+                    self.simulator.now,
+                    "client",
+                    "gave-up" if pending.outcome.gave_up else "failed",
+                    pending.request.request_id,
+                )
         else:
             self.queries_completed += 1
         if self.collector is not None:

@@ -25,6 +25,7 @@ PERF_CELLS = (
     "wikipedia-slice",
     "resilience-churn",
     "scale-partitioned",
+    "telemetry-overhead",
 )
 
 #: Record slots kept per (profile, cell) in BENCH_PERF.json.

@@ -1,0 +1,127 @@
+"""Edge-case tests for the EWMA-residual anomaly layer (satellite 3).
+
+Pins the semantics promised in the module docstring: constant series
+never alarm, the first sample defines the baseline (a step at t=0 is a
+level, not an anomaly), single-sample series emit nothing, and
+non-finite samples are rejected loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MetricsValidationError, TelemetryError
+from repro.telemetry.anomaly import (
+    AnomalyMonitor,
+    EWMAResidualDetector,
+)
+
+
+class TestEWMAResidualDetector:
+    def test_constant_series_never_alarms(self):
+        detector = EWMAResidualDetector("flat", min_samples=2)
+        for step in range(200):
+            assert detector.update(float(step), 3.5) is None
+
+    def test_step_at_t0_defines_baseline(self):
+        # A series that starts high and stays there: the first sample is
+        # the level, not a deviation from zero.
+        detector = EWMAResidualDetector("step", min_samples=2)
+        for step in range(50):
+            assert detector.update(float(step), 1000.0) is None
+
+    def test_single_sample_emits_nothing(self):
+        detector = EWMAResidualDetector("lonely")
+        assert detector.update(0.0, 42.0) is None
+        assert detector.samples_seen == 1
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_sample_is_loud(self, bad):
+        detector = EWMAResidualDetector("poisoned")
+        with pytest.raises(MetricsValidationError):
+            detector.update(0.0, bad)
+
+    def test_spike_detected_after_warmup(self):
+        # τ comparable to the tick spacing so the deviation estimate
+        # converges within the warmup and the wiggles stay in-band.
+        detector = EWMAResidualDetector(
+            "busy", time_constant=0.5, threshold=4.0, min_samples=5
+        )
+        events = []
+        time = 0.0
+        # A gently wiggling baseline so the deviation estimate is
+        # non-zero, then a large spike.
+        for step in range(40):
+            time = step * 0.25
+            wiggle = 0.01 if step % 2 else -0.01
+            event = detector.update(time, 1.0 + wiggle)
+            assert event is None
+        event = detector.update(time + 0.25, 50.0)
+        assert event is not None
+        assert event.kind == "spike"
+        assert event.series == "busy"
+        assert event.value == 50.0
+        assert event.residual > 0
+        assert abs(event.residual) > event.threshold
+
+    def test_drop_detected_after_warmup(self):
+        detector = EWMAResidualDetector("busy", time_constant=0.5, min_samples=5)
+        time = 0.0
+        for step in range(40):
+            time = step * 0.25
+            wiggle = 0.01 if step % 2 else -0.01
+            detector.update(time, 10.0 + wiggle)
+        event = detector.update(time + 0.25, 0.0)
+        assert event is not None
+        assert event.kind == "drop"
+        assert event.residual < 0
+
+    def test_no_alarm_before_min_samples(self):
+        detector = EWMAResidualDetector("early", min_samples=50)
+        time = 0.0
+        for step in range(20):
+            time = step * 0.25
+            wiggle = 0.01 if step % 2 else -0.01
+            detector.update(time, 1.0 + wiggle)
+        # Well inside warmup: even a huge excursion stays silent.
+        assert detector.update(time + 0.25, 1000.0) is None
+
+    def test_invalid_threshold_is_loud(self):
+        with pytest.raises(TelemetryError):
+            EWMAResidualDetector("x", threshold=0.0)
+
+    def test_invalid_min_samples_is_loud(self):
+        with pytest.raises(TelemetryError):
+            EWMAResidualDetector("x", min_samples=0)
+
+
+class TestAnomalyMonitor:
+    def test_watch_is_idempotent_and_ordered(self):
+        monitor = AnomalyMonitor()
+        first = monitor.watch("b")
+        monitor.watch("a")
+        assert monitor.watch("b") is first
+        assert monitor.watched() == ("b", "a")
+
+    def test_observe_logs_events(self):
+        monitor = AnomalyMonitor(time_constant=0.5, min_samples=5)
+        time = 0.0
+        for step in range(40):
+            time = step * 0.25
+            wiggle = 0.01 if step % 2 else -0.01
+            monitor.observe("busy", time, 1.0 + wiggle)
+        assert monitor.events == []
+        event = monitor.observe("busy", time + 0.25, 50.0)
+        assert event is not None
+        assert monitor.events == [event]
+
+    def test_series_are_independent(self):
+        monitor = AnomalyMonitor(min_samples=2)
+        for step in range(30):
+            monitor.observe("flat", step * 0.25, 7.0)
+            wiggle = 0.01 if step % 2 else -0.01
+            monitor.observe("wiggly", step * 0.25, 1.0 + wiggle)
+        monitor.observe("wiggly", 7.75, 99.0)
+        assert {event.series for event in monitor.events} == {"wiggly"}
